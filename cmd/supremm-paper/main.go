@@ -1,0 +1,85 @@
+// Command supremm-paper regenerates every table and figure of the paper
+// from a synthetic Stampede workload.
+//
+// Usage:
+//
+//	supremm-paper [-seed N] [-exp id[,id...]] [-train N] [-test N] [-unknown N]
+//
+// With no -exp it runs the full suite in paper order (e1, e2, table2,
+// fig1, fig2, fig3, table3, fig4, fig5, fig6, x1, x2, x3, x4).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 2014, "master random seed")
+	exp := flag.String("exp", "", "comma-separated experiment ids (default: all)")
+	train := flag.Int("train", 0, "training jobs per class (default 300)")
+	test := flag.Int("test", 0, "native-mix test jobs (default 4000)")
+	unknown := flag.Int("unknown", 0, "jobs per unknown pool (default 1200)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	jsonOut := flag.Bool("json", false, "emit results as JSON instead of text")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	cfg := experiments.DefaultConfig(*seed)
+	if *train > 0 {
+		cfg.TrainPerClass = *train
+	}
+	if *test > 0 {
+		cfg.TestJobs = *test
+	}
+	if *unknown > 0 {
+		cfg.UnknownJobs = *unknown
+	}
+	env := experiments.NewEnv(cfg)
+
+	ids := experiments.IDs()
+	if *exp != "" {
+		ids = strings.Split(*exp, ",")
+	}
+	var jsonResults []*experiments.Result
+	for _, id := range ids {
+		driver, ok := experiments.ByID(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		res, err := driver(env)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			jsonResults = append(jsonResults, res)
+			fmt.Fprintf(os.Stderr, "(%s in %v)\n", res.ID, time.Since(start).Round(time.Millisecond))
+			continue
+		}
+		fmt.Print(res.String())
+		fmt.Printf("(%s in %v)\n\n", res.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonResults); err != nil {
+			fmt.Fprintln(os.Stderr, "supremm-paper:", err)
+			os.Exit(1)
+		}
+	}
+}

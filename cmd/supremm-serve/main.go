@@ -1,0 +1,78 @@
+// Command supremm-serve runs the XDMoD-style metrics and classification
+// API over a freshly generated workload: warehouse queries (overview,
+// group-by, drill-down, monthly utilization) plus an online job
+// classification endpoint backed by a trained (or loaded) model.
+//
+// Usage:
+//
+//	supremm-serve [-addr :8080] [-jobs N] [-seed N] [-model saved.bin]
+//
+// Endpoints:
+//
+//	GET  /api/overview
+//	GET  /api/groupby?dim=application|category|user|population|jobsize|month
+//	GET  /api/drilldown?outer=DIM&inner=DIM
+//	GET  /api/utilization[?nodes=N]
+//	GET  /api/features
+//	POST /api/classify   {"features": {"MEM_USED": ..., ...}, "threshold": 0.8}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	jobs := flag.Int("jobs", 2000, "workload size to generate and serve")
+	seed := flag.Uint64("seed", 2014, "random seed")
+	modelPath := flag.String("model", "", "load a saved classifier (default: train a category RF on the workload)")
+	flag.Parse()
+
+	fmt.Fprintf(os.Stderr, "generating %d-job workload...\n", *jobs)
+	cfg := core.DefaultPipelineConfig(*seed, *jobs)
+	res, err := core.RunPipeline(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	var model *core.JobClassifier
+	if *modelPath != "" {
+		f, err := os.Open(*modelPath)
+		if err != nil {
+			fatal(err)
+		}
+		model, err = core.LoadJobClassifier(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded %s model from %s\n", model.Algo, *modelPath)
+	} else {
+		ds, err := core.BuildDataset(res.Records, core.LabelByCategory, core.DefaultFeatures())
+		if err != nil {
+			fatal(err)
+		}
+		model, err = core.TrainJobClassifier(ds, core.PaperForest(*seed))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "trained a category random forest on the generated workload")
+	}
+
+	srv := server.New(res.Store, model, cfg.Machine.TotalNodes())
+	fmt.Fprintf(os.Stderr, "serving on %s\n", *addr)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "supremm-serve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+// Application classification following the paper's Table 2 / Figure 1
+// methodology: train the RBF SVM on an application-balanced mixture of
+// the 20 community applications, evaluate on a native-mix test set, print
+// the confusion matrix in the paper's layout and the probability-threshold
+// trade-off curve.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/apps"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/ml/eval"
+)
+
+func main() {
+	// Balanced training mixture: every Table 2 application equally likely.
+	t2 := apps.Table2Apps()
+	balanced := append([]apps.App(nil), t2...)
+	for i := range balanced {
+		balanced[i].MixWeight = 1
+	}
+	trainRun := generate(1, 2000, balanced)
+	testRun := generate(2, 2000, t2) // native mix: VASP dominates
+
+	train := mustDataset(trainRun)
+	test := mustDataset(testRun)
+
+	model, err := core.TrainJobClassifier(train, core.PaperSVM(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Score the native-mix test set; note the class vocabularies match
+	// because both runs draw from the same 20 applications.
+	preds := model.Score(test)
+	cm := eval.NewConfusionMatrix(test.ClassNames, preds)
+	fmt.Printf("test accuracy: %.1f%% over %d jobs\n\n", 100*cm.Accuracy(), test.Len())
+	fmt.Println("confusion matrix (Table 2 layout):")
+	fmt.Print(cm.String())
+
+	fmt.Println("\nlargest misclassification flows (the paper's Table 2 reading):")
+	for _, p := range cm.TopConfusions(5) {
+		fmt.Printf("  %-12s -> %-12s %3d jobs (%.1f%%)\n", p.True, p.Pred, p.Count, 100*p.Rate)
+	}
+
+	fmt.Println("\nprobability-threshold curve (Figure 1):")
+	fmt.Printf("%-10s %12s %22s\n", "threshold", "classified", "correctly classified")
+	for _, p := range eval.ThresholdCurve(preds, []float64{0.95, 0.9, 0.8, 0.6, 0.4, 0.2}) {
+		fmt.Printf("%-10.2f %11.1f%% %21.1f%%\n",
+			p.Threshold, 100*p.Classified, 100*p.CorrectlyClassified)
+	}
+}
+
+func generate(seed uint64, jobs int, community []apps.App) *core.PipelineResult {
+	cfg := core.DefaultPipelineConfig(seed, jobs)
+	cfg.Cluster = cluster.DefaultConfig(seed)
+	cfg.Cluster.UncategorizedFrac = 0
+	cfg.Cluster.NAFrac = 0
+	cfg.Cluster.Community = community
+	res, err := core.RunPipeline(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func mustDataset(run *core.PipelineResult) *dataset.Dataset {
+	ds, err := core.BuildDataset(run.Records, core.LabelByLariat, core.DefaultFeatures())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return ds
+}

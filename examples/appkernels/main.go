@@ -1,0 +1,92 @@
+// Application kernels (paper Section I + the Section IV regression
+// extension): simulate the periodic QoS benchmark runs, calibrate CUSUM
+// process-control detectors on healthy history, inject a filesystem
+// regression and watch the ior stream alarm, then fit SVR and RF
+// regressors of kernel wall time.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/appkernel"
+	"repro/internal/rng"
+)
+
+func main() {
+	r := rng.New(51)
+	kernels := appkernel.DefaultKernels()
+
+	// Healthy history calibrates the detectors.
+	var history []appkernel.Run
+	for i, k := range kernels {
+		history = append(history, k.Simulate(r.Split(uint64(i)), 40, nil)...)
+	}
+	mon, err := appkernel.NewMonitor(history)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Live stream: the scratch filesystem degrades at submission 25,
+	// slowing the I/O-bound kernel by 60%.
+	fmt.Println("live monitoring (ior degrades 1.6x from submission 25):")
+	for i, k := range kernels {
+		var degs []appkernel.Degradation
+		if k.Name == "ior" {
+			degs = []appkernel.Degradation{{StartSeq: 25, Factor: 1.6}}
+		}
+		for _, run := range k.Simulate(r.Split(uint64(100+i)), 50, degs) {
+			if mon.Observe(run) {
+				fmt.Printf("  ALERT %-12s submission %2d wall %.0fs\n",
+					appkernel.StreamKey(run.Kernel, run.Nodes), run.Seq, run.Wall)
+			}
+		}
+	}
+	streams := make([]string, 0, len(mon.Alarms))
+	for k := range mon.Alarms {
+		streams = append(streams, k)
+	}
+	sort.Strings(streams)
+	fmt.Printf("alarmed streams: %v\n\n", streams)
+
+	// Wall-time regression (paper Section IV future work).
+	var test []appkernel.Run
+	for i, k := range kernels {
+		test = append(test, k.Simulate(r.Split(uint64(200+i)), 12, nil)...)
+	}
+	xTr, yTr, _, err := appkernel.RegressionData(kernels, history)
+	if err != nil {
+		log.Fatal(err)
+	}
+	xTe, yTe, _, err := appkernel.RegressionData(kernels, test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rf, err := appkernel.TrainRF(xTr, yTr, 52)
+	if err != nil {
+		log.Fatal(err)
+	}
+	svr, err := appkernel.TrainSVR(xTr, yTr, 53)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wall-time regression R^2 on withheld runs: rf %.3f  svr %.3f\n",
+		appkernel.R2(rf, xTe, yTe), appkernel.R2(svr, xTe, yTe))
+	for _, probe := range []struct {
+		kernel string
+		nodes  int
+	}{{"namd", 4}, {"hpcc", 8}, {"ior", 2}} {
+		row := probeRow(kernels, probe.kernel, probe.nodes)
+		fmt.Printf("  predicted wall %s@%d nodes: rf %.0fs svr %.0fs\n",
+			probe.kernel, probe.nodes, rf.Predict(row), svr.Predict(row))
+	}
+}
+
+func probeRow(kernels []appkernel.Kernel, name string, nodes int) []float64 {
+	x, _, _, err := appkernel.RegressionData(kernels, []appkernel.Run{{Kernel: name, Nodes: nodes, Wall: 0}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return x[0]
+}

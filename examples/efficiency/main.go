@@ -1,0 +1,71 @@
+// Efficiency triage and the exit-code negative result (paper Section II).
+//
+// Part 1 labels jobs efficient/inefficient with the paper's deterministic
+// rule (low CPU user, catastrophic mid-run collapse, or severe across-node
+// imbalance) and compares naive Bayes, SVM and random forest: the rule is
+// a disjunction of attribute thresholds, so the problem is completely
+// separable and SVM/RF approach 100% while NB lags badly.
+//
+// Part 2 tries to predict job success/failure from the script exit code
+// and shows it does not generalize: the exit code usually reflects the
+// last operation in the batch script, not the application.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+func main() {
+	res, err := core.RunPipeline(core.DefaultPipelineConfig(11, 3000))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("-- part 1: efficient vs inefficient (separable rule labels) --")
+	rule := core.DefaultEfficiencyRule()
+	effDS, err := core.BuildDataset(res.Records, core.LabelByEfficiency(rule), core.DefaultFeatures())
+	if err != nil {
+		log.Fatal(err)
+	}
+	compare(effDS, 21)
+
+	fmt.Println("\n-- part 2: success vs failure from exit codes (negative result) --")
+	exitDS, err := core.BuildDataset(res.Records, core.LabelByExit, core.DefaultFeatures())
+	if err != nil {
+		log.Fatal(err)
+	}
+	compare(exitDS, 22)
+	fmt.Println("\nnote how exit-code models reach high TRAIN accuracy yet stay near")
+	fmt.Println("chance on withheld jobs: the labels are not in the performance data.")
+}
+
+// compare balances the classes, splits, and prints train/test accuracy
+// for the three classifier families.
+func compare(ds *dataset.Dataset, seed uint64) {
+	minCount := 0
+	for _, c := range ds.ClassCounts() {
+		if c > 0 && (minCount == 0 || c < minCount) {
+			minCount = c
+		}
+	}
+	balanced := ds.Balanced(rng.New(seed), minCount)
+	train, test := balanced.Split(rng.New(seed+1), 0.6)
+	fmt.Printf("classes %v, %d balanced rows\n", balanced.ClassNames, balanced.Len())
+	for _, cfg := range []core.ClassifierConfig{
+		{Algo: core.AlgoBayes},
+		core.PaperSVM(seed + 2),
+		core.PaperForest(seed + 3),
+	} {
+		model, err := core.TrainJobClassifier(train, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-4s train %5.1f%%  test %5.1f%%\n",
+			cfg.Algo, 100*model.Accuracy(train), 100*model.Accuracy(test))
+	}
+}

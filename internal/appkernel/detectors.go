@@ -1,0 +1,133 @@
+package appkernel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Detector is a process-control change detector over a wall-time stream.
+// Observe feeds one measurement and reports whether the detector alarms.
+// The XDMoD application-kernel subsystem runs such detectors over every
+// (kernel, node-count) stream to flag quality-of-service regressions.
+type Detector interface {
+	Observe(wall float64) bool
+	// Value returns the current test statistic, in detector-specific units.
+	Value() float64
+}
+
+// Detector constructors calibrate from a healthy baseline sample.
+type DetectorFactory func(baseline []float64) (Detector, error)
+
+// NewCUSUMDetector adapts the one-sided CUSUM to the Detector interface.
+func NewCUSUMDetector(baseline []float64) (Detector, error) {
+	return NewCUSUM(baseline)
+}
+
+// EWMA is an exponentially weighted moving-average control chart: the
+// smoothed statistic alarms when it exceeds Target + L*sigma_ewma. It
+// reacts faster than CUSUM to moderate shifts and is robust to single
+// outliers.
+type EWMA struct {
+	Target float64
+	Sigma  float64
+	// Lambda is the smoothing weight (default 0.2).
+	Lambda float64
+	// L is the control-limit width in asymptotic-sigma units (default 3).
+	L float64
+
+	value float64
+	n     int
+}
+
+// NewEWMA calibrates an EWMA chart from a healthy baseline.
+func NewEWMA(baseline []float64) (Detector, error) {
+	mean, sigma, err := baselineStats(baseline)
+	if err != nil {
+		return nil, err
+	}
+	return &EWMA{Target: mean, Sigma: sigma, Lambda: 0.2, L: 3, value: mean}, nil
+}
+
+// Observe feeds one wall time; true means the chart alarms (slow side
+// only: QoS cares about regressions, not improvements). The statistic
+// resets to target on alarm.
+func (e *EWMA) Observe(wall float64) bool {
+	e.n++
+	e.value = e.Lambda*wall + (1-e.Lambda)*e.value
+	// Exact control-limit variance for finite n.
+	lam := e.Lambda
+	varFactor := lam / (2 - lam) * (1 - math.Pow(1-lam, 2*float64(e.n)))
+	limit := e.Target + e.L*e.Sigma*math.Sqrt(varFactor)
+	if e.value > limit {
+		e.value = e.Target
+		e.n = 0
+		return true
+	}
+	return false
+}
+
+// Value returns the current smoothed statistic.
+func (e *EWMA) Value() float64 { return e.value }
+
+// Shewhart is the classic individual-observation control chart: alarm when
+// a single measurement exceeds Target + K*sigma. Fast on large shifts,
+// blind to small sustained drifts.
+type Shewhart struct {
+	Target float64
+	Sigma  float64
+	// K is the limit width in sigma units (default 3).
+	K float64
+
+	last float64
+}
+
+// NewShewhart calibrates a Shewhart chart from a healthy baseline.
+func NewShewhart(baseline []float64) (Detector, error) {
+	mean, sigma, err := baselineStats(baseline)
+	if err != nil {
+		return nil, err
+	}
+	return &Shewhart{Target: mean, Sigma: sigma, K: 3}, nil
+}
+
+// Observe feeds one wall time; true when it breaches the upper limit.
+func (s *Shewhart) Observe(wall float64) bool {
+	s.last = wall
+	return wall > s.Target+s.K*s.Sigma
+}
+
+// Value returns the last observation's z-score.
+func (s *Shewhart) Value() float64 {
+	if s.Sigma == 0 {
+		return 0
+	}
+	return (s.last - s.Target) / s.Sigma
+}
+
+// baselineStats computes mean and (floored) standard deviation.
+func baselineStats(baseline []float64) (mean, sigma float64, err error) {
+	if len(baseline) < 2 {
+		return 0, 0, fmt.Errorf("appkernel: need at least 2 baseline runs")
+	}
+	var m2 float64
+	for i, v := range baseline {
+		delta := v - mean
+		mean += delta / float64(i+1)
+		m2 += delta * (v - mean)
+	}
+	sigma = math.Sqrt(m2 / float64(len(baseline)))
+	if sigma == 0 {
+		sigma = mean * 0.01
+		if sigma == 0 {
+			sigma = 1e-9
+		}
+	}
+	return mean, sigma, nil
+}
+
+// interface checks
+var (
+	_ Detector = (*CUSUM)(nil)
+	_ Detector = (*EWMA)(nil)
+	_ Detector = (*Shewhart)(nil)
+)

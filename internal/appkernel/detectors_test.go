@@ -1,0 +1,169 @@
+package appkernel
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// detectorBench runs a detector over healthy then shifted data, returning
+// (false alarms in healthy phase, observations until first alarm after
+// the shift; -1 if never).
+func detectorBench(t *testing.T, mk DetectorFactory, shift float64, seed uint64) (falseAlarms, delay int) {
+	t.Helper()
+	r := rng.New(seed)
+	baseline := make([]float64, 60)
+	for i := range baseline {
+		baseline[i] = 100 * r.LogNormal(0, 0.04)
+	}
+	det, err := mk(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 150; i++ {
+		if det.Observe(100 * r.LogNormal(0, 0.04)) {
+			falseAlarms++
+		}
+	}
+	delay = -1
+	for i := 0; i < 60; i++ {
+		if det.Observe(100 * shift * r.LogNormal(0, 0.04)) {
+			delay = i
+			break
+		}
+	}
+	return falseAlarms, delay
+}
+
+func TestAllDetectorsCatchLargeShift(t *testing.T) {
+	for name, mk := range map[string]DetectorFactory{
+		"cusum":    NewCUSUMDetector,
+		"ewma":     NewEWMA,
+		"shewhart": NewShewhart,
+	} {
+		fa, delay := detectorBench(t, mk, 1.5, 11)
+		if delay < 0 {
+			t.Errorf("%s missed a 50%% regression", name)
+		}
+		if delay > 10 {
+			t.Errorf("%s took %d observations on a 50%% regression", name, delay)
+		}
+		if fa > 3 {
+			t.Errorf("%s raised %d false alarms on healthy data", name, fa)
+		}
+	}
+}
+
+func TestCUSUMAndEWMACatchSmallDrift(t *testing.T) {
+	// 8% drift (~2 sigma at 4% noise): accumulating detectors must catch
+	// it; the Shewhart chart is expected to be much slower or miss it,
+	// which is exactly why production QoS monitoring layers detectors.
+	for name, mk := range map[string]DetectorFactory{
+		"cusum": NewCUSUMDetector,
+		"ewma":  NewEWMA,
+	} {
+		_, delay := detectorBench(t, mk, 1.08, 13)
+		if delay < 0 || delay > 30 {
+			t.Errorf("%s delay on 8%% drift = %d", name, delay)
+		}
+	}
+}
+
+func TestShewhartSingleSpikeOnly(t *testing.T) {
+	baseline := []float64{100, 101, 99, 100, 102, 98}
+	det, err := NewShewhart(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Observe(101) {
+		t.Error("in-control point alarmed")
+	}
+	if !det.Observe(200) {
+		t.Error("gross outlier missed")
+	}
+	if det.Value() < 3 {
+		t.Errorf("z-score = %v after outlier", det.Value())
+	}
+}
+
+func TestEWMAFiniteSampleLimits(t *testing.T) {
+	// Early observations have tighter limits (finite-n variance factor);
+	// a moderate early excursion must not alarm spuriously on n=1 but the
+	// statistic must track upward.
+	baseline := []float64{100, 100.5, 99.5, 100, 100.2, 99.8}
+	det, err := NewEWMA(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := det.(*EWMA)
+	v0 := e.Value()
+	if det.Observe(100.3) {
+		t.Error("sub-sigma excursion should not alarm")
+	}
+	if e.Value() <= v0 {
+		t.Error("EWMA statistic did not move toward the observation")
+	}
+}
+
+func TestDetectorBaselineErrors(t *testing.T) {
+	for name, mk := range map[string]DetectorFactory{
+		"cusum":    NewCUSUMDetector,
+		"ewma":     NewEWMA,
+		"shewhart": NewShewhart,
+	} {
+		if _, err := mk([]float64{1}); err == nil {
+			t.Errorf("%s accepted a single-point baseline", name)
+		}
+	}
+}
+
+func TestZeroVarianceBaselines(t *testing.T) {
+	for name, mk := range map[string]DetectorFactory{
+		"ewma":     NewEWMA,
+		"shewhart": NewShewhart,
+	} {
+		det, err := mk([]float64{5, 5, 5})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Sigma floored: a clear regression must still alarm.
+		alarmed := false
+		for i := 0; i < 10; i++ {
+			if det.Observe(6) {
+				alarmed = true
+				break
+			}
+		}
+		if !alarmed {
+			t.Errorf("%s never alarmed on a 20%% regression from a flat baseline", name)
+		}
+	}
+}
+
+func TestMonitorWithAlternateDetectors(t *testing.T) {
+	r := rng.New(21)
+	kernels := DefaultKernels()[:2]
+	var baseline []Run
+	for i, k := range kernels {
+		baseline = append(baseline, k.Simulate(r.Split(uint64(i)), 40, nil)...)
+	}
+	for name, factory := range map[string]DetectorFactory{
+		"ewma":     NewEWMA,
+		"shewhart": NewShewhart,
+	} {
+		mon, err := NewMonitorWith(baseline, factory)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		degs := []Degradation{{StartSeq: 10, Factor: 1.8}}
+		hits := 0
+		for _, run := range kernels[0].Simulate(r.Split(100), 30, degs) {
+			if mon.Observe(run) && run.Degraded {
+				hits++
+			}
+		}
+		if hits == 0 {
+			t.Errorf("%s monitor missed a 1.8x regression", name)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package appkernel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ml/forest"
+	"repro/internal/ml/svm"
+	"repro/internal/stats"
+)
+
+// RegressionData converts runs into a (features, target) regression
+// problem: predict wall time from kernel identity and node count. Kernel
+// identity is one-hot encoded over the provided kernel order.
+func RegressionData(kernels []Kernel, runs []Run) (x [][]float64, y []float64, names []string, err error) {
+	index := map[string]int{}
+	for i, k := range kernels {
+		index[k.Name] = i
+		names = append(names, "kernel_"+k.Name)
+	}
+	names = append(names, "nodes", "log_nodes")
+	for _, r := range runs {
+		ki, ok := index[r.Kernel]
+		if !ok {
+			return nil, nil, nil, fmt.Errorf("appkernel: run references unknown kernel %q", r.Kernel)
+		}
+		row := make([]float64, len(kernels)+2)
+		row[ki] = 1
+		row[len(kernels)] = float64(r.Nodes)
+		row[len(kernels)+1] = math.Log(float64(r.Nodes))
+		x = append(x, row)
+		y = append(y, r.Wall)
+	}
+	return x, y, names, nil
+}
+
+// Regressor predicts application-kernel wall time.
+type Regressor interface {
+	Predict(x []float64) float64
+}
+
+// svrRegressor adapts the epsilon-SVR with feature scaling.
+type svrRegressor struct {
+	model  *svm.Regressor
+	scaler *stats.Scaler
+}
+
+func (s *svrRegressor) Predict(x []float64) float64 {
+	row := append([]float64(nil), x...)
+	s.scaler.Transform(row)
+	return s.model.Predict(row)
+}
+
+// TrainSVR fits an epsilon-SVR (RBF kernel) on the regression data.
+func TrainSVR(x [][]float64, y []float64, seed uint64) (Regressor, error) {
+	work := make([][]float64, len(x))
+	for i := range x {
+		work[i] = append([]float64(nil), x[i]...)
+	}
+	scaler := stats.FitScaler(work)
+	scaler.TransformAll(work)
+	m, err := svm.TrainRegressor(work, y, svm.RegressorConfig{
+		Kernel: svm.RBF{Gamma: 0.5}, C: 100, Epsilon: epsilonFor(y),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &svrRegressor{model: m, scaler: scaler}, nil
+}
+
+// epsilonFor picks the SVR tube width as a small fraction of the target
+// spread.
+func epsilonFor(y []float64) float64 {
+	var a stats.Accumulator
+	for _, v := range y {
+		a.Add(v)
+	}
+	return 0.05 * a.StdDev()
+}
+
+// TrainRF fits a random-forest regressor on the regression data.
+func TrainRF(x [][]float64, y []float64, seed uint64) (Regressor, error) {
+	return forest.TrainRegressor(x, y, forest.Config{Trees: 100, Seed: seed})
+}
+
+// R2 computes the coefficient of determination of a regressor over a
+// dataset.
+func R2(m Regressor, x [][]float64, y []float64) float64 {
+	if len(y) == 0 {
+		return 0
+	}
+	var mean float64
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	var ssRes, ssTot float64
+	for i := range y {
+		pred := m.Predict(x[i])
+		ssRes += (y[i] - pred) * (y[i] - pred)
+		ssTot += (y[i] - mean) * (y[i] - mean)
+	}
+	if ssTot == 0 {
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}

@@ -1,0 +1,286 @@
+package apps
+
+// Category is one of the 12 broad application groups of the paper's Table 3.
+type Category string
+
+// The broad categories, named exactly as the paper's Table 3 prints them.
+const (
+	CatAstrophysics Category = "Astrophysics"
+	CatBenchmark    Category = "benchmark"
+	CatCFD          Category = "CFD"
+	CatEM           Category = "E&M,photonics"
+	CatLatticeQCD   Category = "Lattice QCD"
+	CatMath         Category = "Math"
+	CatMatlab       Category = "Matlab"
+	CatMD           Category = "MD"
+	CatPython       Category = "Python"
+	CatQC           Category = "QC"
+	CatQCES         Category = "QC,ES"
+	CatUnknown      Category = "Unknown"
+)
+
+// Categories lists all 12 broad categories in Table 3 order.
+var Categories = []Category{
+	CatAstrophysics, CatBenchmark, CatCFD, CatEM, CatLatticeQCD, CatMath,
+	CatMatlab, CatMD, CatPython, CatQC, CatQCES, CatUnknown,
+}
+
+// App is one community application in the catalogue.
+type App struct {
+	Name     string
+	Category Category
+
+	// MixWeight is the application's share of the native labeled job mix
+	// (arbitrary units; normalized when sampling). Derived from the
+	// paper's Table 2 correct-classification counts.
+	MixWeight float64
+
+	// ExecPath is the installed executable path Lariat records for jobs
+	// of this application; the classifier-by-path matches on its basename.
+	ExecPath string
+
+	// Table2 marks the 20 applications appearing in the paper's Table 2
+	// confusion matrix (the application-classification experiments use
+	// exactly these).
+	Table2 bool
+
+	Sig Signature
+}
+
+// catalog is built once at init; treat as read-only.
+var catalog []App
+
+// Catalog returns the full community-application catalogue. The returned
+// slice is shared; callers must not modify it.
+func Catalog() []App { return catalog }
+
+// Table2Apps returns the 20 applications of the paper's Table 2, in the
+// table's alphabetical order.
+func Table2Apps() []App {
+	out := make([]App, 0, 20)
+	for _, a := range catalog {
+		if a.Table2 {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ByName returns the catalogue entry with the given name.
+func ByName(name string) (App, bool) {
+	for _, a := range catalog {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return App{}, false
+}
+
+const (
+	kb = 1e3
+	mb = 1e6
+	gb = 1e9
+)
+
+func init() {
+	type entry struct {
+		name   string
+		cat    Category
+		mix    float64
+		path   string
+		table2 bool
+		spec   sigSpec
+	}
+	entries := []entry{
+		// --- Molecular dynamics family: high user CPU, low CPI, modest
+		// memory, well balanced across nodes. Members differ by degree,
+		// so they confuse mostly with one another (GROMACS <-> LAMMPS).
+		{"AMBER", CatMD, 1.92, "/opt/apps/amber/12/bin/pmemd.MPI", true, sigSpec{
+			user: 0.94, sys: 0.022, cpi: 1.06, cpld: 3.4, flops: 2.2e10,
+			mem: 4.2 * gb, membw: 7.5 * gb, home: 1.2 * kb, scratch: 0.9 * mb, lustre: 1.1 * mb,
+			iops: 6, dread: 120 * kb, dwrite: 150 * kb, nodes: 4, wallHours: 8, nodeSpread: 0.6, ioTrend: 0.15,
+		}},
+		{"ARPS", CatCFD, 1.17, "/opt/apps/arps/5.4/bin/arps_mpi", true, sigSpec{
+			user: 0.87, sys: 0.045, cpi: 1.48, cpld: 4.5, flops: 9.5e9,
+			mem: 4.5 * gb, membw: 12.5 * gb, home: 3 * kb, scratch: 11 * mb, lustre: 12.5 * mb,
+			iops: 12, dread: 300 * kb, dwrite: 500 * kb, nodes: 12, wallHours: 5, ioTrend: 0.9,
+		}},
+		{"CACTUS", CatAstrophysics, 1.62, "/opt/apps/cactus/4.2/bin/cactus_sim", true, sigSpec{
+			user: 0.86, sys: 0.034, cpi: 1.30, cpld: 5.2, flops: 1.2e10,
+			mem: 8.5 * gb, membw: 14 * gb, home: 2 * kb, scratch: 22 * mb, lustre: 25 * mb,
+			iops: 10, dread: 250 * kb, dwrite: 400 * kb, nodes: 16, wallHours: 10, nodeSpread: 1.4, ioTrend: 1.1,
+		}},
+		{"CHARMM++", CatMD, 6.78, "/opt/apps/charm++/6.5/bin/charmrun", true, sigSpec{
+			user: 0.94, sys: 0.028, cpi: 1.08, cpld: 3.6, flops: 1.9e10,
+			mem: 1.2 * gb, membw: 6.5 * gb, home: 1 * kb, scratch: 1.4 * mb, lustre: 1.6 * mb,
+			iops: 5, dread: 100 * kb, dwrite: 140 * kb, nodes: 8, wallHours: 9, nodeSpread: 0.65, ioTrend: 0.2,
+		}},
+		{"CHARMM", CatMD, 1.49, "/opt/apps/charmm/c38/bin/charmm", true, sigSpec{
+			user: 0.90, sys: 0.024, cpi: 1.22, cpld: 4.1, flops: 1.4e10,
+			mem: 0.7 * gb, membw: 5.5 * gb, home: 1.5 * kb, scratch: 1.1 * mb, lustre: 1.2 * mb,
+			iops: 6, dread: 110 * kb, dwrite: 130 * kb, nodes: 2, wallHours: 6, nodeSpread: 0.7, ioTrend: 0.15,
+		}},
+		{"CP2K", CatQCES, 1.41, "/opt/apps/cp2k/2.5/bin/cp2k.popt", true, sigSpec{
+			user: 0.89, sys: 0.042, cpi: 1.10, cpld: 4.2, flops: 2.6e10,
+			mem: 6.5 * gb, membw: 22 * gb, home: 2 * kb, scratch: 5.5 * mb, lustre: 6.5 * mb,
+			iops: 9, dread: 220 * kb, dwrite: 260 * kb, nodes: 6, wallHours: 7, nodeSpread: 1.05, ioTrend: 0.35,
+		}},
+		{"ENZO", CatAstrophysics, 0.78, "/opt/apps/enzo/2.3/bin/enzo.exe", true, sigSpec{
+			user: 0.82, sys: 0.048, cpi: 1.64, cpld: 6.6, flops: 6.5e9,
+			mem: 15.5 * gb, membw: 10.5 * gb, home: 2.5 * kb, scratch: 42 * mb, lustre: 46 * mb,
+			iops: 14, dread: 350 * kb, dwrite: 600 * kb, nodes: 24, wallHours: 12, nodeSpread: 1.6, ioTrend: 1.3,
+		}},
+		{"FD3D", CatEM, 1.56, "/opt/apps/fd3d/1.0/bin/fd3d", true, sigSpec{
+			user: 0.91, sys: 0.030, cpi: 1.05, cpld: 3.0, flops: 2.6e10,
+			mem: 4.5 * gb, membw: 22 * gb, home: 1 * kb, scratch: 4 * mb, lustre: 5 * mb,
+			iops: 7, dread: 150 * kb, dwrite: 200 * kb, nodes: 16, wallHours: 6, nodeSpread: 0.9, ioTrend: 0.5,
+		}},
+		{"FLASH4", CatAstrophysics, 0.91, "/opt/apps/flash/4.0/bin/flash4", true, sigSpec{
+			user: 0.84, sys: 0.042, cpi: 1.52, cpld: 5.9, flops: 8.5e9,
+			mem: 12.5 * gb, membw: 11.5 * gb, home: 2 * kb, scratch: 32 * mb, lustre: 35 * mb,
+			iops: 12, dread: 280 * kb, dwrite: 520 * kb, nodes: 20, wallHours: 9, nodeSpread: 1.5, ioTrend: 1.2,
+		}},
+		{"GADGET", CatAstrophysics, 0.59, "/opt/apps/gadget/2.0/bin/Gadget2", true, sigSpec{
+			user: 0.80, sys: 0.052, cpi: 1.78, cpld: 7.4, flops: 5e9,
+			mem: 19 * gb, membw: 9 * gb, home: 3 * kb, scratch: 15 * mb, lustre: 17 * mb,
+			iops: 11, dread: 260 * kb, dwrite: 380 * kb, nodes: 28, wallHours: 14, nodeSpread: 1.7, ioTrend: 1.0,
+		}},
+		{"GROMACS", CatMD, 7.69, "/opt/apps/gromacs/4.6/bin/mdrun_mpi", true, sigSpec{
+			user: 0.97, sys: 0.012, cpi: 0.62, cpld: 1.9, flops: 5.5e10,
+			mem: 0.8 * gb, membw: 11 * gb, home: 0.9 * kb, scratch: 0.7 * mb, lustre: 0.8 * mb,
+			iops: 4, dread: 80 * kb, dwrite: 110 * kb, nodes: 4, wallHours: 7, nodeSpread: 0.55, ioTrend: 0.1,
+		}},
+		{"IFORTDDWN", CatUnknown, 0.84, "/home1/02044/iu/bin/ifortddwn", true, sigSpec{
+			user: 0.71, sys: 0.090, cpi: 2.30, cpld: 9.5, flops: 1.2e9,
+			mem: 27 * gb, membw: 4 * gb, home: 8 * kb, scratch: 0.2 * mb, lustre: 0.25 * mb,
+			iops: 45, dread: 3.5 * mb, dwrite: 2.2 * mb, nodes: 1, nodesVar: 0.15, wallHours: 20,
+			jobSpread: 0.5, ioTrend: -0.4,
+		}},
+		{"LAMMPS", CatMD, 12.09, "/opt/apps/lammps/15May14/bin/lmp_stampede", true, sigSpec{
+			user: 0.95, sys: 0.018, cpi: 0.82, cpld: 2.6, flops: 3.5e10,
+			mem: 1.6 * gb, membw: 9 * gb, home: 1 * kb, scratch: 0.9 * mb, lustre: 1.0 * mb,
+			iops: 5, dread: 90 * kb, dwrite: 120 * kb, nodes: 6, wallHours: 8, nodeSpread: 0.6, ioTrend: 0.15,
+		}},
+		{"NAMD", CatMD, 17.06, "/opt/apps/namd/2.9/bin/namd2", true, sigSpec{
+			user: 0.91, sys: 0.030, cpi: 0.88, cpld: 2.9, flops: 2.9e10,
+			mem: 2.4 * gb, membw: 8.5 * gb, home: 1.1 * kb, scratch: 1.8 * mb, lustre: 2.0 * mb,
+			iops: 6, dread: 130 * kb, dwrite: 170 * kb, nodes: 16, wallHours: 10, jobSpread: 1.05, nodeSpread: 0.8, ioTrend: 0.25,
+		}},
+		{"OPENFOAM", CatCFD, 1.30, "/opt/apps/openfoam/2.2/bin/simpleFoam", true, sigSpec{
+			user: 0.85, sys: 0.055, cpi: 1.72, cpld: 5.4, flops: 6.5e9,
+			mem: 6.8 * gb, membw: 10.5 * gb, home: 4 * kb, scratch: 24 * mb, lustre: 26 * mb,
+			iops: 16, dread: 420 * kb, dwrite: 700 * kb, nodes: 8, wallHours: 6, nodeSpread: 1.3, ioTrend: 0.8,
+		}},
+		{"PYTHON", CatPython, 0.67, "/opt/apps/python/2.7/bin/python", true, sigSpec{
+			user: 0.60, sys: 0.080, cpi: 2.10, cpld: 8.0, flops: 6e8,
+			mem: 3.2 * gb, membw: 2.5 * gb, home: 12 * kb, scratch: 3 * mb, lustre: 3.5 * mb,
+			iops: 35, dread: 2.4 * mb, dwrite: 1.6 * mb, nodes: 1, nodesVar: 0.4, wallHours: 4,
+			nodeSpread: 1.5, ioTrend: -0.6,
+		}},
+		{"Q-ESPRESSO", CatQCES, 2.30, "/opt/apps/espresso/5.0/bin/pw.x", true, sigSpec{
+			user: 0.87, sys: 0.058, cpi: 1.42, cpld: 6.6, flops: 1.1e10,
+			mem: 16 * gb, membw: 13 * gb, home: 2.2 * kb, scratch: 16 * mb, lustre: 17 * mb,
+			iops: 10, dread: 240 * kb, dwrite: 300 * kb, nodes: 4, wallHours: 5, jobSpread: 1.05, nodeSpread: 0.9, ioTrend: 0.45,
+		}},
+		{"SIESTA", CatQCES, 1.03, "/opt/apps/siesta/3.2/bin/siesta", true, sigSpec{
+			user: 0.91, sys: 0.036, cpi: 0.96, cpld: 3.9, flops: 1.9e10,
+			mem: 5 * gb, membw: 14.5 * gb, home: 1.8 * kb, scratch: 4.5 * mb, lustre: 5.5 * mb,
+			iops: 8, dread: 200 * kb, dwrite: 240 * kb, nodes: 2, wallHours: 6, nodeSpread: 0.7, ioTrend: 0.3,
+		}},
+		// VASP dominates the mix and has the broadest signature in the
+		// catalogue (its modest extra breadth makes its tails overlap most other
+		// applications, which is why Table 2's off-diagonal mass flows
+		// toward VASP from nearly every row.
+		{"VASP", CatQCES, 32.50, "/opt/apps/vasp/5.3/bin/vasp", true, sigSpec{
+			user: 0.89, sys: 0.048, cpi: 1.18, cpld: 5.3, flops: 1.6e10,
+			mem: 10 * gb, membw: 16 * gb, home: 2 * kb, scratch: 8 * mb, lustre: 9 * mb,
+			iops: 9, dread: 230 * kb, dwrite: 280 * kb, nodes: 3, wallHours: 6, nodeSpread: 1.2, ioTrend: 0.4,
+		}},
+		{"WRF", CatCFD, 2.98, "/opt/apps/wrf/3.5/bin/wrf.exe", true, sigSpec{
+			user: 0.88, sys: 0.040, cpi: 1.38, cpld: 4.9, flops: 1.15e10,
+			mem: 9 * gb, membw: 13.5 * gb, home: 3.5 * kb, scratch: 34 * mb, lustre: 37 * mb,
+			iops: 15, dread: 380 * kb, dwrite: 650 * kb, nodes: 32, wallHours: 7, nodeSpread: 1.3, ioTrend: 1.0,
+		}},
+
+		// --- Applications beyond Table 2, populating the remaining broad
+		// categories for the Table 3 / warehouse experiments.
+		{"HPL", CatBenchmark, 0.44, "/opt/apps/hpl/2.1/bin/xhpl", false, sigSpec{
+			user: 0.98, sys: 0.008, cpi: 0.45, cpld: 1.3, flops: 1.5e11,
+			mem: 28 * gb, membw: 45 * gb, home: 0.5 * kb, scratch: 0.1 * mb, lustre: 0.12 * mb,
+			iops: 2, dread: 30 * kb, dwrite: 40 * kb, nodes: 64, wallHours: 2, jobSpread: 0.6, nodeSpread: 0.5}},
+		{"MILC", CatLatticeQCD, 0.08, "/opt/apps/milc/7.7/bin/su3_rmd", false, sigSpec{
+			user: 0.96, sys: 0.014, cpi: 0.58, cpld: 1.6, flops: 6e10,
+			mem: 2.4 * gb, membw: 28 * gb, home: 0.8 * kb, scratch: 2.5 * mb, lustre: 2.8 * mb,
+			iops: 4, dread: 70 * kb, dwrite: 90 * kb, nodes: 48, wallHours: 12, nodeSpread: 0.55, ioTrend: 0.2,
+		}},
+		{"CHROMA", CatLatticeQCD, 0.04, "/opt/apps/chroma/3.4/bin/chroma", false, sigSpec{
+			user: 0.95, sys: 0.016, cpi: 0.62, cpld: 1.8, flops: 5e10,
+			mem: 2.9 * gb, membw: 26 * gb, home: 0.9 * kb, scratch: 3 * mb, lustre: 3.2 * mb,
+			iops: 4, dread: 75 * kb, dwrite: 95 * kb, nodes: 32, wallHours: 10, nodeSpread: 0.6, ioTrend: 0.2,
+		}},
+		{"MATLAB", CatMatlab, 0.05, "/opt/apps/matlab/2014a/bin/matlab", false, sigSpec{
+			user: 0.52, sys: 0.055, cpi: 1.85, cpld: 7.2, flops: 1.5e9,
+			mem: 6 * gb, membw: 3.5 * gb, home: 25 * kb, scratch: 1.5 * mb, lustre: 1.8 * mb,
+			iops: 28, dread: 1.8 * mb, dwrite: 1.1 * mb, nodes: 1, nodesVar: 0.1, wallHours: 3,
+			jobSpread: 1.4, ioTrend: -0.5,
+		}},
+		{"OCTAVE", CatMath, 0.15, "/opt/apps/octave/3.8/bin/octave", false, sigSpec{
+			user: 0.58, sys: 0.060, cpi: 1.95, cpld: 7.6, flops: 9e8,
+			mem: 2.2 * gb, membw: 2.2 * gb, home: 15 * kb, scratch: 0.8 * mb, lustre: 1.0 * mb,
+			iops: 22, dread: 1.2 * mb, dwrite: 0.8 * mb, nodes: 1, nodesVar: 0.2, wallHours: 2,
+			jobSpread: 1.3, ioTrend: -0.45,
+		}},
+		{"R", CatMath, 0.13, "/opt/apps/R/3.1/bin/R", false, sigSpec{
+			user: 0.63, sys: 0.052, cpi: 2.05, cpld: 7.9, flops: 7e8,
+			mem: 4.8 * gb, membw: 2.0 * gb, home: 18 * kb, scratch: 1.0 * mb, lustre: 1.2 * mb,
+			iops: 26, dread: 1.5 * mb, dwrite: 0.9 * mb, nodes: 1, nodesVar: 0.15, wallHours: 5,
+			jobSpread: 1.3, ioTrend: -0.5,
+		}},
+		{"GAUSSIAN", CatQC, 1.50, "/opt/apps/gaussian/g09/bin/g09", false, sigSpec{
+			user: 0.78, sys: 0.075, cpi: 1.70, cpld: 6.8, flops: 4e9,
+			mem: 19 * gb, membw: 7 * gb, home: 5 * kb, scratch: 2 * mb, lustre: 2.3 * mb,
+			iops: 120, dread: 18 * mb, dwrite: 14 * mb, nodes: 1, nodesVar: 0.3, wallHours: 16,
+			nodeSpread: 1.2, ioTrend: 0.6,
+		}},
+		{"NWCHEM", CatQC, 1.25, "/opt/apps/nwchem/6.3/bin/nwchem", false, sigSpec{
+			user: 0.80, sys: 0.070, cpi: 1.62, cpld: 6.4, flops: 5e9,
+			mem: 16 * gb, membw: 8 * gb, home: 4 * kb, scratch: 2.4 * mb, lustre: 2.6 * mb,
+			iops: 95, dread: 14 * mb, dwrite: 11 * mb, nodes: 2, wallHours: 12, nodeSpread: 1.2, ioTrend: 0.55,
+		}},
+		{"MEEP", CatEM, 0.50, "/opt/apps/meep/1.2/bin/meep-mpi", false, sigSpec{
+			user: 0.90, sys: 0.034, cpi: 1.12, cpld: 3.2, flops: 2.2e10,
+			mem: 5.2 * gb, membw: 20 * gb, home: 1.4 * kb, scratch: 5 * mb, lustre: 5.5 * mb,
+			iops: 8, dread: 170 * kb, dwrite: 230 * kb, nodes: 8, wallHours: 5, nodeSpread: 0.8, ioTrend: 0.7,
+		}},
+		{"WIEN2K", CatQCES, 0.30, "/opt/apps/wien2k/13.1/bin/lapw1", false, sigSpec{
+			user: 0.86, sys: 0.060, cpi: 1.42, cpld: 6.8, flops: 1.0e10,
+			mem: 17 * gb, membw: 12 * gb, home: 2.6 * kb, scratch: 16 * mb, lustre: 17 * mb,
+			iops: 12, dread: 280 * kb, dwrite: 340 * kb, nodes: 2, wallHours: 8, ioTrend: 0.5,
+		}},
+	}
+
+	catalog = make([]App, len(entries))
+	for i, e := range entries {
+		sp := e.spec
+		if sp.catastrophe == 0 {
+			sp.catastrophe = 0.01 // baseline node-fault rate on the machine
+		}
+		catalog[i] = App{
+			Name:      e.name,
+			Category:  e.cat,
+			MixWeight: e.mix,
+			ExecPath:  e.path,
+			Table2:    e.table2,
+			Sig:       buildSig(sp),
+		}
+	}
+}
+
+// MixWeights returns the native-mix weights for the given apps, in order.
+func MixWeights(list []App) []float64 {
+	w := make([]float64, len(list))
+	for i, a := range list {
+		w[i] = a.MixWeight
+	}
+	return w
+}

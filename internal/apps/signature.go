@@ -1,0 +1,313 @@
+package apps
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Signature is the statistical model of one application's performance
+// behaviour. For positive metrics (rates, gauges) the model is log-normal:
+// Mu and the sigmas are in natural-log space. For CPU-time fractions the
+// model is logit-normal: Mu[CPUUser] is the logit of the typical user
+// fraction and Mu[CPUSystem] is the logit of the typical kernel share of the
+// remaining (non-user) time, which guarantees user+system+idle == 1.
+//
+// Variation is decomposed into three scales, mirroring where variance really
+// comes from on a production machine:
+//
+//   - JobSigma: job-to-job variation (different inputs, problem sizes),
+//   - NodeSigma: across-node variation within one job (load imbalance);
+//     this is what the paper's "...COV" attributes measure,
+//   - TimeSigma: interval-to-interval variation within one node's run
+//     (phase behaviour, I/O burstiness) seen by the 10-minute collector.
+type Signature struct {
+	Mu        [NumMetrics]float64
+	JobSigma  [NumMetrics]float64
+	NodeSigma [NumMetrics]float64
+	TimeSigma [NumMetrics]float64
+
+	// Node-count model: nodes = max(1, round(exp(N(NodesLogMu, NodesLogSigma)))).
+	NodesLogMu    float64
+	NodesLogSigma float64
+
+	// Wall-time model (seconds), log-normal.
+	WallLogMu    float64
+	WallLogSigma float64
+
+	// CatastropheProb is the probability that a job of this application
+	// suffers a mid-run collapse of CPU activity (a node-level fault),
+	// the event the CATASTROPHE derived metric detects.
+	CatastropheProb float64
+
+	// IOTrend is the application's characteristic within-run I/O growth:
+	// filesystem rates scale by (1 + IOTrend*(progress - 0.5)) over the
+	// job, so checkpoint-heavy codes write ever harder while streaming
+	// codes stay flat. Being a property of the code rather than the
+	// hardware, this temporal shape survives platform changes -- the
+	// basis of the paper's cross-platform classification discussion.
+	IOTrend float64
+}
+
+// JobDraw is one job's realized job-level behaviour: the latent per-node
+// rates all nodes share before node- and time-level perturbation.
+type JobDraw struct {
+	sig *Signature
+
+	// Rates holds the realized job-level value for each metric. Fractions
+	// are already in [0,1] with CPUIdle = 1 - user - system.
+	Rates [NumMetrics]float64
+
+	Nodes       int
+	WallSeconds float64
+	Catastrophe bool // whether this job suffers a mid-run CPU collapse
+}
+
+func logit(p float64) float64 { return math.Log(p / (1 - p)) }
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// Draw realizes one job from the signature using r.
+func (s *Signature) Draw(r *rng.Rand) *JobDraw {
+	d := &JobDraw{sig: s}
+	// Latent normals for every metric; fractions resolved afterwards.
+	var lat [NumMetrics]float64
+	for m := MetricID(0); m < NumMetrics; m++ {
+		lat[m] = r.NormalAt(s.Mu[m], s.JobSigma[m])
+	}
+	user := sigmoid(lat[CPUUser])
+	sysShare := sigmoid(lat[CPUSystem])
+	d.Rates[CPUUser] = user
+	d.Rates[CPUSystem] = (1 - user) * sysShare
+	d.Rates[CPUIdle] = 1 - d.Rates[CPUUser] - d.Rates[CPUSystem]
+	for m := MetricID(0); m < NumMetrics; m++ {
+		if m.IsFraction() {
+			continue
+		}
+		d.Rates[m] = math.Exp(lat[m])
+	}
+	n := int(math.Round(math.Exp(r.NormalAt(s.NodesLogMu, s.NodesLogSigma))))
+	if n < 1 {
+		n = 1
+	}
+	d.Nodes = n
+	d.WallSeconds = math.Exp(r.NormalAt(s.WallLogMu, s.WallLogSigma))
+	if d.WallSeconds < 90 {
+		d.WallSeconds = 90 // the paper's dataset excludes sub-minute jobs
+	}
+	d.Catastrophe = r.Bool(s.CatastropheProb)
+	return d
+}
+
+// NodeRates perturbs the job-level rates into one node's realized rates.
+// Each node of a job should be drawn with an independent split of the job's
+// generator so node identity is stable.
+func (d *JobDraw) NodeRates(r *rng.Rand) [NumMetrics]float64 {
+	var out [NumMetrics]float64
+	s := d.sig
+	// Fractions perturbed in logit space to stay in (0,1).
+	user := sigmoid(logit(clampFrac(d.Rates[CPUUser])) + r.NormalAt(0, s.NodeSigma[CPUUser]))
+	sysShare := d.Rates[CPUSystem] / (1 - d.Rates[CPUUser])
+	sysShare = sigmoid(logit(clampFrac(sysShare)) + r.NormalAt(0, s.NodeSigma[CPUSystem]))
+	out[CPUUser] = user
+	out[CPUSystem] = (1 - user) * sysShare
+	out[CPUIdle] = 1 - out[CPUUser] - out[CPUSystem]
+	for m := MetricID(0); m < NumMetrics; m++ {
+		if m.IsFraction() {
+			continue
+		}
+		out[m] = d.Rates[m] * math.Exp(r.NormalAt(0, s.NodeSigma[m]))
+	}
+	return out
+}
+
+// ioTrendMetrics are the filesystem metrics subject to the within-run
+// I/O trend.
+var ioTrendMetrics = [...]MetricID{HomeWrite, ScratchWrite, LustreTx, DiskReadIOPS, DiskReadBytes, DiskWriteBytes}
+
+// PerturbInterval perturbs a node's rates into one collection interval's
+// realized rates, modelling phase behaviour and I/O burstiness. cpuScale
+// scales CPU activity (used to realize catastrophes: a collapsed interval
+// has cpuScale near zero); progress is the interval midpoint's position
+// within the job in [0, 1] and drives the application's I/O trend.
+func (d *JobDraw) PerturbInterval(r *rng.Rand, node [NumMetrics]float64, cpuScale, progress float64) [NumMetrics]float64 {
+	var out [NumMetrics]float64
+	s := d.sig
+	user := node[CPUUser] * cpuScale * math.Exp(r.NormalAt(0, s.TimeSigma[CPUUser]))
+	if user > 0.999 {
+		user = 0.999
+	}
+	sys := node[CPUSystem] * math.Exp(r.NormalAt(0, s.TimeSigma[CPUSystem]))
+	if user+sys > 1 {
+		sys = 1 - user
+	}
+	out[CPUUser] = user
+	out[CPUSystem] = sys
+	out[CPUIdle] = 1 - user - sys
+	for m := MetricID(0); m < NumMetrics; m++ {
+		if m.IsFraction() {
+			continue
+		}
+		v := node[m] * math.Exp(r.NormalAt(0, s.TimeSigma[m]))
+		if m == Flops || m == MemBW {
+			v *= cpuScale // compute activity follows the CPU collapse
+		}
+		out[m] = v
+	}
+	if s.IOTrend != 0 {
+		trend := 1 + s.IOTrend*(progress-0.5)
+		if trend < 0.05 {
+			trend = 0.05
+		}
+		for _, m := range ioTrendMetrics {
+			out[m] *= trend
+		}
+	}
+	return out
+}
+
+func clampFrac(p float64) float64 {
+	const eps = 1e-6
+	if p < eps {
+		return eps
+	}
+	if p > 1-eps {
+		return 1 - eps
+	}
+	return p
+}
+
+// sigSpec describes an application in physical units; buildSig converts it
+// into the log/logit-space Signature. Keeping the catalogue in physical
+// units makes the application table below auditable.
+type sigSpec struct {
+	user float64 // typical CPU user fraction
+	sys  float64 // typical CPU system fraction (absolute, not share)
+
+	cpi  float64 // typical clock ticks per instruction
+	cpld float64 // typical clock ticks per L1D load
+
+	flops float64 // per-node flop/s
+	mem   float64 // per-node bytes used
+	membw float64 // per-node bytes/s memory traffic
+
+	home    float64 // $HOME write bytes/s
+	scratch float64 // $SCRATCH write bytes/s
+	lustre  float64 // Lustre tx bytes/s
+	iops    float64 // local disk read IOPS
+	dread   float64 // local disk read bytes/s
+	dwrite  float64 // local disk write bytes/s
+
+	jobSpread  float64 // multiplier on job-to-job sigma (1 = typical)
+	nodeSpread float64 // multiplier on across-node sigma (1 = typical)
+
+	nodes     float64 // typical node count
+	nodesVar  float64 // log-sigma of node count
+	wallHours float64 // typical wall time in hours
+
+	catastrophe float64 // probability of mid-run CPU collapse
+	ioTrend     float64 // within-run I/O growth (see Signature.IOTrend)
+}
+
+// Baseline sigma scales, per metric, multiplied by jobSpread/nodeSpread.
+// Network metrics get identical location parameters for every application
+// and a large job sigma, so they carry essentially no class signal --
+// reproducing the paper's Figure 5 finding that non-I/O network attributes
+// are the least important.
+var (
+	baseJobSigma = [NumMetrics]float64{
+		CPUUser: 0.18, CPUSystem: 0.17, CPUIdle: 0,
+		CPI: 0.062, CPLD: 0.07, Flops: 0.20,
+		MemUsed: 0.115, MemBW: 0.14,
+		EthTx: 1.30, IBRx: 1.20, IBTx: 1.20,
+		HomeWrite: 0.42, ScratchWrite: 0.36, LustreTx: 0.36,
+		DiskReadIOPS: 0.33, DiskReadBytes: 0.35, DiskWriteBytes: 0.35,
+	}
+	baseNodeSigma = [NumMetrics]float64{
+		CPUUser: 0.18, CPUSystem: 0.18, CPUIdle: 0,
+		CPI: 0.04, CPLD: 0.05, Flops: 0.10,
+		MemUsed: 0.08, MemBW: 0.08,
+		EthTx: 0.50, IBRx: 0.35, IBTx: 0.35,
+		HomeWrite: 0.60, ScratchWrite: 0.45, LustreTx: 0.45,
+		DiskReadIOPS: 0.40, DiskReadBytes: 0.40, DiskWriteBytes: 0.40,
+	}
+	baseTimeSigma = [NumMetrics]float64{
+		CPUUser: 0.06, CPUSystem: 0.10, CPUIdle: 0,
+		CPI: 0.03, CPLD: 0.03, Flops: 0.10,
+		MemUsed: 0.06, MemBW: 0.08,
+		EthTx: 0.50, IBRx: 0.40, IBTx: 0.40,
+		HomeWrite: 0.90, ScratchWrite: 0.80, LustreTx: 0.80,
+		DiskReadIOPS: 0.60, DiskReadBytes: 0.60, DiskWriteBytes: 0.60,
+	}
+)
+
+// Cluster-wide network baselines shared by all applications.
+const (
+	ethTxTypical = 8e4 // management-network chatter, bytes/s
+	ibRxTypical  = 4e7 // MPI traffic, bytes/s; mostly size-driven noise
+	ibTxTypical  = 4e7 //
+)
+
+func buildSig(sp sigSpec) Signature {
+	var s Signature
+	s.Mu[CPUUser] = logit(clampFrac(sp.user))
+	s.Mu[CPUSystem] = logit(clampFrac(sp.sys / (1 - sp.user)))
+	set := func(m MetricID, v float64) {
+		if v <= 0 {
+			v = 1e-3
+		}
+		s.Mu[m] = math.Log(v)
+	}
+	set(CPI, sp.cpi)
+	set(CPLD, sp.cpld)
+	set(Flops, sp.flops)
+	set(MemUsed, sp.mem)
+	set(MemBW, sp.membw)
+	set(EthTx, ethTxTypical)
+	set(IBRx, ibRxTypical)
+	set(IBTx, ibTxTypical)
+	set(HomeWrite, sp.home)
+	set(ScratchWrite, sp.scratch)
+	set(LustreTx, sp.lustre)
+	set(DiskReadIOPS, sp.iops)
+	set(DiskReadBytes, sp.dread)
+	set(DiskWriteBytes, sp.dwrite)
+
+	js, ns := sp.jobSpread, sp.nodeSpread
+	if js == 0 {
+		js = 1
+	}
+	if ns == 0 {
+		ns = 1
+	}
+	for m := MetricID(0); m < NumMetrics; m++ {
+		s.JobSigma[m] = baseJobSigma[m] * js
+		s.NodeSigma[m] = baseNodeSigma[m] * ns
+		s.TimeSigma[m] = baseTimeSigma[m]
+		if m.IsNetwork() {
+			// Network variation is cluster noise, not an application trait:
+			// never let an app's spread parameters sharpen or widen it.
+			s.JobSigma[m] = baseJobSigma[m]
+			s.NodeSigma[m] = baseNodeSigma[m]
+		}
+	}
+
+	nodes := sp.nodes
+	if nodes < 1 {
+		nodes = 1
+	}
+	s.NodesLogMu = math.Log(nodes)
+	s.NodesLogSigma = sp.nodesVar
+	if s.NodesLogSigma == 0 {
+		s.NodesLogSigma = 0.6
+	}
+	wall := sp.wallHours * 3600
+	if wall <= 0 {
+		wall = 3600
+	}
+	s.WallLogMu = math.Log(wall)
+	s.WallLogSigma = 0.8
+	s.CatastropheProb = sp.catastrophe
+	s.IOTrend = sp.ioTrend
+	return s
+}

@@ -1,0 +1,361 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func tinyMachine(nodes int) Machine {
+	return Machine{Name: "test", Racks: 1, NodesPerRack: nodes, CoresPerNode: 16}
+}
+
+func TestScheduleEmptyMachineImmediateStart(t *testing.T) {
+	s := NewScheduler(tinyMachine(10), false)
+	res, err := s.Schedule([]SchedRequest{
+		{ID: "a", Submit: 100, Nodes: 4, ActualWall: 50},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Start != 100 || res[0].End != 150 || len(res[0].Nodes) != 4 {
+		t.Errorf("result = %+v", res[0])
+	}
+}
+
+func TestScheduleFCFSQueueing(t *testing.T) {
+	// 10 nodes; job a takes 8 for 100s; b (8 nodes) must wait for a.
+	s := NewScheduler(tinyMachine(10), false)
+	res, err := s.Schedule([]SchedRequest{
+		{ID: "a", Submit: 0, Nodes: 8, ActualWall: 100},
+		{ID: "b", Submit: 10, Nodes: 8, ActualWall: 50},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[1].Start != 100 {
+		t.Errorf("b started at %d, want 100", res[1].Start)
+	}
+}
+
+func TestScheduleNoNodeDoubleBooking(t *testing.T) {
+	r := rng.New(1)
+	var reqs []SchedRequest
+	for i := 0; i < 200; i++ {
+		reqs = append(reqs, SchedRequest{
+			ID:         fmt.Sprintf("j%d", i),
+			Submit:     int64(r.Intn(5000)),
+			Nodes:      1 + r.Intn(16),
+			ActualWall: int64(60 + r.Intn(3000)),
+		})
+	}
+	for _, backfill := range []bool{false, true} {
+		s := NewScheduler(tinyMachine(32), backfill)
+		res, err := s.Schedule(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Build intervals per node and check for overlap.
+		type iv struct{ s, e int64 }
+		byNode := map[int][]iv{}
+		for i, rr := range res {
+			if rr.Start < reqs[i].Submit {
+				t.Fatalf("backfill=%v: job %s started before submit", backfill, rr.ID)
+			}
+			if len(rr.Nodes) != reqs[i].Nodes {
+				t.Fatalf("node count mismatch for %s", rr.ID)
+			}
+			seen := map[int]bool{}
+			for _, n := range rr.Nodes {
+				if n < 0 || n >= 32 || seen[n] {
+					t.Fatalf("bad node allocation %v", rr.Nodes)
+				}
+				seen[n] = true
+				byNode[n] = append(byNode[n], iv{rr.Start, rr.End})
+			}
+		}
+		for n, ivs := range byNode {
+			for i := 0; i < len(ivs); i++ {
+				for j := i + 1; j < len(ivs); j++ {
+					a, b := ivs[i], ivs[j]
+					if a.s < b.e && b.s < a.e {
+						t.Fatalf("backfill=%v: node %d double-booked: %+v vs %+v", backfill, n, a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBackfillReducesWaits(t *testing.T) {
+	// Classic EASY scenario: big job a occupies 9/10 nodes; wide job b
+	// (10 nodes) waits; small short job c (1 node) can backfill into the
+	// idle node without delaying b.
+	reqs := []SchedRequest{
+		{ID: "a", Submit: 0, Nodes: 9, ActualWall: 1000, EstWall: 1000},
+		{ID: "b", Submit: 1, Nodes: 10, ActualWall: 100, EstWall: 100},
+		{ID: "c", Submit: 2, Nodes: 1, ActualWall: 100, EstWall: 100},
+	}
+	fcfs := NewScheduler(tinyMachine(10), false)
+	resF, err := fcfs.Schedule(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	easy := NewScheduler(tinyMachine(10), true)
+	resE, err := easy.Schedule(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without backfill, c waits behind b until a finishes.
+	if resF[2].Start < 1000 {
+		t.Errorf("FCFS started c at %d, expected >= 1000", resF[2].Start)
+	}
+	// With EASY, c starts immediately on the idle node.
+	if resE[2].Start != 2 {
+		t.Errorf("EASY started c at %d, want 2", resE[2].Start)
+	}
+	// And b (the reserved head) must not start later than under FCFS.
+	if resE[1].Start > resF[1].Start {
+		t.Errorf("backfill delayed the queue head: %d vs %d", resE[1].Start, resF[1].Start)
+	}
+}
+
+func TestBackfillDoesNotDelayHead(t *testing.T) {
+	// A long narrow job must NOT backfill if it would hold nodes past the
+	// head's reservation.
+	reqs := []SchedRequest{
+		{ID: "a", Submit: 0, Nodes: 9, ActualWall: 100, EstWall: 100},
+		{ID: "b", Submit: 1, Nodes: 10, ActualWall: 50, EstWall: 50},
+		{ID: "long", Submit: 2, Nodes: 1, ActualWall: 10000, EstWall: 10000},
+	}
+	easy := NewScheduler(tinyMachine(10), true)
+	res, err := easy.Schedule(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[1].Start != 100 {
+		t.Errorf("head b started at %d, want exactly 100 (undelayed)", res[1].Start)
+	}
+	if res[2].Start < res[1].Start {
+		t.Errorf("long job backfilled at %d, delaying or racing the head", res[2].Start)
+	}
+}
+
+func TestScheduleRejectsBadRequests(t *testing.T) {
+	s := NewScheduler(tinyMachine(4), true)
+	if _, err := s.Schedule([]SchedRequest{{ID: "x", Nodes: 5, ActualWall: 10}}); err == nil {
+		t.Error("oversized job not rejected")
+	}
+	if _, err := s.Schedule([]SchedRequest{{ID: "y", Nodes: 1, ActualWall: 0}}); err == nil {
+		t.Error("zero wall not rejected")
+	}
+}
+
+func TestScheduleDeterminism(t *testing.T) {
+	r := rng.New(2)
+	var reqs []SchedRequest
+	for i := 0; i < 100; i++ {
+		reqs = append(reqs, SchedRequest{
+			ID:         fmt.Sprintf("j%d", i),
+			Submit:     int64(r.Intn(2000)),
+			Nodes:      1 + r.Intn(8),
+			ActualWall: int64(60 + r.Intn(1000)),
+			EstWall:    int64(60 + r.Intn(2000)),
+		})
+	}
+	s1 := NewScheduler(tinyMachine(16), true)
+	s2 := NewScheduler(tinyMachine(16), true)
+	r1, err := s1.Schedule(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s2.Schedule(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1 {
+		if r1[i].Start != r2[i].Start || r1[i].End != r2[i].End {
+			t.Fatal("scheduler not deterministic")
+		}
+	}
+}
+
+func TestUtilizationUnderLoad(t *testing.T) {
+	// Saturating load: backfill should keep utilization high.
+	r := rng.New(3)
+	var reqs []SchedRequest
+	for i := 0; i < 300; i++ {
+		reqs = append(reqs, SchedRequest{
+			ID:         fmt.Sprintf("j%d", i),
+			Submit:     int64(i), // near-simultaneous arrivals
+			Nodes:      1 + r.Intn(12),
+			ActualWall: int64(100 + r.Intn(500)),
+			EstWall:    int64(100 + r.Intn(1000)),
+		})
+	}
+	util := func(backfill bool) float64 {
+		s := NewScheduler(tinyMachine(16), backfill)
+		res, err := s.Schedule(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var nodeSeconds, makespanEnd int64
+		for i, rr := range res {
+			nodeSeconds += int64(reqs[i].Nodes) * reqs[i].ActualWall
+			if rr.End > makespanEnd {
+				makespanEnd = rr.End
+			}
+		}
+		return float64(nodeSeconds) / float64(16*makespanEnd)
+	}
+	uF, uE := util(false), util(true)
+	if uE < uF-0.01 {
+		t.Errorf("backfill hurt utilization: %v vs %v", uE, uF)
+	}
+	if uE < 0.7 {
+		t.Errorf("EASY utilization = %v under saturating load", uE)
+	}
+}
+
+func BenchmarkSchedule(b *testing.B) {
+	r := rng.New(1)
+	var reqs []SchedRequest
+	for i := 0; i < 1000; i++ {
+		reqs = append(reqs, SchedRequest{
+			ID:         fmt.Sprintf("j%d", i),
+			Submit:     int64(r.Intn(100000)),
+			Nodes:      1 + r.Intn(32),
+			ActualWall: int64(60 + r.Intn(10000)),
+		})
+	}
+	s := NewScheduler(Stampede(), true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Schedule(reqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestScheduleWorkloadRewritesJobs(t *testing.T) {
+	g := NewGenerator(Stampede(), DefaultConfig(8))
+	jobs := g.Generate(150)
+	// Remember original placements.
+	origStarts := make([]int64, len(jobs))
+	for i, j := range jobs {
+		origStarts[i] = j.Start
+	}
+	if err := ScheduleWorkload(Stampede(), jobs, true, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	changed := 0
+	for i, j := range jobs {
+		if j.Start < j.Submit {
+			t.Fatalf("job %s starts before submit", j.ID)
+		}
+		if len(j.Hosts) != j.Draw.Nodes {
+			t.Fatalf("job %s host count mismatch", j.ID)
+		}
+		seen := map[string]bool{}
+		for _, h := range j.Hosts {
+			if seen[h] {
+				t.Fatalf("job %s duplicate host", j.ID)
+			}
+			seen[h] = true
+		}
+		if j.Start != origStarts[i] {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Error("scheduling changed no start times")
+	}
+}
+
+func TestScheduleWorkloadBackfillNeverWorseOnAverage(t *testing.T) {
+	// On a small machine under load, EASY's mean wait should not exceed
+	// plain FCFS's.
+	m := tinyMachine(32)
+	mkJobs := func() []*Job {
+		cfg := DefaultConfig(9)
+		cfg.UncategorizedFrac, cfg.NAFrac = 0, 0
+		g := NewGenerator(m, cfg)
+		var jobs []*Job
+		for len(jobs) < 120 {
+			j := g.Next()
+			if j.Draw.Nodes <= 32 {
+				jobs = append(jobs, j)
+			}
+		}
+		return jobs
+	}
+	meanWait := func(backfill bool) float64 {
+		jobs := mkJobs()
+		if err := ScheduleWorkload(m, jobs, backfill, 1.4); err != nil {
+			t.Fatal(err)
+		}
+		var total float64
+		for _, j := range jobs {
+			total += float64(j.Start - j.Submit)
+		}
+		return total / float64(len(jobs))
+	}
+	fcfs, easy := meanWait(false), meanWait(true)
+	if easy > fcfs*1.05 {
+		t.Errorf("EASY mean wait %v exceeds FCFS %v", easy, fcfs)
+	}
+}
+
+// TestSchedulePropertyInvariants fuzzes random workloads over both
+// policies and checks the global invariants: no start before submit, node
+// counts honored, no node double-booked, every job placed exactly once.
+func TestSchedulePropertyInvariants(t *testing.T) {
+	for trial := uint64(0); trial < 8; trial++ {
+		r := rng.New(100 + trial)
+		n := 40 + r.Intn(120)
+		nodes := 8 + r.Intn(56)
+		reqs := make([]SchedRequest, n)
+		for i := range reqs {
+			reqs[i] = SchedRequest{
+				ID:         fmt.Sprintf("t%d-j%d", trial, i),
+				Submit:     int64(r.Intn(20000)),
+				Nodes:      1 + r.Intn(nodes),
+				ActualWall: int64(30 + r.Intn(5000)),
+				EstWall:    int64(30 + r.Intn(9000)),
+			}
+		}
+		for _, backfill := range []bool{false, true} {
+			m := tinyMachine(nodes)
+			res, err := NewScheduler(m, backfill).Schedule(reqs)
+			if err != nil {
+				t.Fatalf("trial %d backfill=%v: %v", trial, backfill, err)
+			}
+			if len(res) != n {
+				t.Fatalf("trial %d: %d results for %d jobs", trial, len(res), n)
+			}
+			type iv struct{ s, e int64 }
+			byNode := map[int][]iv{}
+			for i, rr := range res {
+				if rr.Start < reqs[i].Submit || rr.End != rr.Start+reqs[i].ActualWall {
+					t.Fatalf("trial %d: bad placement %+v", trial, rr)
+				}
+				if len(rr.Nodes) != reqs[i].Nodes {
+					t.Fatalf("trial %d: node count", trial)
+				}
+				for _, nd := range rr.Nodes {
+					byNode[nd] = append(byNode[nd], iv{rr.Start, rr.End})
+				}
+			}
+			for nd, ivs := range byNode {
+				sort.Slice(ivs, func(a, b int) bool { return ivs[a].s < ivs[b].s })
+				for i := 1; i < len(ivs); i++ {
+					if ivs[i].s < ivs[i-1].e {
+						t.Fatalf("trial %d backfill=%v: node %d overlap", trial, backfill, nd)
+					}
+				}
+			}
+		}
+	}
+}

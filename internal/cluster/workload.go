@@ -1,0 +1,42 @@
+package cluster
+
+import "fmt"
+
+// ScheduleWorkload runs generated jobs through the simulated batch
+// scheduler, replacing each job's synthetic start time and node assignment
+// with real placements: queue waits become emergent properties of machine
+// load instead of samples from a distribution. estFactor models users
+// over-requesting wall time (EstWall = ActualWall * estFactor), which is
+// what EASY backfill reasons about.
+func ScheduleWorkload(m Machine, jobs []*Job, backfill bool, estFactor float64) error {
+	if estFactor < 1 {
+		estFactor = 1
+	}
+	reqs := make([]SchedRequest, len(jobs))
+	for i, j := range jobs {
+		wall := int64(j.Draw.WallSeconds)
+		if wall <= 0 {
+			wall = 1
+		}
+		reqs[i] = SchedRequest{
+			ID:         j.ID,
+			Submit:     j.Submit,
+			Nodes:      j.Draw.Nodes,
+			ActualWall: wall,
+			EstWall:    int64(float64(wall) * estFactor),
+		}
+	}
+	results, err := NewScheduler(m, backfill).Schedule(reqs)
+	if err != nil {
+		return fmt.Errorf("cluster: scheduling workload: %w", err)
+	}
+	for i, j := range jobs {
+		j.Start = results[i].Start
+		hosts := make([]string, len(results[i].Nodes))
+		for k, n := range results[i].Nodes {
+			hosts[k] = m.Hostname(n)
+		}
+		j.Hosts = hosts
+	}
+	return nil
+}

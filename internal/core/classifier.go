@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/ml/bayes"
+	"repro/internal/ml/eval"
+	"repro/internal/ml/forest"
+	"repro/internal/ml/svm"
+	"repro/internal/stats"
+)
+
+// Algorithm selects a classifier family.
+type Algorithm string
+
+// The three classifier families the paper evaluates.
+const (
+	AlgoSVM    Algorithm = "svm"
+	AlgoForest Algorithm = "rf"
+	AlgoBayes  Algorithm = "nb"
+)
+
+// ClassifierConfig configures JobClassifier training.
+type ClassifierConfig struct {
+	Algo   Algorithm
+	SVM    svm.Config
+	Forest forest.Config
+}
+
+// PaperSVM returns the paper's SVM setup (RBF gamma=0.1, C=1000).
+func PaperSVM(seed uint64) ClassifierConfig {
+	cfg := svm.PaperConfig()
+	cfg.Seed = seed
+	return ClassifierConfig{Algo: AlgoSVM, SVM: cfg}
+}
+
+// PaperForest returns a randomForest-like setup.
+func PaperForest(seed uint64) ClassifierConfig {
+	return ClassifierConfig{Algo: AlgoForest, Forest: forest.Config{Trees: 200, Seed: seed}}
+}
+
+// JobClassifier is a trained application classifier with standardized
+// features and probability outputs, the production artifact the paper
+// proposes (SUPReMM summary in, application label + confidence out).
+type JobClassifier struct {
+	Algo     Algorithm
+	Features []string
+
+	model  eval.ProbClassifier
+	scaler *stats.Scaler
+	rf     *forest.Classifier // retained for importance analysis
+}
+
+// TrainJobClassifier standardizes a copy of the training features and fits
+// the selected model. The input dataset is not mutated.
+func TrainJobClassifier(train *dataset.Dataset, cfg ClassifierConfig) (*JobClassifier, error) {
+	if train.Len() == 0 {
+		return nil, fmt.Errorf("core: empty training set")
+	}
+	work := train.Subset(indexRange(train.Len())) // deep copy
+	scaler := work.Standardize()
+	c := &JobClassifier{Algo: cfg.Algo, Features: train.FeatureNames, scaler: scaler}
+	switch cfg.Algo {
+	case AlgoSVM:
+		m, err := svm.Train(work, cfg.SVM)
+		if err != nil {
+			return nil, err
+		}
+		c.model = m
+	case AlgoForest:
+		m, err := forest.TrainClassifier(work, cfg.Forest)
+		if err != nil {
+			return nil, err
+		}
+		c.model = m
+		c.rf = m
+	case AlgoBayes:
+		m, err := bayes.Train(work)
+		if err != nil {
+			return nil, err
+		}
+		c.model = m
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %q", cfg.Algo)
+	}
+	return c, nil
+}
+
+func indexRange(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// Classes returns the class vocabulary.
+func (c *JobClassifier) Classes() []string { return c.model.Classes() }
+
+// PredictProb scales a raw feature row and returns the winning class index
+// and the posterior vector (satisfies eval.ProbClassifier).
+func (c *JobClassifier) PredictProb(x []float64) (int, []float64) {
+	row := append([]float64(nil), x...)
+	c.scaler.Transform(row)
+	return c.model.PredictProb(row)
+}
+
+// predictor is the plain (uncalibrated) prediction every model family
+// provides: SVM one-vs-one voting, forest majority vote, NB max posterior.
+type predictor interface {
+	Predict(x []float64) int
+}
+
+// Predict scales a raw feature row and returns the plain predicted class
+// index, bypassing probability calibration. Use this for accuracy;
+// PredictProb/Classify for threshold analyses.
+func (c *JobClassifier) Predict(x []float64) int {
+	row := append([]float64(nil), x...)
+	c.scaler.Transform(row)
+	if p, ok := c.model.(predictor); ok {
+		return p.Predict(row)
+	}
+	cls, _ := c.model.PredictProb(row)
+	return cls
+}
+
+// Classify applies a probability threshold: it returns the predicted label
+// and its probability, with ok=false when the confidence falls below the
+// threshold (the job is "not classified", as for the paper's
+// Uncategorized/NA analysis).
+func (c *JobClassifier) Classify(x []float64, threshold float64) (label string, prob float64, ok bool) {
+	cls, probs := c.PredictProb(x)
+	label = c.model.Classes()[cls]
+	prob = probs[cls]
+	return label, prob, prob >= threshold
+}
+
+// Score evaluates the classifier over a raw (unscaled) dataset whose class
+// vocabulary matches training.
+func (c *JobClassifier) Score(d *dataset.Dataset) []eval.Prediction {
+	preds := make([]eval.Prediction, d.Len())
+	for i, row := range d.X {
+		cls, probs := c.PredictProb(row)
+		preds[i] = eval.Prediction{True: d.Y[i], Pred: cls, MaxProb: probs[cls]}
+	}
+	return preds
+}
+
+// ScoreRows evaluates unlabeled raw feature rows.
+func (c *JobClassifier) ScoreRows(rows [][]float64) []eval.Prediction {
+	preds := make([]eval.Prediction, len(rows))
+	for i, row := range rows {
+		cls, probs := c.PredictProb(row)
+		preds[i] = eval.Prediction{True: -1, Pred: cls, MaxProb: probs[cls]}
+	}
+	return preds
+}
+
+// Accuracy is the plain (vote-based) test accuracy on a raw dataset.
+func (c *JobClassifier) Accuracy(d *dataset.Dataset) float64 {
+	if d.Len() == 0 {
+		return 0
+	}
+	correct := 0
+	for i, row := range d.X {
+		if c.Predict(row) == d.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(d.Len())
+}
+
+// Importance returns per-feature permutation importance. Only available
+// for the random-forest algorithm (as the paper notes, the R e1071 SVM
+// exposes no importance; randomForest does).
+func (c *JobClassifier) Importance() ([]float64, error) {
+	if c.rf == nil {
+		return nil, fmt.Errorf("core: importance requires the rf algorithm")
+	}
+	imp := c.rf.Importance()
+	if imp == nil {
+		return nil, fmt.Errorf("core: importance unavailable on a restored model")
+	}
+	return imp, nil
+}

@@ -1,0 +1,317 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/cluster"
+	"repro/internal/lariat"
+	"repro/internal/ml/eval"
+	"repro/internal/rng"
+	"repro/internal/summarize"
+)
+
+func rngFor(seed uint64) *rng.Rand { return rng.New(seed) }
+
+// smallPipeline runs a modest end-to-end pipeline once per test binary.
+var pipelineCache = map[uint64]*PipelineResult{}
+
+func runSmall(t *testing.T, seed uint64, n int) *PipelineResult {
+	t.Helper()
+	if r, ok := pipelineCache[seed]; ok {
+		return r
+	}
+	cfg := DefaultPipelineConfig(seed, n)
+	res, err := RunPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipelineCache[seed] = res
+	return res
+}
+
+func TestFeatureNamesAndFeaturizeAgree(t *testing.T) {
+	for _, opt := range []FeatureOptions{
+		{},
+		{COV: true},
+		{Derived: true},
+		DefaultFeatures(),
+		{COV: true, Derived: true, Segments: 3},
+	} {
+		names := FeatureNames(opt)
+		s := &summarize.Summary{Nodes: 2}
+		if opt.Segments > 0 {
+			s.SegmentMeans = make([][apps.NumMetrics]float64, opt.Segments)
+		}
+		row := Featurize(s, opt)
+		if len(row) != len(names) {
+			t.Errorf("opt %+v: %d names but %d features", opt, len(names), len(row))
+		}
+	}
+}
+
+func TestFeatureNamesUnique(t *testing.T) {
+	names := FeatureNames(FeatureOptions{COV: true, Derived: true, Segments: 3})
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate feature name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	res := runSmall(t, 42, 300)
+	if len(res.Records) != 300 {
+		t.Fatalf("records = %d", len(res.Records))
+	}
+	if res.Store.Len() != 300 {
+		t.Fatalf("warehouse = %d", res.Store.Len())
+	}
+	pops := map[cluster.Population]int{}
+	for _, r := range res.Records {
+		pops[r.Job.Population]++
+		if r.Summary == nil {
+			t.Fatal("record missing summary")
+		}
+		// Lariat label consistency with population.
+		switch r.Job.Population {
+		case cluster.PopNA:
+			if r.Label != lariat.NA {
+				t.Errorf("NA job labeled %q", r.Label)
+			}
+		case cluster.PopUncategorized:
+			if r.Label != lariat.Uncategorized {
+				t.Errorf("uncategorized job labeled %q", r.Label)
+			}
+		case cluster.PopCommunity:
+			if r.Label != r.TrueApp() {
+				t.Errorf("community job %s labeled %q", r.TrueApp(), r.Label)
+			}
+		}
+	}
+	if pops[cluster.PopCommunity] == 0 || pops[cluster.PopNA] == 0 || pops[cluster.PopUncategorized] == 0 {
+		t.Errorf("population counts: %v", pops)
+	}
+}
+
+func TestPipelineDeterminism(t *testing.T) {
+	cfg := DefaultPipelineConfig(7, 40)
+	r1, err := RunPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Records {
+		a, b := r1.Records[i], r2.Records[i]
+		if a.Job.ID != b.Job.ID || a.Label != b.Label || a.Summary.Means != b.Summary.Means {
+			t.Fatalf("pipeline not deterministic at record %d", i)
+		}
+	}
+}
+
+func TestPipelineRejectsBadConfig(t *testing.T) {
+	if _, err := RunPipeline(PipelineConfig{}); err == nil {
+		t.Fatal("expected error for zero jobs")
+	}
+}
+
+func TestBuildDatasetLariat(t *testing.T) {
+	res := runSmall(t, 42, 300)
+	d, err := BuildDataset(res.Records, LabelByLariat, DefaultFeatures())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() == 0 {
+		t.Fatal("empty dataset")
+	}
+	// Only community labels present.
+	for _, c := range d.ClassNames {
+		if c == lariat.NA || c == lariat.Uncategorized {
+			t.Errorf("unlabeled class %q leaked into dataset", c)
+		}
+	}
+	if d.NumFeatures() != len(FeatureNames(DefaultFeatures())) {
+		t.Error("feature count mismatch")
+	}
+}
+
+func TestLabelFuncs(t *testing.T) {
+	res := runSmall(t, 42, 300)
+	var rec *JobRecord
+	for _, r := range res.Records {
+		if r.Job.Population == cluster.PopCommunity {
+			rec = r
+			break
+		}
+	}
+	name, ok := LabelByLariat(rec)
+	if !ok || name != rec.TrueApp() {
+		t.Errorf("LabelByLariat = %q, %v", name, ok)
+	}
+	cat, ok := LabelByCategory(rec)
+	if !ok || cat != rec.TrueCategory() {
+		t.Errorf("LabelByCategory = %q, %v", cat, ok)
+	}
+	exit, ok := LabelByExit(rec)
+	if !ok || (exit != "success" && exit != "failure") {
+		t.Errorf("LabelByExit = %q, %v", exit, ok)
+	}
+}
+
+func TestTrainJobClassifierSVMvsRFvsNB(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training is expensive")
+	}
+	res := runSmall(t, 42, 300)
+	d, err := BuildDataset(res.Records, LabelByCategory, DefaultFeatures())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep only common categories to make the tiny problem stable.
+	train := d.Balanced(rngFor(1), 25)
+	for _, algo := range []ClassifierConfig{PaperSVM(1), PaperForest(1), {Algo: AlgoBayes}} {
+		c, err := TrainJobClassifier(train, algo)
+		if err != nil {
+			t.Fatalf("%s: %v", algo.Algo, err)
+		}
+		acc := c.Accuracy(train)
+		if acc < 0.5 {
+			t.Errorf("%s train accuracy = %v", algo.Algo, acc)
+		}
+		// Classify API consistency.
+		label, prob, _ := c.Classify(d.X[0], 0.5)
+		if prob < 0 || prob > 1 {
+			t.Errorf("%s: probability %v", algo.Algo, prob)
+		}
+		if c.Classes()[0] == "" || label == "" {
+			t.Errorf("%s: empty label", algo.Algo)
+		}
+	}
+}
+
+func TestTrainJobClassifierDoesNotMutateInput(t *testing.T) {
+	res := runSmall(t, 42, 300)
+	d, _ := BuildDataset(res.Records, LabelByCategory, DefaultFeatures())
+	before := append([]float64(nil), d.X[0]...)
+	if _, err := TrainJobClassifier(d, ClassifierConfig{Algo: AlgoBayes}); err != nil {
+		t.Fatal(err)
+	}
+	for j := range before {
+		if d.X[0][j] != before[j] {
+			t.Fatal("training mutated the caller's dataset")
+		}
+	}
+}
+
+func TestUnknownAlgorithm(t *testing.T) {
+	res := runSmall(t, 42, 300)
+	d, _ := BuildDataset(res.Records, LabelByCategory, DefaultFeatures())
+	if _, err := TrainJobClassifier(d, ClassifierConfig{Algo: "nope"}); err == nil {
+		t.Fatal("expected unknown-algorithm error")
+	}
+}
+
+func TestImportanceOnlyForRF(t *testing.T) {
+	res := runSmall(t, 42, 300)
+	d, _ := BuildDataset(res.Records, LabelByCategory, DefaultFeatures())
+	nb, _ := TrainJobClassifier(d, ClassifierConfig{Algo: AlgoBayes})
+	if _, err := nb.Importance(); err == nil {
+		t.Error("NB importance should error")
+	}
+	rf, err := TrainJobClassifier(d, PaperForest(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp, err := rf.Importance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imp) != d.NumFeatures() {
+		t.Errorf("importance length %d", len(imp))
+	}
+	ranked := RankFeatures(d.FeatureNames, imp)
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Importance > ranked[i-1].Importance {
+			t.Fatal("RankFeatures not descending")
+		}
+	}
+}
+
+func TestPredictorSweep(t *testing.T) {
+	res := runSmall(t, 42, 300)
+	d, _ := BuildDataset(res.Records, LabelByCategory, DefaultFeatures())
+	train, test := d.Split(rngFor(2), 0.7)
+	rf, err := TrainJobClassifier(train, PaperForest(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp, _ := rf.Importance()
+	ranked := RankFeatures(train.FeatureNames, imp)
+	pts, err := PredictorSweep(train, test, ranked, PaperForest(5), []int{len(ranked), 5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("sweep points = %d", len(pts))
+	}
+	if pts[0].NumFeatures != len(ranked) || pts[2].NumFeatures != 1 {
+		t.Error("sweep ordering wrong")
+	}
+	if _, err := PredictorSweep(train, test, ranked, PaperForest(5), []int{0}); err == nil {
+		t.Error("count 0 should error")
+	}
+}
+
+func TestEfficiencyRule(t *testing.T) {
+	res := runSmall(t, 42, 300)
+	rule := DefaultEfficiencyRule()
+	label := LabelByEfficiency(rule)
+	nIneff := 0
+	for _, r := range res.Records {
+		l, ok := label(r)
+		if !ok {
+			t.Fatal("efficiency labels every job")
+		}
+		if l == "inefficient" {
+			nIneff++
+		}
+		// Rule consistency: jobs with catastrophic collapse are inefficient.
+		if r.Summary.Catastrophe < rule.MaxCatastrophe && l != "inefficient" {
+			t.Error("catastrophic job labeled efficient")
+		}
+	}
+	frac := float64(nIneff) / float64(len(res.Records))
+	if frac <= 0 || frac >= 0.9 {
+		t.Errorf("inefficient fraction = %v, want non-degenerate", frac)
+	}
+}
+
+func TestScoreRows(t *testing.T) {
+	res := runSmall(t, 42, 300)
+	d, _ := BuildDataset(res.Records, LabelByCategory, DefaultFeatures())
+	c, _ := TrainJobClassifier(d, ClassifierConfig{Algo: AlgoBayes})
+	na := FilterPopulation(res.Records, cluster.PopNA)
+	rows := FeaturizeAll(na, DefaultFeatures())
+	preds := c.ScoreRows(rows)
+	if len(preds) != len(na) {
+		t.Fatal("prediction count mismatch")
+	}
+	for _, p := range preds {
+		if p.True != -1 {
+			t.Fatal("unlabeled prediction has ground truth")
+		}
+		if math.IsNaN(p.MaxProb) {
+			t.Fatal("NaN probability")
+		}
+	}
+	curve := eval.ThresholdCurve(preds, eval.DefaultThresholds())
+	if curve[len(curve)-1].Classified != 1 {
+		t.Error("at threshold 0.05 nearly everything should classify")
+	}
+}

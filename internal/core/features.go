@@ -1,0 +1,124 @@
+// Package core is the paper's contribution as a library: the end-to-end
+// SUPReMM machine-learning pipeline. It drives the substrates (workload
+// generation, TACC_Stats collection, Lariat labeling, summarization, the
+// warehouse) to produce labeled job datasets, wraps the three classifier
+// families behind one JobClassifier API with probability-threshold
+// classification, and provides the attribute-importance and
+// predictor-count-sweep analyses of the paper's Figures 5 and 6.
+package core
+
+import (
+	"repro/internal/apps"
+	"repro/internal/summarize"
+)
+
+// FeatureOptions selects which SUPReMM attributes become model features.
+type FeatureOptions struct {
+	// COV includes the across-node coefficient-of-variation attributes
+	// (the paper added these and found they made "a real contribution").
+	COV bool
+	// Derived includes NODES, CATASTROPHE and CPU_USER_IMBALANCE.
+	Derived bool
+	// Segments > 0 replaces the whole-job means with per-time-slice means
+	// (the paper's time-dependent-attribute extension). Requires
+	// summaries produced with at least that many segments.
+	Segments int
+	// SegmentShape (with Segments > 0) emits scale-free time-shape
+	// attributes instead of absolute segment means: per metric, the ratio
+	// of each later segment's mean to the first segment's. Because a
+	// hardware change rescales a code's rates but not its temporal shape,
+	// these attributes are the basis for cross-platform classification
+	// (paper Section IV).
+	SegmentShape bool
+}
+
+// DefaultFeatures returns the paper's full attribute set: means + COVs +
+// derived attributes.
+func DefaultFeatures() FeatureOptions { return FeatureOptions{COV: true, Derived: true} }
+
+// covEligible reports whether a metric gets a COV attribute. CPU idle is
+// excluded (it is determined by user+system and its COV is dominated by
+// near-zero means).
+func covEligible(m apps.MetricID) bool { return m != apps.CPUIdle }
+
+// FeatureNames returns the feature vector layout for the options.
+func FeatureNames(opt FeatureOptions) []string {
+	var names []string
+	switch {
+	case opt.Segments > 0 && opt.SegmentShape:
+		for seg := 1; seg < opt.Segments; seg++ {
+			for m := apps.MetricID(0); m < apps.NumMetrics; m++ {
+				names = append(names, m.String()+"_SHAPE"+string(rune('1'+seg)))
+			}
+		}
+	case opt.Segments > 0:
+		for seg := 0; seg < opt.Segments; seg++ {
+			for m := apps.MetricID(0); m < apps.NumMetrics; m++ {
+				names = append(names, m.String()+"_SEG"+string(rune('1'+seg)))
+			}
+		}
+	default:
+		for m := apps.MetricID(0); m < apps.NumMetrics; m++ {
+			names = append(names, m.String())
+		}
+	}
+	if opt.COV {
+		for m := apps.MetricID(0); m < apps.NumMetrics; m++ {
+			if covEligible(m) {
+				names = append(names, m.String()+"_COV")
+			}
+		}
+	}
+	if opt.Derived {
+		names = append(names, "NODES", "CATASTROPHE", "CPU_USER_IMBALANCE")
+	}
+	return names
+}
+
+// segMeans returns segment seg's means, degrading to whole-job means when
+// the summary carries fewer segments.
+func segMeans(s *summarize.Summary, seg int) [apps.NumMetrics]float64 {
+	if seg < len(s.SegmentMeans) {
+		return s.SegmentMeans[seg]
+	}
+	return s.Means
+}
+
+// Featurize converts a job summary into a feature vector matching
+// FeatureNames(opt).
+func Featurize(s *summarize.Summary, opt FeatureOptions) []float64 {
+	var row []float64
+	switch {
+	case opt.Segments > 0 && opt.SegmentShape:
+		first := segMeans(s, 0)
+		for seg := 1; seg < opt.Segments; seg++ {
+			cur := segMeans(s, seg)
+			for m := apps.MetricID(0); m < apps.NumMetrics; m++ {
+				base := first[m]
+				if base == 0 {
+					row = append(row, 1)
+					continue
+				}
+				row = append(row, cur[m]/base)
+			}
+		}
+	case opt.Segments > 0:
+		for seg := 0; seg < opt.Segments; seg++ {
+			sm := segMeans(s, seg)
+			row = append(row, sm[:]...)
+		}
+	default:
+		row = append(row, s.Means[:]...)
+	}
+	if opt.COV {
+		for m := apps.MetricID(0); m < apps.NumMetrics; m++ {
+			if covEligible(m) {
+				row = append(row, s.COVs[m])
+			}
+		}
+	}
+	if opt.Derived {
+		row = append(row, float64(s.Nodes), s.Catastrophe, s.CPUUserImbalance)
+	}
+	return row
+}

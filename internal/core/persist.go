@@ -1,0 +1,97 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/ml/bayes"
+	"repro/internal/ml/forest"
+	"repro/internal/ml/svm"
+	"repro/internal/stats"
+)
+
+// classifierSnapshot is the on-disk form of a JobClassifier: feature
+// layout, scaler parameters, and the model family's own binary snapshot.
+type classifierSnapshot struct {
+	Algo     Algorithm
+	Features []string
+	Means    []float64
+	Stds     []float64
+	Model    []byte
+}
+
+// Save writes a trained classifier to w. The restored classifier predicts
+// identically; training-side state (e.g. the forest's OOB bookkeeping
+// behind Importance) is not retained.
+func (c *JobClassifier) Save(w io.Writer) error {
+	var modelBytes []byte
+	var err error
+	switch m := c.model.(type) {
+	case *svm.Model:
+		modelBytes, err = m.MarshalBinary()
+	case *forest.Classifier:
+		modelBytes, err = m.MarshalBinary()
+	case *bayes.Model:
+		modelBytes, err = m.MarshalBinary()
+	default:
+		return fmt.Errorf("core: cannot serialize model type %T", c.model)
+	}
+	if err != nil {
+		return err
+	}
+	return gob.NewEncoder(w).Encode(classifierSnapshot{
+		Algo:     c.Algo,
+		Features: c.Features,
+		Means:    c.scaler.Means,
+		Stds:     c.scaler.Stds,
+		Model:    modelBytes,
+	})
+}
+
+// LoadJobClassifier restores a classifier saved with Save.
+func LoadJobClassifier(r io.Reader) (*JobClassifier, error) {
+	var snap classifierSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, err
+	}
+	c := &JobClassifier{
+		Algo:     snap.Algo,
+		Features: snap.Features,
+		scaler:   stats.RestoreScaler(snap.Means, snap.Stds),
+	}
+	switch snap.Algo {
+	case AlgoSVM:
+		m := &svm.Model{}
+		if err := m.UnmarshalBinary(snap.Model); err != nil {
+			return nil, err
+		}
+		c.model = m
+	case AlgoForest:
+		m := &forest.Classifier{}
+		if err := m.UnmarshalBinary(snap.Model); err != nil {
+			return nil, err
+		}
+		c.model = m
+		c.rf = m
+	case AlgoBayes:
+		m := &bayes.Model{}
+		if err := m.UnmarshalBinary(snap.Model); err != nil {
+			return nil, err
+		}
+		c.model = m
+	default:
+		return nil, fmt.Errorf("core: snapshot has unknown algorithm %q", snap.Algo)
+	}
+	return c, nil
+}
+
+// SaveBytes is a convenience wrapper returning the serialized classifier.
+func (c *JobClassifier) SaveBytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSaveLoadRoundTripAllAlgorithms(t *testing.T) {
+	res := runSmall(t, 42, 300)
+	d, err := BuildDataset(res.Records, LabelByCategory, DefaultFeatures())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []ClassifierConfig{
+		{Algo: AlgoBayes},
+		PaperForest(5),
+		PaperSVM(5),
+	} {
+		orig, err := TrainJobClassifier(d, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Algo, err)
+		}
+		var buf bytes.Buffer
+		if err := orig.Save(&buf); err != nil {
+			t.Fatalf("%s save: %v", cfg.Algo, err)
+		}
+		restored, err := LoadJobClassifier(&buf)
+		if err != nil {
+			t.Fatalf("%s load: %v", cfg.Algo, err)
+		}
+		if restored.Algo != cfg.Algo || len(restored.Features) != len(orig.Features) {
+			t.Fatalf("%s: header mismatch", cfg.Algo)
+		}
+		// Predictions and probabilities must match exactly.
+		for i := 0; i < 30 && i < d.Len(); i++ {
+			c1, p1 := orig.PredictProb(d.X[i])
+			c2, p2 := restored.PredictProb(d.X[i])
+			if c1 != c2 {
+				t.Fatalf("%s: class mismatch on row %d", cfg.Algo, i)
+			}
+			for k := range p1 {
+				if p1[k] != p2[k] {
+					t.Fatalf("%s: probability mismatch on row %d", cfg.Algo, i)
+				}
+			}
+			if orig.Predict(d.X[i]) != restored.Predict(d.X[i]) {
+				t.Fatalf("%s: plain prediction mismatch", cfg.Algo)
+			}
+		}
+	}
+}
+
+func TestRestoredForestHasNoImportance(t *testing.T) {
+	res := runSmall(t, 42, 300)
+	d, _ := BuildDataset(res.Records, LabelByCategory, DefaultFeatures())
+	orig, err := TrainJobClassifier(d, PaperForest(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := orig.SaveBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadJobClassifier(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := restored.Importance(); err == nil {
+		t.Error("restored forest should refuse importance")
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := LoadJobClassifier(bytes.NewReader([]byte("not a model"))); err == nil {
+		t.Fatal("garbage input should fail")
+	}
+}

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/apps"
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/lariat"
+	"repro/internal/rng"
+	"repro/internal/summarize"
+	"repro/internal/taccstats"
+	"repro/internal/warehouse"
+)
+
+// JobRecord is one fully processed job: scheduler metadata, the SUPReMM
+// summary, and the Lariat-derived label (which is what a production
+// classifier would see; Job.App.Name is generation-side ground truth kept
+// for evaluation).
+type JobRecord struct {
+	Job     *cluster.Job
+	Summary *summarize.Summary
+	// Label is the Lariat classification: a community application name,
+	// lariat.Uncategorized, or lariat.NA.
+	Label string
+}
+
+// TrueApp returns the generating application's name.
+func (r *JobRecord) TrueApp() string { return r.Job.App.Name }
+
+// TrueCategory returns the generating application's broad category.
+func (r *JobRecord) TrueCategory() string { return string(r.Job.App.Category) }
+
+// PipelineConfig configures an end-to-end dataset generation run.
+type PipelineConfig struct {
+	Seed    uint64
+	NumJobs int
+
+	Machine   cluster.Machine
+	Cluster   cluster.Config
+	Collector taccstats.Config
+
+	// Segments enables per-time-slice summarization (needed for
+	// time-dependent features).
+	Segments int
+
+	// Workers bounds concurrent collection+summarization (default
+	// GOMAXPROCS).
+	Workers int
+
+	// UseScheduler routes the workload through the event-driven batch
+	// scheduler (FCFS, optionally EASY backfill) so start times, node
+	// placements and queue waits are emergent instead of sampled.
+	UseScheduler bool
+	Backfill     bool
+	// WallEstimateFactor models users over-requesting wall time; the
+	// backfill reservation logic reasons about these estimates (default
+	// 1.5 when UseScheduler is set).
+	WallEstimateFactor float64
+}
+
+// DefaultPipelineConfig mirrors the paper's Stampede 2014 setting at a
+// configurable job count.
+func DefaultPipelineConfig(seed uint64, numJobs int) PipelineConfig {
+	return PipelineConfig{
+		Seed:      seed,
+		NumJobs:   numJobs,
+		Machine:   cluster.Stampede(),
+		Cluster:   cluster.DefaultConfig(seed),
+		Collector: taccstats.DefaultConfig(),
+	}
+}
+
+// PipelineResult is the output of RunPipeline.
+type PipelineResult struct {
+	Records []*JobRecord
+	Store   *warehouse.Store
+}
+
+// RunPipeline generates jobs, runs the simulated TACC_Stats collector on
+// every node of every job, labels jobs through Lariat path matching,
+// summarizes the raw archives into SUPReMM job summaries, and ingests
+// everything into a warehouse. The whole run is deterministic in
+// cfg.Seed.
+func RunPipeline(cfg PipelineConfig) (*PipelineResult, error) {
+	if cfg.NumJobs <= 0 {
+		return nil, fmt.Errorf("core: NumJobs must be positive")
+	}
+	if cfg.Machine.TotalNodes() == 0 {
+		cfg.Machine = cluster.Stampede()
+	}
+	if cfg.Collector.Period <= 0 {
+		cfg.Collector = taccstats.DefaultConfig()
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	cfg.Cluster.Seed = cfg.Seed
+
+	gen := cluster.NewGenerator(cfg.Machine, cfg.Cluster)
+	jobs := gen.Generate(cfg.NumJobs)
+	if cfg.UseScheduler {
+		estFactor := cfg.WallEstimateFactor
+		if estFactor <= 0 {
+			estFactor = 1.5
+		}
+		if err := cluster.ScheduleWorkload(cfg.Machine, jobs, cfg.Backfill, estFactor); err != nil {
+			return nil, err
+		}
+	}
+
+	matcher := lariat.NewMatcher(apps.Catalog())
+	launches := lariat.NewStore()
+	for _, j := range jobs {
+		if j.App.ExecPath != "" { // NA jobs launched outside ibrun
+			launches.Add(&lariat.Record{JobID: j.ID, ExecPath: j.App.ExecPath, User: j.User})
+		}
+	}
+
+	records := make([]*JobRecord, len(jobs))
+	errs := make([]error, len(jobs))
+	root := rng.New(cfg.Seed ^ 0xc011ec7)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	for i, j := range jobs {
+		wg.Add(1)
+		sem <- struct{}{}
+		r := root.Split(uint64(i))
+		go func(i int, j *cluster.Job, r *rng.Rand) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			arch := taccstats.Collect(cfg.Collector, taccstats.JobInfo{
+				ID: j.ID, Start: j.Start, Hosts: j.Hosts,
+			}, j.Draw, r)
+			sum, err := summarize.Summarize(arch, cfg.Collector, summarize.Options{Segments: cfg.Segments})
+			if err != nil {
+				errs[i] = fmt.Errorf("job %s: %w", j.ID, err)
+				return
+			}
+			records[i] = &JobRecord{Job: j, Summary: sum, Label: launches.Label(matcher, j.ID)}
+		}(i, j, r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	store := warehouse.NewStore()
+	for _, rec := range records {
+		cat := "Unknown"
+		if a, ok := apps.ByName(rec.Label); ok {
+			cat = string(a.Category)
+		}
+		if err := store.Ingest(&warehouse.Record{
+			JobID:       rec.Job.ID,
+			User:        rec.Job.User,
+			AppLabel:    rec.Label,
+			Category:    cat,
+			Pop:         rec.Job.Population,
+			Nodes:       rec.Summary.Nodes,
+			Cores:       rec.Summary.Nodes * cfg.Collector.CoresPerNode,
+			Submit:      rec.Job.Submit,
+			Start:       rec.Job.Start,
+			WallSeconds: rec.Summary.WallSeconds,
+			ExitCode:    rec.Job.ExitCode,
+			Summary:     rec.Summary,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return &PipelineResult{Records: records, Store: store}, nil
+}
+
+// LabelFunc maps a job record to a training label; returning false skips
+// the record.
+type LabelFunc func(*JobRecord) (string, bool)
+
+// LabelByLariat labels jobs with their Lariat application name, skipping
+// Uncategorized and NA jobs -- exactly the labeled population the paper
+// trains on.
+func LabelByLariat(r *JobRecord) (string, bool) {
+	if r.Label == lariat.Uncategorized || r.Label == lariat.NA {
+		return "", false
+	}
+	return r.Label, true
+}
+
+// LabelByCategory labels jobs with the broad category of their Lariat
+// application, skipping unlabeled jobs.
+func LabelByCategory(r *JobRecord) (string, bool) {
+	name, ok := LabelByLariat(r)
+	if !ok {
+		return "", false
+	}
+	a, found := apps.ByName(name)
+	if !found {
+		return "", false
+	}
+	return string(a.Category), true
+}
+
+// LabelByExit labels jobs "success"/"failure" from the script exit code.
+func LabelByExit(r *JobRecord) (string, bool) {
+	if r.Job.ExitCode == 0 {
+		return "success", true
+	}
+	return "failure", true
+}
+
+// BuildDataset featurizes records under a labeling function.
+func BuildDataset(records []*JobRecord, label LabelFunc, opt FeatureOptions) (*dataset.Dataset, error) {
+	names := FeatureNames(opt)
+	var rows [][]float64
+	var labels []string
+	for _, r := range records {
+		l, ok := label(r)
+		if !ok {
+			continue
+		}
+		rows = append(rows, Featurize(r.Summary, opt))
+		labels = append(labels, l)
+	}
+	return dataset.New(names, rows, labels)
+}
+
+// FilterPopulation returns the records of one population.
+func FilterPopulation(records []*JobRecord, pop cluster.Population) []*JobRecord {
+	var out []*JobRecord
+	for _, r := range records {
+		if r.Job.Population == pop {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// FeaturizeAll returns raw feature rows for records (for unlabeled
+// populations scored with eval.ScoreUnlabeled).
+func FeaturizeAll(records []*JobRecord, opt FeatureOptions) [][]float64 {
+	rows := make([][]float64, len(records))
+	for i, r := range records {
+		rows[i] = Featurize(r.Summary, opt)
+	}
+	return rows
+}

@@ -1,0 +1,253 @@
+// Package dataset provides the labeled feature-matrix container shared by
+// the classifiers, with the sampling operations the paper's methodology
+// needs: stratified train/test splitting, class-balanced training mixtures
+// (the paper trains on an "application-balanced mixture"), native-mix
+// subsets, feature selection for the predictor-count sweep, and CSV
+// round-tripping for the command-line tools.
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Dataset is a labeled feature matrix. Rows of X correspond to entries of
+// Y; Y[i] indexes ClassNames.
+type Dataset struct {
+	FeatureNames []string
+	ClassNames   []string
+	X            [][]float64
+	Y            []int
+}
+
+// New builds a dataset from rows and string labels. Class names are the
+// sorted unique labels.
+func New(featureNames []string, rows [][]float64, labels []string) (*Dataset, error) {
+	if len(rows) != len(labels) {
+		return nil, fmt.Errorf("dataset: %d rows but %d labels", len(rows), len(labels))
+	}
+	for i, r := range rows {
+		if len(r) != len(featureNames) {
+			return nil, fmt.Errorf("dataset: row %d has %d features, want %d", i, len(r), len(featureNames))
+		}
+	}
+	uniq := map[string]bool{}
+	for _, l := range labels {
+		uniq[l] = true
+	}
+	classNames := make([]string, 0, len(uniq))
+	for l := range uniq {
+		classNames = append(classNames, l)
+	}
+	sort.Strings(classNames)
+	index := make(map[string]int, len(classNames))
+	for i, c := range classNames {
+		index[c] = i
+	}
+	y := make([]int, len(labels))
+	for i, l := range labels {
+		y[i] = index[l]
+	}
+	return &Dataset{FeatureNames: featureNames, ClassNames: classNames, X: rows, Y: y}, nil
+}
+
+// Len returns the number of rows.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// NumFeatures returns the feature count.
+func (d *Dataset) NumFeatures() int { return len(d.FeatureNames) }
+
+// NumClasses returns the class count.
+func (d *Dataset) NumClasses() int { return len(d.ClassNames) }
+
+// Label returns the string label of row i.
+func (d *Dataset) Label(i int) string { return d.ClassNames[d.Y[i]] }
+
+// ClassIndex returns the index for a class name, or -1.
+func (d *Dataset) ClassIndex(name string) int {
+	for i, c := range d.ClassNames {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// ClassCounts returns per-class row counts.
+func (d *Dataset) ClassCounts() []int {
+	counts := make([]int, len(d.ClassNames))
+	for _, y := range d.Y {
+		counts[y]++
+	}
+	return counts
+}
+
+// Subset returns a view-free copy containing the given rows. The class
+// vocabulary is preserved even for classes absent from the subset.
+func (d *Dataset) Subset(idx []int) *Dataset {
+	x := make([][]float64, len(idx))
+	y := make([]int, len(idx))
+	for i, j := range idx {
+		x[i] = append([]float64(nil), d.X[j]...)
+		y[i] = d.Y[j]
+	}
+	return &Dataset{FeatureNames: d.FeatureNames, ClassNames: d.ClassNames, X: x, Y: y}
+}
+
+// SelectFeatures returns a copy restricted to the named feature columns, in
+// the given order.
+func (d *Dataset) SelectFeatures(names []string) (*Dataset, error) {
+	cols := make([]int, len(names))
+	for i, n := range names {
+		cols[i] = -1
+		for j, fn := range d.FeatureNames {
+			if fn == n {
+				cols[i] = j
+				break
+			}
+		}
+		if cols[i] < 0 {
+			return nil, fmt.Errorf("dataset: unknown feature %q", n)
+		}
+	}
+	x := make([][]float64, len(d.X))
+	for i, row := range d.X {
+		nr := make([]float64, len(cols))
+		for k, c := range cols {
+			nr[k] = row[c]
+		}
+		x[i] = nr
+	}
+	return &Dataset{
+		FeatureNames: append([]string(nil), names...),
+		ClassNames:   d.ClassNames,
+		X:            x,
+		Y:            append([]int(nil), d.Y...),
+	}, nil
+}
+
+// Split partitions the dataset into train and test sets with the given
+// train fraction, stratified by class so every class keeps its proportion.
+func (d *Dataset) Split(r *rng.Rand, trainFrac float64) (train, test *Dataset) {
+	byClass := make([][]int, len(d.ClassNames))
+	for i, y := range d.Y {
+		byClass[y] = append(byClass[y], i)
+	}
+	var trainIdx, testIdx []int
+	for _, idx := range byClass {
+		perm := r.Perm(len(idx))
+		cut := int(float64(len(idx)) * trainFrac)
+		for i, p := range perm {
+			if i < cut {
+				trainIdx = append(trainIdx, idx[p])
+			} else {
+				testIdx = append(testIdx, idx[p])
+			}
+		}
+	}
+	r.Shuffle(len(trainIdx), func(i, j int) { trainIdx[i], trainIdx[j] = trainIdx[j], trainIdx[i] })
+	r.Shuffle(len(testIdx), func(i, j int) { testIdx[i], testIdx[j] = testIdx[j], testIdx[i] })
+	return d.Subset(trainIdx), d.Subset(testIdx)
+}
+
+// Balanced returns a class-balanced sample with perClass rows per class,
+// sampling with replacement when a class has fewer rows than requested
+// (oversampling), as the paper's "application-balanced mixture" requires.
+// Classes with no rows at all are skipped.
+func (d *Dataset) Balanced(r *rng.Rand, perClass int) *Dataset {
+	byClass := make([][]int, len(d.ClassNames))
+	for i, y := range d.Y {
+		byClass[y] = append(byClass[y], i)
+	}
+	var pick []int
+	for _, idx := range byClass {
+		if len(idx) == 0 {
+			continue
+		}
+		if len(idx) >= perClass {
+			perm := r.Perm(len(idx))
+			for _, p := range perm[:perClass] {
+				pick = append(pick, idx[p])
+			}
+		} else {
+			for k := 0; k < perClass; k++ {
+				pick = append(pick, idx[r.Intn(len(idx))])
+			}
+		}
+	}
+	r.Shuffle(len(pick), func(i, j int) { pick[i], pick[j] = pick[j], pick[i] })
+	return d.Subset(pick)
+}
+
+// Standardize fits a scaler on this dataset, transforms it in place, and
+// returns the scaler for applying the identical transform to test data.
+func (d *Dataset) Standardize() *stats.Scaler {
+	s := stats.FitScaler(d.X)
+	s.TransformAll(d.X)
+	return s
+}
+
+// Apply transforms this dataset in place with an existing scaler.
+func (d *Dataset) Apply(s *stats.Scaler) { s.TransformAll(d.X) }
+
+// WriteCSV writes the dataset with a header row (label first, then
+// feature columns).
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"label"}, d.FeatureNames...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(header))
+	for i, row := range d.X {
+		rec[0] = d.Label(i)
+		for j, v := range row {
+			rec[j+1] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a dataset written by WriteCSV.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, err
+	}
+	if len(header) < 2 || header[0] != "label" {
+		return nil, fmt.Errorf("dataset: bad CSV header")
+	}
+	features := header[1:]
+	var rows [][]float64
+	var labels []string
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		labels = append(labels, rec[0])
+		row := make([]float64, len(features))
+		for j, f := range rec[1:] {
+			row[j], err = strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: bad value %q: %w", f, err)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return New(features, rows, labels)
+}

@@ -1,0 +1,201 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func sample(t *testing.T) *Dataset {
+	t.Helper()
+	rows := [][]float64{
+		{1, 10}, {2, 20}, {3, 30}, {4, 40}, {5, 50},
+		{6, 60}, {7, 70}, {8, 80}, {9, 90}, {10, 100},
+	}
+	labels := []string{"b", "a", "b", "a", "b", "a", "b", "a", "b", "a"}
+	d, err := New([]string{"f1", "f2"}, rows, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewBasics(t *testing.T) {
+	d := sample(t)
+	if d.Len() != 10 || d.NumFeatures() != 2 || d.NumClasses() != 2 {
+		t.Fatalf("shape: %d rows %d feats %d classes", d.Len(), d.NumFeatures(), d.NumClasses())
+	}
+	if !reflect.DeepEqual(d.ClassNames, []string{"a", "b"}) {
+		t.Errorf("classes %v", d.ClassNames)
+	}
+	if d.Label(0) != "b" || d.Label(1) != "a" {
+		t.Error("labels mismapped")
+	}
+	if d.ClassIndex("b") != 1 || d.ClassIndex("zz") != -1 {
+		t.Error("ClassIndex wrong")
+	}
+	if !reflect.DeepEqual(d.ClassCounts(), []int{5, 5}) {
+		t.Errorf("counts %v", d.ClassCounts())
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New([]string{"f"}, [][]float64{{1}}, []string{"a", "b"}); err == nil {
+		t.Error("length mismatch not caught")
+	}
+	if _, err := New([]string{"f"}, [][]float64{{1, 2}}, []string{"a"}); err == nil {
+		t.Error("ragged row not caught")
+	}
+}
+
+func TestSubsetIsCopy(t *testing.T) {
+	d := sample(t)
+	s := d.Subset([]int{0, 2})
+	s.X[0][0] = 999
+	if d.X[0][0] == 999 {
+		t.Error("Subset shares backing storage")
+	}
+	if s.Len() != 2 || s.Label(0) != "b" {
+		t.Error("Subset contents wrong")
+	}
+	if s.NumClasses() != 2 {
+		t.Error("Subset must preserve class vocabulary")
+	}
+}
+
+func TestSelectFeatures(t *testing.T) {
+	d := sample(t)
+	s, err := d.SelectFeatures([]string{"f2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumFeatures() != 1 || s.X[3][0] != 40 {
+		t.Error("SelectFeatures wrong values")
+	}
+	// Order respected.
+	s2, err := d.SelectFeatures([]string{"f2", "f1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.X[0][0] != 10 || s2.X[0][1] != 1 {
+		t.Error("SelectFeatures order not respected")
+	}
+	if _, err := d.SelectFeatures([]string{"nope"}); err == nil {
+		t.Error("unknown feature not caught")
+	}
+}
+
+func TestSplitStratified(t *testing.T) {
+	d := sample(t)
+	train, test := d.Split(rng.New(1), 0.6)
+	if train.Len() != 6 || test.Len() != 4 {
+		t.Fatalf("split sizes %d/%d", train.Len(), test.Len())
+	}
+	tc := train.ClassCounts()
+	if tc[0] != 3 || tc[1] != 3 {
+		t.Errorf("train not stratified: %v", tc)
+	}
+	// No row in both sets: check by values.
+	seen := map[float64]bool{}
+	for _, row := range train.X {
+		seen[row[0]] = true
+	}
+	for _, row := range test.X {
+		if seen[row[0]] {
+			t.Error("row appears in both train and test")
+		}
+	}
+}
+
+func TestBalancedUndersample(t *testing.T) {
+	rows := make([][]float64, 30)
+	labels := make([]string, 30)
+	for i := range rows {
+		rows[i] = []float64{float64(i)}
+		if i < 25 {
+			labels[i] = "big"
+		} else {
+			labels[i] = "small"
+		}
+	}
+	d, _ := New([]string{"f"}, rows, labels)
+	b := d.Balanced(rng.New(2), 5)
+	if b.Len() != 10 {
+		t.Fatalf("balanced len = %d", b.Len())
+	}
+	c := b.ClassCounts()
+	if c[0] != 5 || c[1] != 5 {
+		t.Errorf("balanced counts %v", c)
+	}
+}
+
+func TestBalancedOversample(t *testing.T) {
+	rows := [][]float64{{1}, {2}, {3}, {4}}
+	labels := []string{"a", "a", "a", "b"}
+	d, _ := New([]string{"f"}, rows, labels)
+	b := d.Balanced(rng.New(3), 10)
+	c := b.ClassCounts()
+	if c[0] != 10 || c[1] != 10 {
+		t.Errorf("oversample counts %v", c)
+	}
+	// All class-b rows are replicas of the single source row.
+	for i := range b.X {
+		if b.Label(i) == "b" && b.X[i][0] != 4 {
+			t.Error("oversampled row has wrong value")
+		}
+	}
+}
+
+func TestStandardizeAndApply(t *testing.T) {
+	d := sample(t)
+	test := d.Subset([]int{0, 1})
+	sc := d.Standardize()
+	var mean float64
+	for _, row := range d.X {
+		mean += row[0]
+	}
+	mean /= float64(d.Len())
+	if math.Abs(mean) > 1e-12 {
+		t.Errorf("standardized mean = %v", mean)
+	}
+	test.Apply(sc)
+	// Row 0 of test was (1,10): same transform as d.X row 0.
+	if math.Abs(test.X[0][0]-d.X[0][0]) > 1e-12 {
+		t.Error("Apply did not match Standardize transform")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := sample(t)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() || !reflect.DeepEqual(got.FeatureNames, d.FeatureNames) {
+		t.Fatal("round trip shape mismatch")
+	}
+	for i := range d.X {
+		if got.Label(i) != d.Label(i) || !reflect.DeepEqual(got.X[i], d.X[i]) {
+			t.Fatalf("row %d mismatch", i)
+		}
+	}
+}
+
+func TestReadCSVBadHeader(t *testing.T) {
+	if _, err := ReadCSV(bytes.NewBufferString("x,y\n1,2\n")); err == nil {
+		t.Error("bad header not rejected")
+	}
+}
+
+func TestReadCSVBadValue(t *testing.T) {
+	if _, err := ReadCSV(bytes.NewBufferString("label,f\na,notanumber\n")); err == nil {
+		t.Error("bad value not rejected")
+	}
+}

@@ -1,0 +1,103 @@
+package dataset
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// buildFuzz converts fuzz bytes into a small valid dataset.
+func buildFuzz(labels []uint8, seed uint64) *Dataset {
+	if len(labels) == 0 {
+		labels = []uint8{0}
+	}
+	r := rng.New(seed)
+	rows := make([][]float64, len(labels))
+	names := make([]string, 3)
+	for j := range names {
+		names[j] = fmt.Sprintf("f%d", j)
+	}
+	strs := make([]string, len(labels))
+	for i, l := range labels {
+		rows[i] = []float64{r.Normal(), r.Normal(), r.Normal()}
+		strs[i] = fmt.Sprintf("c%d", l%4)
+	}
+	d, err := New(names, rows, strs)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func TestSplitPropertyPartition(t *testing.T) {
+	f := func(labels []uint8, seed uint64) bool {
+		d := buildFuzz(labels, seed)
+		train, test := d.Split(rng.New(seed), 0.7)
+		// Partition: sizes add up, and per-class counts add up.
+		if train.Len()+test.Len() != d.Len() {
+			return false
+		}
+		tc, sc, dc := train.ClassCounts(), test.ClassCounts(), d.ClassCounts()
+		for c := range dc {
+			if tc[c]+sc[c] != dc[c] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBalancedPropertyEqualCounts(t *testing.T) {
+	f := func(labels []uint8, seed uint64, perClassRaw uint8) bool {
+		d := buildFuzz(labels, seed)
+		perClass := int(perClassRaw%20) + 1
+		b := d.Balanced(rng.New(seed+1), perClass)
+		counts := b.ClassCounts()
+		present := map[int]bool{}
+		for _, y := range d.Y {
+			present[y] = true
+		}
+		for c, n := range counts {
+			if present[c] && n != perClass {
+				return false
+			}
+			if !present[c] && n != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubsetPropertyPreservesLabels(t *testing.T) {
+	f := func(labels []uint8, seed uint64) bool {
+		d := buildFuzz(labels, seed)
+		idx := rng.New(seed + 2).Perm(d.Len())
+		if len(idx) > 5 {
+			idx = idx[:5]
+		}
+		s := d.Subset(idx)
+		for i, j := range idx {
+			if s.Label(i) != d.Label(j) {
+				return false
+			}
+			for k := range s.X[i] {
+				if s.X[i][k] != d.X[j][k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import "fmt"
+
+// Driver runs one experiment against an environment.
+type Driver func(*Env) (*Result, error)
+
+// Registry maps experiment ids to drivers, in paper order.
+var Registry = []struct {
+	ID     string
+	Driver Driver
+}{
+	{"e1", ExpE1Efficiency},
+	{"e2", ExpE2ExitCode},
+	{"table2", Table2},
+	{"fig1", Figure1},
+	{"fig2", Figure2},
+	{"fig3", Figure3},
+	{"table3", Table3},
+	{"fig4", Figure4},
+	{"fig5", Figure5},
+	{"fig6", Figure6},
+	{"x1", ExpX1TimeDependent},
+	{"x2", ExpX2KernelRegression},
+	{"x3", ExpX3CrossPlatform},
+	{"x4", ExpX4Unsupervised},
+}
+
+// ByID returns the driver for an experiment id.
+func ByID(id string) (Driver, bool) {
+	for _, e := range Registry {
+		if e.ID == id {
+			return e.Driver, true
+		}
+	}
+	return nil, false
+}
+
+// IDs returns all experiment ids in paper order.
+func IDs() []string {
+	out := make([]string, len(Registry))
+	for i, e := range Registry {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// RunAll executes every experiment against one environment, stopping on
+// the first error.
+func RunAll(e *Env) ([]*Result, error) {
+	var out []*Result
+	for _, entry := range Registry {
+		res, err := entry.Driver(e)
+		if err != nil {
+			return out, fmt.Errorf("experiment %s: %w", entry.ID, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

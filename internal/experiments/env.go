@@ -1,0 +1,413 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation, each regenerating the corresponding rows or series
+// from a freshly generated synthetic Stampede workload. Scales default to
+// sizes that run the full suite in minutes; the paper's absolute counts
+// (100k-job training sets) are reachable by raising the Config fields.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/apps"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/ml/eval"
+	"repro/internal/rng"
+)
+
+// rngSplit returns a fresh deterministic generator for a sub-task.
+func rngSplit(seed uint64) *rng.Rand { return rng.New(seed ^ 0xe9b2e5) }
+
+// Config scales the experiment suite.
+type Config struct {
+	Seed uint64
+
+	// TrainPerClass is the number of training jobs generated per
+	// application for the balanced training mixture (paper: 5000/class).
+	TrainPerClass int
+	// TestJobs is the native-mix test set size (paper: 100000).
+	TestJobs int
+	// UnknownJobs is the size of each of the Uncategorized and NA pools
+	// scored in Figures 3 and 4.
+	UnknownJobs int
+	// SweepCounts are the predictor counts retrained in Figure 6
+	// (empty = a default descending grid).
+	SweepCounts []int
+	// Workers bounds parallel scoring (0 = GOMAXPROCS).
+	Workers int
+}
+
+// DefaultConfig returns the fast-run scale documented in EXPERIMENTS.md.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Seed:          seed,
+		TrainPerClass: 300,
+		TestJobs:      4000,
+		UnknownJobs:   1200,
+	}
+}
+
+// Result is one experiment's regenerated artifact: formatted lines in the
+// paper's layout plus named scalar metrics for programmatic comparison.
+type Result struct {
+	ID      string
+	Title   string
+	Lines   []string
+	Metrics map[string]float64
+}
+
+func newResult(id, title string) *Result {
+	return &Result{ID: id, Title: title, Metrics: map[string]float64{}}
+}
+
+func (r *Result) addf(format string, args ...any) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// String renders the result for terminal output.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", r.ID, r.Title)
+	for _, l := range r.Lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Env holds the generated datasets shared by the experiment drivers. All
+// members are produced deterministically from Config.Seed.
+type Env struct {
+	Cfg Config
+
+	once struct {
+		appData  sync.Once
+		catData  sync.Once
+		pools    sync.Once
+		native   sync.Once
+		segments sync.Once
+	}
+
+	// Application-classification data (Table 2 apps).
+	appTrain *dataset.Dataset // balanced mixture, LabelByLariat
+	appTest  *dataset.Dataset // native mix
+	appErr   error
+
+	// Category-classification data (full catalogue).
+	catTrain *dataset.Dataset
+	catTest  *dataset.Dataset
+	catErr   error
+
+	// Unknown-population features.
+	uncatRows [][]float64
+	naRows    [][]float64
+	poolErr   error
+
+	// Native community run with populations + exit codes (Section II).
+	nativeRun *core.PipelineResult
+	nativeErr error
+
+	// Segment-feature data (X1).
+	segTrain, segTest   *dataset.Dataset
+	meanTrain, meanTest *dataset.Dataset
+	segErr              error
+
+	// Cached trained models over the shared datasets.
+	svmOnce  sync.Once
+	svmModel *core.JobClassifier
+	svmErr   error
+	rfOnce   sync.Once
+	rfModel  *core.JobClassifier
+	rfErr    error
+	catOnce  sync.Once
+	catModel *core.JobClassifier
+	catMErr  error
+}
+
+// AppSVM trains (once) the paper-configured SVM (RBF gamma=0.1, C=1000)
+// on the balanced application mixture.
+func (e *Env) AppSVM() (*core.JobClassifier, error) {
+	e.svmOnce.Do(func() {
+		train, _, err := e.AppData()
+		if err != nil {
+			e.svmErr = err
+			return
+		}
+		e.svmModel, e.svmErr = core.TrainJobClassifier(train, core.PaperSVM(e.Cfg.Seed))
+	})
+	return e.svmModel, e.svmErr
+}
+
+// AppRF trains (once) the random forest on the balanced application
+// mixture.
+func (e *Env) AppRF() (*core.JobClassifier, error) {
+	e.rfOnce.Do(func() {
+		train, _, err := e.AppData()
+		if err != nil {
+			e.rfErr = err
+			return
+		}
+		e.rfModel, e.rfErr = core.TrainJobClassifier(train, core.PaperForest(e.Cfg.Seed))
+	})
+	return e.rfModel, e.rfErr
+}
+
+// CategorySVM trains (once) the SVM on the category-balanced mixture.
+func (e *Env) CategorySVM() (*core.JobClassifier, error) {
+	e.catOnce.Do(func() {
+		train, _, err := e.CategoryData()
+		if err != nil {
+			e.catMErr = err
+			return
+		}
+		e.catModel, e.catMErr = core.TrainJobClassifier(train, core.PaperSVM(e.Cfg.Seed))
+	})
+	return e.catModel, e.catMErr
+}
+
+// NewEnv returns an experiment environment; datasets generate lazily.
+func NewEnv(cfg Config) *Env {
+	if cfg.TrainPerClass <= 0 {
+		cfg.TrainPerClass = 300
+	}
+	if cfg.TestJobs <= 0 {
+		cfg.TestJobs = 4000
+	}
+	if cfg.UnknownJobs <= 0 {
+		cfg.UnknownJobs = 1200
+	}
+	return &Env{Cfg: cfg}
+}
+
+// balancedApps returns the Table 2 application list with equal mix
+// weights, the generator-side realization of the paper's
+// "application-balanced mixture".
+func balancedApps(list []apps.App) []apps.App {
+	out := append([]apps.App(nil), list...)
+	for i := range out {
+		out[i].MixWeight = 1
+	}
+	return out
+}
+
+// categoryBalancedApps reweights the full catalogue so every broad
+// category carries equal total weight (apps within a category keep their
+// relative shares).
+func categoryBalancedApps() []apps.App {
+	catTotal := map[apps.Category]float64{}
+	for _, a := range apps.Catalog() {
+		catTotal[a.Category] += a.MixWeight
+	}
+	out := append([]apps.App(nil), apps.Catalog()...)
+	for i := range out {
+		out[i].MixWeight = out[i].MixWeight / catTotal[out[i].Category]
+	}
+	return out
+}
+
+// communityOnly returns a cluster config with no Uncategorized/NA jobs.
+func communityOnly(seed uint64, community []apps.App) cluster.Config {
+	cfg := cluster.DefaultConfig(seed)
+	cfg.UncategorizedFrac = 0
+	cfg.NAFrac = 0
+	cfg.Community = community
+	return cfg
+}
+
+// AppData generates (once) the balanced training set and native-mix test
+// set over the 20 Table 2 applications.
+func (e *Env) AppData() (train, test *dataset.Dataset, err error) {
+	e.once.appData.Do(func() {
+		t2 := apps.Table2Apps()
+		trainCfg := core.DefaultPipelineConfig(e.Cfg.Seed+1, 20*e.Cfg.TrainPerClass)
+		trainCfg.Cluster = communityOnly(e.Cfg.Seed+1, balancedApps(t2))
+		trainRun, err := core.RunPipeline(trainCfg)
+		if err != nil {
+			e.appErr = err
+			return
+		}
+		e.appTrain, e.appErr = core.BuildDataset(trainRun.Records, core.LabelByLariat, core.DefaultFeatures())
+		if e.appErr != nil {
+			return
+		}
+
+		testCfg := core.DefaultPipelineConfig(e.Cfg.Seed+2, e.Cfg.TestJobs)
+		testCfg.Cluster = communityOnly(e.Cfg.Seed+2, t2)
+		testRun, err := core.RunPipeline(testCfg)
+		if err != nil {
+			e.appErr = err
+			return
+		}
+		var testDS *dataset.Dataset
+		testDS, e.appErr = core.BuildDataset(testRun.Records, core.LabelByLariat, core.DefaultFeatures())
+		if e.appErr != nil {
+			return
+		}
+		// Align the test vocabulary with training (same 20 classes).
+		e.appTest = alignClasses(testDS, e.appTrain.ClassNames)
+	})
+	return e.appTrain, e.appTest, e.appErr
+}
+
+// CategoryData generates (once) category-balanced training and native test
+// sets over the full catalogue, labeled by broad category.
+func (e *Env) CategoryData() (train, test *dataset.Dataset, err error) {
+	e.once.catData.Do(func() {
+		trainCfg := core.DefaultPipelineConfig(e.Cfg.Seed+3, 12*2*e.Cfg.TrainPerClass)
+		trainCfg.Cluster = communityOnly(e.Cfg.Seed+3, categoryBalancedApps())
+		trainRun, err := core.RunPipeline(trainCfg)
+		if err != nil {
+			e.catErr = err
+			return
+		}
+		e.catTrain, e.catErr = core.BuildDataset(trainRun.Records, core.LabelByCategory, core.DefaultFeatures())
+		if e.catErr != nil {
+			return
+		}
+
+		testCfg := core.DefaultPipelineConfig(e.Cfg.Seed+4, e.Cfg.TestJobs)
+		testCfg.Cluster = communityOnly(e.Cfg.Seed+4, apps.Catalog())
+		testRun, err := core.RunPipeline(testCfg)
+		if err != nil {
+			e.catErr = err
+			return
+		}
+		var testDS *dataset.Dataset
+		testDS, e.catErr = core.BuildDataset(testRun.Records, core.LabelByCategory, core.DefaultFeatures())
+		if e.catErr != nil {
+			return
+		}
+		e.catTest = alignClasses(testDS, e.catTrain.ClassNames)
+	})
+	return e.catTrain, e.catTest, e.catErr
+}
+
+// UnknownPools generates (once) the Uncategorized and NA feature rows.
+func (e *Env) UnknownPools() (uncat, na [][]float64, err error) {
+	e.once.pools.Do(func() {
+		uncatCfg := core.DefaultPipelineConfig(e.Cfg.Seed+5, e.Cfg.UnknownJobs)
+		uncatCfg.Cluster = cluster.DefaultConfig(e.Cfg.Seed + 5)
+		uncatCfg.Cluster.UncategorizedFrac = 1
+		uncatCfg.Cluster.NAFrac = 0
+		uncatRun, err := core.RunPipeline(uncatCfg)
+		if err != nil {
+			e.poolErr = err
+			return
+		}
+		e.uncatRows = core.FeaturizeAll(uncatRun.Records, core.DefaultFeatures())
+
+		naCfg := core.DefaultPipelineConfig(e.Cfg.Seed+6, e.Cfg.UnknownJobs)
+		naCfg.Cluster = cluster.DefaultConfig(e.Cfg.Seed + 6)
+		naCfg.Cluster.UncategorizedFrac = 0
+		naCfg.Cluster.NAFrac = 1
+		naRun, err := core.RunPipeline(naCfg)
+		if err != nil {
+			e.poolErr = err
+			return
+		}
+		e.naRows = core.FeaturizeAll(naRun.Records, core.DefaultFeatures())
+	})
+	return e.uncatRows, e.naRows, e.poolErr
+}
+
+// NativeRun generates (once) a native community run for the Section II
+// experiments (efficiency + exit-code labels).
+func (e *Env) NativeRun() (*core.PipelineResult, error) {
+	e.once.native.Do(func() {
+		cfg := core.DefaultPipelineConfig(e.Cfg.Seed+7, e.Cfg.TestJobs)
+		cfg.Cluster = communityOnly(e.Cfg.Seed+7, apps.Catalog())
+		e.nativeRun, e.nativeErr = core.RunPipeline(cfg)
+	})
+	return e.nativeRun, e.nativeErr
+}
+
+// SegmentData generates (once) paired mean-feature and segment-feature
+// datasets from the same jobs (X1).
+func (e *Env) SegmentData() (segTrain, segTest, meanTrain, meanTest *dataset.Dataset, err error) {
+	e.once.segments.Do(func() {
+		cfg := core.DefaultPipelineConfig(e.Cfg.Seed+8, 20*e.Cfg.TrainPerClass)
+		cfg.Cluster = communityOnly(e.Cfg.Seed+8, balancedApps(apps.Table2Apps()))
+		cfg.Segments = 3
+		run, err := core.RunPipeline(cfg)
+		if err != nil {
+			e.segErr = err
+			return
+		}
+		segOpt := core.FeatureOptions{COV: true, Derived: true, Segments: 3}
+		segDS, err := core.BuildDataset(run.Records, core.LabelByLariat, segOpt)
+		if err != nil {
+			e.segErr = err
+			return
+		}
+		meanDS, err := core.BuildDataset(run.Records, core.LabelByLariat, core.DefaultFeatures())
+		if err != nil {
+			e.segErr = err
+			return
+		}
+		r := rngSplit(e.Cfg.Seed + 8)
+		e.segTrain, e.segTest = segDS.Split(r, 0.7)
+		r2 := rngSplit(e.Cfg.Seed + 8) // identical split for the mean twin
+		e.meanTrain, e.meanTest = meanDS.Split(r2, 0.7)
+	})
+	return e.segTrain, e.segTest, e.meanTrain, e.meanTest, e.segErr
+}
+
+// alignClasses re-labels a dataset onto a target class vocabulary (which
+// must contain every label present).
+func alignClasses(d *dataset.Dataset, classes []string) *dataset.Dataset {
+	index := map[string]int{}
+	for i, c := range classes {
+		index[c] = i
+	}
+	y := make([]int, d.Len())
+	for i := range d.Y {
+		y[i] = index[d.Label(i)]
+	}
+	return &dataset.Dataset{
+		FeatureNames: d.FeatureNames,
+		ClassNames:   classes,
+		X:            d.X,
+		Y:            y,
+	}
+}
+
+// scoreParallel scores a dataset with worker-parallel prediction.
+func scoreParallel(c *core.JobClassifier, d *dataset.Dataset, workers int) []eval.Prediction {
+	return scoreRowsParallel(c, d.X, d.Y, workers)
+}
+
+func scoreRowsParallel(c *core.JobClassifier, rows [][]float64, y []int, workers int) []eval.Prediction {
+	if workers <= 0 {
+		workers = 8
+	}
+	preds := make([]eval.Prediction, len(rows))
+	var wg sync.WaitGroup
+	chunk := (len(rows) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				cls, probs := c.PredictProb(rows[i])
+				truth := -1
+				if y != nil {
+					truth = y[i]
+				}
+				preds[i] = eval.Prediction{True: truth, Pred: cls, MaxProb: probs[cls]}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return preds
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/ml/kmeans"
+	"repro/internal/ml/pca"
+	"repro/internal/stats"
+)
+
+// ExpX4Unsupervised exercises the other two "data discovery techniques"
+// the paper's Section II motivates -- clustering and dimensionality
+// reduction -- on the SUPReMM job mixture: does the application/category
+// structure the classifiers exploit emerge without labels?
+func ExpX4Unsupervised(e *Env) (*Result, error) {
+	run, err := e.NativeRun()
+	if err != nil {
+		return nil, err
+	}
+	ds, err := core.BuildDataset(run.Records, core.LabelByCategory, core.DefaultFeatures())
+	if err != nil {
+		return nil, err
+	}
+	appDS, err := core.BuildDataset(run.Records, core.LabelByLariat, core.DefaultFeatures())
+	if err != nil {
+		return nil, err
+	}
+
+	// Standardize a copy for distance-based methods.
+	rows := make([][]float64, ds.Len())
+	for i, row := range ds.X {
+		rows[i] = append([]float64(nil), row...)
+	}
+	stats.FitScaler(rows).TransformAll(rows)
+
+	r := newResult("x4", "unsupervised structure: k-means purity and PCA spectrum")
+
+	// Clustering at category granularity (k = 12) and application
+	// granularity (k = #apps in the mix).
+	km12, err := kmeans.Fit(rows, kmeans.Config{K: 12, Seed: e.Cfg.Seed + 71})
+	if err != nil {
+		return nil, err
+	}
+	catPurity := kmeans.Purity(km12.Labels, ds.Y)
+	kApps := appDS.NumClasses()
+	kmApps, err := kmeans.Fit(rows, kmeans.Config{K: kApps, Seed: e.Cfg.Seed + 72})
+	if err != nil {
+		return nil, err
+	}
+	appPurity := kmeans.Purity(kmApps.Labels, appDS.Y)
+	r.Metrics["category_purity"] = catPurity
+	r.Metrics["app_purity"] = appPurity
+	r.addf("k-means k=12 purity vs broad category: %.3f", catPurity)
+	r.addf("k-means k=%d purity vs application:     %.3f", kApps, appPurity)
+	r.addf("(majority-category chance baselines: %.3f / %.3f)",
+		majorityFrac(ds.Y, ds.NumClasses()), majorityFrac(appDS.Y, appDS.NumClasses()))
+
+	// PCA spectrum: how many directions carry the mixture's variance.
+	model, err := pca.Fit(rows, 10)
+	if err != nil {
+		return nil, err
+	}
+	r.addf("")
+	r.addf("PCA cumulative explained variance:")
+	for _, c := range []int{1, 2, 3, 5, 10} {
+		ev := model.ExplainedVariance(c)
+		r.addf("  %2d components: %5.1f%%", c, 100*ev)
+		r.Metrics[metricKey("pca", c)] = ev
+	}
+	return r, nil
+}
+
+// majorityFrac returns the share of the most common class.
+func majorityFrac(y []int, k int) float64 {
+	counts := make([]int, k)
+	for _, v := range y {
+		counts[v]++
+	}
+	best := 0
+	for _, c := range counts {
+		if c > best {
+			best = c
+		}
+	}
+	if len(y) == 0 {
+		return 0
+	}
+	return float64(best) / float64(len(y))
+}

@@ -1,0 +1,101 @@
+// Package lariat simulates the Lariat/XALT job-launch capture layer. On the
+// TACC machines, Lariat wraps the ibrun MPI launcher and records, for every
+// launched job, the executable path and loaded environment modules. SUPReMM
+// joins these records with accounting data and matches the executable path
+// against a table of known community applications, yielding the three-way
+// labeling the paper analyzes:
+//
+//   - a community-application name when the path matches,
+//   - "Uncategorized" when a record exists but the executable is unknown
+//     (user-compiled codes named a.out, main, data, ...),
+//   - "NA" when the job was launched outside ibrun and no record exists.
+package lariat
+
+import (
+	"path"
+	"strings"
+
+	"repro/internal/apps"
+)
+
+// Labels for jobs that cannot be matched to a community application.
+const (
+	Uncategorized = "Uncategorized"
+	NA            = "NA"
+)
+
+// Record is one Lariat launch capture.
+type Record struct {
+	JobID    string
+	ExecPath string
+	Modules  []string
+	User     string
+}
+
+// Matcher matches executable paths against the community-application table.
+type Matcher struct {
+	byBase map[string]string // executable basename -> application name
+	byPath map[string]string // full path -> application name
+}
+
+// NewMatcher builds a matcher from the application catalogue.
+func NewMatcher(catalog []apps.App) *Matcher {
+	m := &Matcher{byBase: map[string]string{}, byPath: map[string]string{}}
+	for _, a := range catalog {
+		if a.ExecPath == "" {
+			continue
+		}
+		// Only installed software trees participate in basename matching;
+		// a user binary that happens to be called "namd2" must not match.
+		if strings.HasPrefix(a.ExecPath, "/opt/apps/") {
+			m.byBase[strings.ToLower(path.Base(a.ExecPath))] = a.Name
+		}
+		m.byPath[a.ExecPath] = a.Name
+	}
+	return m
+}
+
+// Match returns the community-application name for a launch record, or
+// Uncategorized if the executable is not recognized.
+func (m *Matcher) Match(rec *Record) string {
+	if rec == nil || rec.ExecPath == "" {
+		return NA
+	}
+	if name, ok := m.byPath[rec.ExecPath]; ok {
+		return name
+	}
+	if strings.HasPrefix(rec.ExecPath, "/opt/apps/") {
+		if name, ok := m.byBase[strings.ToLower(path.Base(rec.ExecPath))]; ok {
+			return name
+		}
+	}
+	return Uncategorized
+}
+
+// Store holds launch records by job id.
+type Store struct {
+	records map[string]*Record
+}
+
+// NewStore returns an empty record store.
+func NewStore() *Store { return &Store{records: map[string]*Record{}} }
+
+// Add inserts (or replaces) a record.
+func (s *Store) Add(rec *Record) { s.records[rec.JobID] = rec }
+
+// Lookup returns the record for a job, or nil if the job was launched
+// outside ibrun.
+func (s *Store) Lookup(jobID string) *Record { return s.records[jobID] }
+
+// Len returns the number of stored records.
+func (s *Store) Len() int { return len(s.records) }
+
+// Label classifies a job: the community-application name, Uncategorized,
+// or NA when the store has no record for the job.
+func (s *Store) Label(m *Matcher, jobID string) string {
+	rec := s.Lookup(jobID)
+	if rec == nil {
+		return NA
+	}
+	return m.Match(rec)
+}

@@ -1,0 +1,90 @@
+package lariat
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+)
+
+func TestMatchCommunityPaths(t *testing.T) {
+	m := NewMatcher(apps.Catalog())
+	for _, a := range apps.Catalog() {
+		if a.ExecPath == "" {
+			continue
+		}
+		got := m.Match(&Record{JobID: "1", ExecPath: a.ExecPath})
+		if got != a.Name {
+			t.Errorf("Match(%q) = %q, want %q", a.ExecPath, got, a.Name)
+		}
+	}
+}
+
+func TestMatchBasenameOnlyUnderOptApps(t *testing.T) {
+	m := NewMatcher(apps.Catalog())
+	// A different install of a known code under /opt/apps matches by basename.
+	got := m.Match(&Record{ExecPath: "/opt/apps/namd/2.10/bin/namd2"})
+	if got != "NAMD" {
+		t.Errorf("versioned community install = %q, want NAMD", got)
+	}
+	// A user binary with the same basename must NOT match.
+	got = m.Match(&Record{ExecPath: "/home1/01234/user/bin/namd2"})
+	if got != Uncategorized {
+		t.Errorf("user-built namd2 = %q, want Uncategorized", got)
+	}
+}
+
+func TestMatchCaseInsensitiveBasename(t *testing.T) {
+	m := NewMatcher(apps.Catalog())
+	got := m.Match(&Record{ExecPath: "/opt/apps/namd/2.9/bin/NAMD2"})
+	if got != "NAMD" {
+		t.Errorf("case-insensitive basename = %q", got)
+	}
+}
+
+func TestMatchUncategorized(t *testing.T) {
+	m := NewMatcher(apps.Catalog())
+	for _, p := range []string{"/home1/02044/u/a.out", "/scratch/x/main", "/work/y/data"} {
+		if got := m.Match(&Record{ExecPath: p}); got != Uncategorized {
+			t.Errorf("Match(%q) = %q, want Uncategorized", p, got)
+		}
+	}
+}
+
+func TestMatchNA(t *testing.T) {
+	m := NewMatcher(apps.Catalog())
+	if m.Match(nil) != NA {
+		t.Error("nil record should be NA")
+	}
+	if m.Match(&Record{}) != NA {
+		t.Error("empty exec path should be NA")
+	}
+}
+
+func TestStoreLabel(t *testing.T) {
+	m := NewMatcher(apps.Catalog())
+	s := NewStore()
+	vasp, _ := apps.ByName("VASP")
+	s.Add(&Record{JobID: "100", ExecPath: vasp.ExecPath})
+	s.Add(&Record{JobID: "101", ExecPath: "/home1/x/a.out"})
+	if got := s.Label(m, "100"); got != "VASP" {
+		t.Errorf("job 100 label = %q", got)
+	}
+	if got := s.Label(m, "101"); got != Uncategorized {
+		t.Errorf("job 101 label = %q", got)
+	}
+	if got := s.Label(m, "999"); got != NA {
+		t.Errorf("missing job label = %q", got)
+	}
+	if s.Len() != 2 {
+		t.Errorf("store len = %d", s.Len())
+	}
+}
+
+func TestStoreReplace(t *testing.T) {
+	s := NewStore()
+	s.Add(&Record{JobID: "1", ExecPath: "/a"})
+	s.Add(&Record{JobID: "1", ExecPath: "/b"})
+	if s.Len() != 1 || s.Lookup("1").ExecPath != "/b" {
+		t.Error("Add should replace records with the same job id")
+	}
+}

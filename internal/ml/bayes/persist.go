@@ -1,0 +1,40 @@
+package bayes
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+type modelSnapshot struct {
+	Classes []string
+	Priors  []float64
+	Means   [][]float64
+	Vars    [][]float64
+	Trained []bool
+}
+
+// MarshalBinary serializes the trained model.
+func (m *Model) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(modelSnapshot{
+		Classes: m.classes, Priors: m.priors, Means: m.means, Vars: m.vars, Trained: m.trained,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary restores a model saved with MarshalBinary.
+func (m *Model) UnmarshalBinary(data []byte) error {
+	var snap modelSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return err
+	}
+	m.classes = snap.Classes
+	m.priors = snap.Priors
+	m.means = snap.Means
+	m.vars = snap.Vars
+	m.trained = snap.Trained
+	return nil
+}

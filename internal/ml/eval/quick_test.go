@@ -1,0 +1,127 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// randomPreds converts fuzz input into a valid prediction list.
+func randomPreds(raw []struct {
+	True, Pred uint8
+	Prob       float64
+}) []Prediction {
+	preds := make([]Prediction, 0, len(raw))
+	for _, r := range raw {
+		p := math.Abs(r.Prob)
+		p -= math.Floor(p) // into [0,1)
+		preds = append(preds, Prediction{
+			True:    int(r.True % 5),
+			Pred:    int(r.Pred % 5),
+			MaxProb: p,
+		})
+	}
+	return preds
+}
+
+func TestThresholdCurvePropertyMonotone(t *testing.T) {
+	f := func(raw []struct {
+		True, Pred uint8
+		Prob       float64
+	}) bool {
+		preds := randomPreds(raw)
+		pts := ThresholdCurve(preds, DefaultThresholds())
+		prevCls, prevCor := -1.0, -1.0
+		for _, p := range pts { // thresholds decrease
+			if p.Classified < prevCls || p.CorrectlyClassified < prevCor {
+				return false
+			}
+			if p.CorrectlyClassified > p.Classified+1e-12 {
+				return false
+			}
+			if p.Classified < 0 || p.Classified > 1 {
+				return false
+			}
+			prevCls, prevCor = p.Classified, p.CorrectlyClassified
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestROCLikePropertyBounded(t *testing.T) {
+	f := func(raw []struct {
+		True, Pred uint8
+		Prob       float64
+	}) bool {
+		preds := randomPreds(raw)
+		pts := ROCLike(preds, DefaultThresholds())
+		prevX, prevY := -1.0, -1.0
+		for _, p := range pts {
+			if p.X < 0 || p.X > 1 || p.Y < 0 || p.Y > 1 {
+				return false
+			}
+			// Both coordinates grow as the threshold falls.
+			if p.X < prevX || p.Y < prevY {
+				return false
+			}
+			prevX, prevY = p.X, p.Y
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConfusionMatrixPropertyTotals(t *testing.T) {
+	f := func(raw []struct {
+		True, Pred uint8
+		Prob       float64
+	}) bool {
+		preds := randomPreds(raw)
+		m := NewConfusionMatrix([]string{"a", "b", "c", "d", "e"}, preds)
+		labeled := 0
+		for _, p := range preds {
+			if p.True >= 0 {
+				labeled++
+			}
+		}
+		total := 0
+		for _, n := range m.RowTotals() {
+			total += n
+		}
+		if total != labeled {
+			return false
+		}
+		for _, a := range m.ClassAccuracy() {
+			if a < 0 || a > 1 {
+				return false
+			}
+		}
+		acc := m.Accuracy()
+		return acc >= 0 && acc <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccuracyConsistentWithMatrix(t *testing.T) {
+	f := func(raw []struct {
+		True, Pred uint8
+		Prob       float64
+	}) bool {
+		preds := randomPreds(raw)
+		if len(preds) == 0 {
+			return true
+		}
+		m := NewConfusionMatrix([]string{"a", "b", "c", "d", "e"}, preds)
+		return math.Abs(m.Accuracy()-Accuracy(preds)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,280 @@
+package forest
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+// Config holds forest training options.
+type Config struct {
+	// Trees is the ensemble size (default 200; R's default is 500).
+	Trees int
+	// MTry is the number of features tried per split (default sqrt(p)
+	// for classification, p/3 for regression).
+	MTry int
+	// MinLeaf is the minimum rows per leaf (default 1).
+	MinLeaf int
+	// MaxDepth caps tree depth (0 = unlimited).
+	MaxDepth int
+	// Workers bounds concurrent tree construction (default GOMAXPROCS).
+	Workers int
+	// Seed drives bootstrap and feature sampling.
+	Seed uint64
+}
+
+func (c Config) withDefaults(p int, regression bool) Config {
+	if c.Trees <= 0 {
+		c.Trees = 200
+	}
+	if c.MTry <= 0 {
+		if regression {
+			c.MTry = p / 3
+		} else {
+			c.MTry = int(math.Sqrt(float64(p)))
+		}
+		if c.MTry < 1 {
+			c.MTry = 1
+		}
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Classifier is a trained random-forest classifier.
+type Classifier struct {
+	cfg     Config
+	classes []string
+	trees   []*tree
+	oob     [][]int // per tree: training-row indices not in its bootstrap
+	train   *dataset.Dataset
+}
+
+// TrainClassifier fits a random forest on the dataset. The returned model
+// retains a reference to the training data for OOB-based estimates.
+func TrainClassifier(d *dataset.Dataset, cfg Config) (*Classifier, error) {
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("forest: empty training set")
+	}
+	cfg = cfg.withDefaults(d.NumFeatures(), false)
+	c := &Classifier{
+		cfg:     cfg,
+		classes: d.ClassNames,
+		trees:   make([]*tree, cfg.Trees),
+		oob:     make([][]int, cfg.Trees),
+		train:   d,
+	}
+	root := rng.New(cfg.Seed)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	for t := 0; t < cfg.Trees; t++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		r := root.Split(uint64(t))
+		go func(t int, r *rng.Rand) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rows, oob := bootstrap(r, d.Len())
+			b := &treeBuilder{
+				x: d.X, y: d.Y, numClasses: d.NumClasses(),
+				mtry: cfg.MTry, minLeaf: cfg.MinLeaf, maxDepth: cfg.MaxDepth, r: r,
+			}
+			c.trees[t] = b.build(rows)
+			c.oob[t] = oob
+		}(t, r)
+	}
+	wg.Wait()
+	return c, nil
+}
+
+// bootstrap samples n rows with replacement and returns the in-bag row
+// list plus the out-of-bag indices.
+func bootstrap(r *rng.Rand, n int) (rows, oob []int) {
+	rows = make([]int, n)
+	in := make([]bool, n)
+	for i := range rows {
+		j := r.Intn(n)
+		rows[i] = j
+		in[j] = true
+	}
+	for i, ok := range in {
+		if !ok {
+			oob = append(oob, i)
+		}
+	}
+	return rows, oob
+}
+
+// Classes returns the class vocabulary.
+func (c *Classifier) Classes() []string { return c.classes }
+
+// Predict returns the majority-vote class index.
+func (c *Classifier) Predict(x []float64) int {
+	votes := c.Votes(x)
+	best := 0
+	for i, v := range votes {
+		if v > votes[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Votes returns per-class tree vote counts.
+func (c *Classifier) Votes(x []float64) []int {
+	votes := make([]int, len(c.classes))
+	for _, t := range c.trees {
+		votes[t.predictClass(x)]++
+	}
+	return votes
+}
+
+// PredictProb returns the winning class and the vote-fraction probability
+// vector, the randomForest analogue of the SVM's coupled posteriors.
+func (c *Classifier) PredictProb(x []float64) (int, []float64) {
+	votes := c.Votes(x)
+	probs := make([]float64, len(votes))
+	best := 0
+	for i, v := range votes {
+		probs[i] = float64(v) / float64(len(c.trees))
+		if v > votes[best] {
+			best = i
+		}
+	}
+	return best, probs
+}
+
+// Accuracy evaluates vote accuracy on a dataset with the same vocabulary.
+func (c *Classifier) Accuracy(d *dataset.Dataset) float64 {
+	if d.Len() == 0 {
+		return 0
+	}
+	correct := 0
+	for i, row := range d.X {
+		if c.Predict(row) == d.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(d.Len())
+}
+
+// OOBError returns the out-of-bag misclassification rate, the forest's
+// internal generalization estimate.
+func (c *Classifier) OOBError() float64 {
+	if c.train == nil {
+		return 0 // restored from a snapshot
+	}
+	n := c.train.Len()
+	votes := make([][]int, n)
+	for i := range votes {
+		votes[i] = make([]int, len(c.classes))
+	}
+	for t, tr := range c.trees {
+		for _, i := range c.oob[t] {
+			votes[i][tr.predictClass(c.train.X[i])]++
+		}
+	}
+	wrong, counted := 0, 0
+	for i, v := range votes {
+		best, total := 0, 0
+		for cl, n := range v {
+			total += n
+			if n > v[best] {
+				best = cl
+			}
+		}
+		if total == 0 {
+			continue // never out of bag
+		}
+		counted++
+		if best != c.train.Y[i] {
+			wrong++
+		}
+	}
+	if counted == 0 {
+		return 0
+	}
+	return float64(wrong) / float64(counted)
+}
+
+// Importance computes permutation importance: for every feature, the mean
+// over trees of (OOB accuracy) - (OOB accuracy after permuting that
+// feature among the tree's OOB rows). This is randomForest's
+// MeanDecreaseAccuracy, the quantity plotted in the paper's Figure 5.
+func (c *Classifier) Importance() []float64 {
+	if c.train == nil {
+		return nil // restored from a snapshot: no training data retained
+	}
+	workers := c.cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	p := c.train.NumFeatures()
+	imp := make([]float64, p)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	root := rng.New(c.cfg.Seed ^ 0x1a9e57ac) // distinct stream from training
+	for t := range c.trees {
+		wg.Add(1)
+		sem <- struct{}{}
+		r := root.Split(uint64(t))
+		go func(t int, r *rng.Rand) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			local := c.treeImportance(t, r)
+			mu.Lock()
+			for f := range imp {
+				imp[f] += local[f]
+			}
+			mu.Unlock()
+		}(t, r)
+	}
+	wg.Wait()
+	for f := range imp {
+		imp[f] /= float64(len(c.trees))
+	}
+	return imp
+}
+
+// treeImportance computes one tree's per-feature OOB accuracy decrease.
+func (c *Classifier) treeImportance(t int, r *rng.Rand) []float64 {
+	oob := c.oob[t]
+	tr := c.trees[t]
+	p := c.train.NumFeatures()
+	out := make([]float64, p)
+	if len(oob) == 0 {
+		return out
+	}
+	base := 0
+	for _, i := range oob {
+		if tr.predictClass(c.train.X[i]) == c.train.Y[i] {
+			base++
+		}
+	}
+	row := make([]float64, p)
+	perm := make([]int, len(oob))
+	for f := 0; f < p; f++ {
+		copy(perm, oob)
+		r.Shuffle(len(perm), func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
+		correct := 0
+		for k, i := range oob {
+			copy(row, c.train.X[i])
+			row[f] = c.train.X[perm[k]][f] // permuted feature value
+			if tr.predictClass(row) == c.train.Y[i] {
+				correct++
+			}
+		}
+		out[f] = float64(base-correct) / float64(len(oob))
+	}
+	return out
+}

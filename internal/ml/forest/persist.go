@@ -1,0 +1,76 @@
+package forest
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// Persistence snapshots the decision trees and vocabulary; the training
+// data reference is not retained, so OOB estimates and permutation
+// importance are unavailable on a restored model (predictions are
+// identical).
+
+type nodeSnapshot struct {
+	Feature   int
+	Threshold float64
+	Left      int32
+	Right     int32
+	Pred      int
+	Value     float64
+}
+
+type classifierSnapshot struct {
+	Classes []string
+	Trees   [][]nodeSnapshot
+}
+
+func snapshotTree(t *tree) []nodeSnapshot {
+	out := make([]nodeSnapshot, len(t.nodes))
+	for i, n := range t.nodes {
+		out[i] = nodeSnapshot{
+			Feature: n.feature, Threshold: n.threshold,
+			Left: n.left, Right: n.right, Pred: n.pred, Value: n.value,
+		}
+	}
+	return out
+}
+
+func restoreTree(snap []nodeSnapshot) *tree {
+	t := &tree{nodes: make([]node, len(snap))}
+	for i, n := range snap {
+		t.nodes[i] = node{
+			feature: n.Feature, threshold: n.Threshold,
+			left: n.Left, right: n.Right, pred: n.Pred, value: n.Value,
+		}
+	}
+	return t
+}
+
+// MarshalBinary serializes the trained classifier.
+func (c *Classifier) MarshalBinary() ([]byte, error) {
+	snap := classifierSnapshot{Classes: c.classes}
+	for _, t := range c.trees {
+		snap.Trees = append(snap.Trees, snapshotTree(t))
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary restores a classifier saved with MarshalBinary.
+func (c *Classifier) UnmarshalBinary(data []byte) error {
+	var snap classifierSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return err
+	}
+	c.classes = snap.Classes
+	c.trees = c.trees[:0]
+	for _, ts := range snap.Trees {
+		c.trees = append(c.trees, restoreTree(ts))
+	}
+	c.oob = nil
+	c.train = nil
+	return nil
+}

@@ -1,0 +1,96 @@
+package forest
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// Regressor is a trained random-forest regressor (variance-reduction
+// splits, mean-leaf prediction), used for the paper's application-kernel
+// wall-time regression extension.
+type Regressor struct {
+	cfg   Config
+	trees []*tree
+	oob   [][]int
+	x     [][]float64
+	y     []float64
+}
+
+// TrainRegressor fits a regression forest on rows x with targets y.
+func TrainRegressor(x [][]float64, y []float64, cfg Config) (*Regressor, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("forest: bad regression inputs (%d rows, %d targets)", len(x), len(y))
+	}
+	cfg = cfg.withDefaults(len(x[0]), true)
+	m := &Regressor{
+		cfg:   cfg,
+		trees: make([]*tree, cfg.Trees),
+		oob:   make([][]int, cfg.Trees),
+		x:     x,
+		y:     y,
+	}
+	root := rng.New(cfg.Seed)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	for t := 0; t < cfg.Trees; t++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		r := root.Split(uint64(t))
+		go func(t int, r *rng.Rand) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rows, oob := bootstrap(r, len(x))
+			b := &treeBuilder{
+				x: x, target: y, regression: true,
+				mtry: cfg.MTry, minLeaf: cfg.MinLeaf, maxDepth: cfg.MaxDepth, r: r,
+			}
+			m.trees[t] = b.build(rows)
+			m.oob[t] = oob
+		}(t, r)
+	}
+	wg.Wait()
+	return m, nil
+}
+
+// Predict returns the ensemble-mean prediction.
+func (m *Regressor) Predict(x []float64) float64 {
+	var sum float64
+	for _, t := range m.trees {
+		sum += t.predictValue(x)
+	}
+	return sum / float64(len(m.trees))
+}
+
+// OOBR2 returns the out-of-bag R-squared ("% variance explained" in the R
+// package's summary).
+func (m *Regressor) OOBR2() float64 {
+	n := len(m.x)
+	sums := make([]float64, n)
+	counts := make([]int, n)
+	for t, tr := range m.trees {
+		for _, i := range m.oob[t] {
+			sums[i] += tr.predictValue(m.x[i])
+			counts[i]++
+		}
+	}
+	var mean float64
+	for _, v := range m.y {
+		mean += v
+	}
+	mean /= float64(n)
+	var ssRes, ssTot float64
+	for i := range m.y {
+		if counts[i] == 0 {
+			continue
+		}
+		pred := sums[i] / float64(counts[i])
+		ssRes += (m.y[i] - pred) * (m.y[i] - pred)
+		ssTot += (m.y[i] - mean) * (m.y[i] - mean)
+	}
+	if ssTot == 0 {
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}

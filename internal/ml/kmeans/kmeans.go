@@ -1,0 +1,196 @@
+// Package kmeans implements Lloyd's k-means with k-means++ seeding, one of
+// the "data discovery techniques such as classification, dimensionality
+// reduction, and clustering" the paper's Section II motivates for SUPReMM
+// data. The library uses it to ask whether the job mixture's structure
+// (application families, the Uncategorized/NA populations) emerges without
+// labels.
+package kmeans
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Config controls clustering.
+type Config struct {
+	K        int
+	MaxIter  int // default 100
+	Restarts int // independent seedings, best inertia wins (default 4)
+	Seed     uint64
+}
+
+// Result is a fitted clustering.
+type Result struct {
+	Centers [][]float64
+	Labels  []int   // cluster index per input row
+	Inertia float64 // sum of squared distances to assigned centers
+	Iters   int
+}
+
+// Fit clusters rows into cfg.K groups.
+func Fit(rows [][]float64, cfg Config) (*Result, error) {
+	n := len(rows)
+	if n == 0 {
+		return nil, fmt.Errorf("kmeans: no rows")
+	}
+	if cfg.K <= 0 || cfg.K > n {
+		return nil, fmt.Errorf("kmeans: k=%d invalid for %d rows", cfg.K, n)
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 100
+	}
+	if cfg.Restarts <= 0 {
+		cfg.Restarts = 4
+	}
+	root := rng.New(cfg.Seed ^ 0x6b6d)
+	var best *Result
+	for restart := 0; restart < cfg.Restarts; restart++ {
+		res := lloyd(rows, cfg, root.Split(uint64(restart)))
+		if best == nil || res.Inertia < best.Inertia {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+func lloyd(rows [][]float64, cfg Config, r *rng.Rand) *Result {
+	centers := seedPlusPlus(rows, cfg.K, r)
+	labels := make([]int, len(rows))
+	p := len(rows[0])
+	sums := make([][]float64, cfg.K)
+	counts := make([]int, cfg.K)
+	for i := range sums {
+		sums[i] = make([]float64, p)
+	}
+
+	var inertia float64
+	iters := 0
+	for ; iters < cfg.MaxIter; iters++ {
+		changed := false
+		inertia = 0
+		for i, row := range rows {
+			c, d2 := nearest(centers, row)
+			if labels[i] != c {
+				labels[i] = c
+				changed = true
+			}
+			inertia += d2
+		}
+		if !changed && iters > 0 {
+			break
+		}
+		// Recompute centers.
+		for c := range sums {
+			counts[c] = 0
+			for j := range sums[c] {
+				sums[c][j] = 0
+			}
+		}
+		for i, row := range rows {
+			c := labels[i]
+			counts[c]++
+			for j, v := range row {
+				sums[c][j] += v
+			}
+		}
+		for c := range centers {
+			if counts[c] == 0 {
+				// Empty cluster: reseed at the farthest point.
+				centers[c] = append([]float64(nil), rows[farthest(centers, rows)]...)
+				continue
+			}
+			for j := range centers[c] {
+				centers[c][j] = sums[c][j] / float64(counts[c])
+			}
+		}
+	}
+	return &Result{Centers: centers, Labels: labels, Inertia: inertia, Iters: iters}
+}
+
+// seedPlusPlus picks initial centers with d^2-weighted sampling.
+func seedPlusPlus(rows [][]float64, k int, r *rng.Rand) [][]float64 {
+	centers := make([][]float64, 0, k)
+	centers = append(centers, append([]float64(nil), rows[r.Intn(len(rows))]...))
+	d2 := make([]float64, len(rows))
+	for len(centers) < k {
+		var total float64
+		for i, row := range rows {
+			_, d := nearest(centers, row)
+			d2[i] = d
+			total += d
+		}
+		if total == 0 {
+			// All points coincide with centers; duplicate one.
+			centers = append(centers, append([]float64(nil), rows[r.Intn(len(rows))]...))
+			continue
+		}
+		x := r.Float64() * total
+		pick := len(rows) - 1
+		for i, d := range d2 {
+			x -= d
+			if x < 0 {
+				pick = i
+				break
+			}
+		}
+		centers = append(centers, append([]float64(nil), rows[pick]...))
+	}
+	return centers
+}
+
+// nearest returns the closest center index and squared distance.
+func nearest(centers [][]float64, row []float64) (int, float64) {
+	best, bestD := 0, math.Inf(1)
+	for c, ctr := range centers {
+		var d float64
+		for j := range row {
+			diff := row[j] - ctr[j]
+			d += diff * diff
+		}
+		if d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best, bestD
+}
+
+// farthest returns the row index with the largest distance to its nearest
+// center.
+func farthest(centers, rows [][]float64) int {
+	best, bestD := 0, -1.0
+	for i, row := range rows {
+		if _, d := nearest(centers, row); d > bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// Purity scores a clustering against reference labels: the fraction of
+// rows whose cluster's majority reference label matches their own. 1.0
+// means clusters align perfectly with the labeling.
+func Purity(clusterLabels, refLabels []int) float64 {
+	if len(clusterLabels) != len(refLabels) || len(clusterLabels) == 0 {
+		return 0
+	}
+	counts := map[int]map[int]int{}
+	for i, c := range clusterLabels {
+		if counts[c] == nil {
+			counts[c] = map[int]int{}
+		}
+		counts[c][refLabels[i]]++
+	}
+	agree := 0
+	for _, refs := range counts {
+		best := 0
+		for _, n := range refs {
+			if n > best {
+				best = n
+			}
+		}
+		agree += best
+	}
+	return float64(agree) / float64(len(clusterLabels))
+}

@@ -1,0 +1,110 @@
+package kmeans
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func blobs(seed uint64, centers [][]float64, spread float64, perClass int) ([][]float64, []int) {
+	r := rng.New(seed)
+	var rows [][]float64
+	var labels []int
+	for c, ctr := range centers {
+		for i := 0; i < perClass; i++ {
+			row := make([]float64, len(ctr))
+			for j := range row {
+				row[j] = ctr[j] + spread*r.Normal()
+			}
+			rows = append(rows, row)
+			labels = append(labels, c)
+		}
+	}
+	return rows, labels
+}
+
+func TestFitRecoversBlobs(t *testing.T) {
+	rows, truth := blobs(1, [][]float64{{0, 8}, {8, 0}, {-8, 0}}, 0.8, 100)
+	res, err := Fit(rows, Config{K: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := Purity(res.Labels, truth); p < 0.99 {
+		t.Errorf("purity = %v", p)
+	}
+	if res.Inertia <= 0 {
+		t.Errorf("inertia = %v", res.Inertia)
+	}
+	if len(res.Centers) != 3 {
+		t.Fatalf("centers = %d", len(res.Centers))
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, Config{K: 2}); err == nil {
+		t.Error("empty rows not rejected")
+	}
+	rows, _ := blobs(3, [][]float64{{0, 0}}, 1, 5)
+	if _, err := Fit(rows, Config{K: 0}); err == nil {
+		t.Error("k=0 not rejected")
+	}
+	if _, err := Fit(rows, Config{K: 10}); err == nil {
+		t.Error("k > n not rejected")
+	}
+}
+
+func TestFitDeterminism(t *testing.T) {
+	rows, _ := blobs(4, [][]float64{{0, 5}, {5, 0}}, 1, 60)
+	r1, _ := Fit(rows, Config{K: 2, Seed: 9})
+	r2, _ := Fit(rows, Config{K: 2, Seed: 9})
+	if r1.Inertia != r2.Inertia {
+		t.Fatal("not deterministic")
+	}
+	for i := range r1.Labels {
+		if r1.Labels[i] != r2.Labels[i] {
+			t.Fatal("labels differ")
+		}
+	}
+}
+
+func TestMoreClustersLowerInertia(t *testing.T) {
+	rows, _ := blobs(5, [][]float64{{0, 6}, {6, 0}, {-6, 0}, {0, -6}}, 1.2, 80)
+	r2, _ := Fit(rows, Config{K: 2, Seed: 1})
+	r4, _ := Fit(rows, Config{K: 4, Seed: 1})
+	if r4.Inertia >= r2.Inertia {
+		t.Errorf("k=4 inertia %v not below k=2 %v", r4.Inertia, r2.Inertia)
+	}
+}
+
+func TestIdenticalPoints(t *testing.T) {
+	rows := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	res, err := Fit(rows, Config{K: 2, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia != 0 {
+		t.Errorf("identical points inertia = %v", res.Inertia)
+	}
+}
+
+func TestPurity(t *testing.T) {
+	if p := Purity([]int{0, 0, 1, 1}, []int{5, 5, 7, 7}); p != 1 {
+		t.Errorf("perfect purity = %v", p)
+	}
+	if p := Purity([]int{0, 0, 0, 0}, []int{1, 1, 2, 2}); p != 0.5 {
+		t.Errorf("merged purity = %v", p)
+	}
+	if Purity(nil, nil) != 0 || Purity([]int{1}, []int{1, 2}) != 0 {
+		t.Error("degenerate purity should be 0")
+	}
+}
+
+func BenchmarkFit(b *testing.B) {
+	rows, _ := blobs(1, [][]float64{{0, 6}, {6, 0}, {-6, 0}}, 1, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(rows, Config{K: 3, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

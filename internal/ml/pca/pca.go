@@ -1,0 +1,190 @@
+// Package pca implements principal component analysis via cyclic Jacobi
+// eigendecomposition of the covariance matrix — the dimensionality-
+// reduction technique the paper's Section II lists among the methods
+// suited to SUPReMM data. At SUPReMM's attribute counts (tens of columns)
+// Jacobi is exact, simple and fast.
+package pca
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Model is a fitted PCA basis.
+type Model struct {
+	Means      []float64   // per-feature means removed before projection
+	Components [][]float64 // [k][p] principal axes, largest variance first
+	Variances  []float64   // eigenvalues per retained component
+	TotalVar   float64     // trace of the covariance matrix
+}
+
+// Fit computes the top-k principal components of rows.
+func Fit(rows [][]float64, k int) (*Model, error) {
+	n := len(rows)
+	if n < 2 {
+		return nil, fmt.Errorf("pca: need at least 2 rows, got %d", n)
+	}
+	p := len(rows[0])
+	if k <= 0 || k > p {
+		return nil, fmt.Errorf("pca: k=%d invalid for %d features", k, p)
+	}
+
+	means := make([]float64, p)
+	for _, row := range rows {
+		if len(row) != p {
+			return nil, fmt.Errorf("pca: ragged rows")
+		}
+		for j, v := range row {
+			means[j] += v
+		}
+	}
+	for j := range means {
+		means[j] /= float64(n)
+	}
+
+	// Covariance matrix (sample, divide by n-1).
+	cov := make([][]float64, p)
+	for i := range cov {
+		cov[i] = make([]float64, p)
+	}
+	for _, row := range rows {
+		for i := 0; i < p; i++ {
+			di := row[i] - means[i]
+			for j := i; j < p; j++ {
+				cov[i][j] += di * (row[j] - means[j])
+			}
+		}
+	}
+	for i := 0; i < p; i++ {
+		for j := i; j < p; j++ {
+			cov[i][j] /= float64(n - 1)
+			cov[j][i] = cov[i][j]
+		}
+	}
+
+	evals, evecs := jacobiEigen(cov)
+	order := make([]int, p)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return evals[order[a]] > evals[order[b]] })
+
+	m := &Model{Means: means, Components: make([][]float64, k), Variances: make([]float64, k)}
+	for i := 0; i < p; i++ {
+		m.TotalVar += evals[i]
+	}
+	for c := 0; c < k; c++ {
+		col := order[c]
+		m.Variances[c] = evals[col]
+		comp := make([]float64, p)
+		for i := 0; i < p; i++ {
+			comp[i] = evecs[i][col]
+		}
+		m.Components[c] = comp
+	}
+	return m, nil
+}
+
+// Transform projects a row onto the retained components.
+func (m *Model) Transform(row []float64) []float64 {
+	out := make([]float64, len(m.Components))
+	for c, comp := range m.Components {
+		var s float64
+		for j, v := range row {
+			s += (v - m.Means[j]) * comp[j]
+		}
+		out[c] = s
+	}
+	return out
+}
+
+// TransformAll projects every row.
+func (m *Model) TransformAll(rows [][]float64) [][]float64 {
+	out := make([][]float64, len(rows))
+	for i, row := range rows {
+		out[i] = m.Transform(row)
+	}
+	return out
+}
+
+// ExplainedVariance returns the fraction of total variance captured by
+// the first c retained components.
+func (m *Model) ExplainedVariance(c int) float64 {
+	if m.TotalVar == 0 {
+		return 0
+	}
+	if c > len(m.Variances) {
+		c = len(m.Variances)
+	}
+	var s float64
+	for i := 0; i < c; i++ {
+		s += m.Variances[i]
+	}
+	return s / m.TotalVar
+}
+
+// jacobiEigen diagonalizes a symmetric matrix with cyclic Jacobi
+// rotations, returning eigenvalues and the matrix of column eigenvectors.
+func jacobiEigen(a [][]float64) ([]float64, [][]float64) {
+	p := len(a)
+	// Work on a copy.
+	m := make([][]float64, p)
+	for i := range m {
+		m[i] = append([]float64(nil), a[i]...)
+	}
+	v := make([][]float64, p)
+	for i := range v {
+		v[i] = make([]float64, p)
+		v[i][i] = 1
+	}
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		var off float64
+		for i := 0; i < p; i++ {
+			for j := i + 1; j < p; j++ {
+				off += m[i][j] * m[i][j]
+			}
+		}
+		if off < 1e-22 {
+			break
+		}
+		for i := 0; i < p; i++ {
+			for j := i + 1; j < p; j++ {
+				if m[i][j] == 0 {
+					continue
+				}
+				// Rotation angle zeroing m[i][j].
+				theta := (m[j][j] - m[i][i]) / (2 * m[i][j])
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+
+				for k := 0; k < p; k++ {
+					mik, mjk := m[i][k], m[j][k]
+					m[i][k] = c*mik - s*mjk
+					m[j][k] = s*mik + c*mjk
+				}
+				for k := 0; k < p; k++ {
+					mki, mkj := m[k][i], m[k][j]
+					m[k][i] = c*mki - s*mkj
+					m[k][j] = s*mki + c*mkj
+				}
+				for k := 0; k < p; k++ {
+					vki, vkj := v[k][i], v[k][j]
+					v[k][i] = c*vki - s*vkj
+					v[k][j] = s*vki + c*vkj
+				}
+			}
+		}
+	}
+	evals := make([]float64, p)
+	for i := 0; i < p; i++ {
+		evals[i] = m[i][i]
+	}
+	return evals, v
+}

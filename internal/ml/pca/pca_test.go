@@ -1,0 +1,141 @@
+package pca
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestFitRecoversDominantAxis(t *testing.T) {
+	// Data stretched along (1,1)/sqrt(2): first component must align.
+	r := rng.New(1)
+	rows := make([][]float64, 500)
+	for i := range rows {
+		a := r.NormalAt(0, 5)
+		b := r.NormalAt(0, 0.3)
+		rows[i] = []float64{a + b, a - b}
+	}
+	m, err := Fit(rows, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := m.Components[0]
+	align := math.Abs(c0[0]*1/math.Sqrt2 + c0[1]*1/math.Sqrt2)
+	if align < 0.99 {
+		t.Errorf("first component alignment = %v", align)
+	}
+	if m.Variances[0] <= m.Variances[1] {
+		t.Error("variances not sorted")
+	}
+	if ev := m.ExplainedVariance(1); ev < 0.99 {
+		t.Errorf("explained variance by first component = %v", ev)
+	}
+	if ev := m.ExplainedVariance(2); math.Abs(ev-1) > 1e-9 {
+		t.Errorf("total explained variance = %v", ev)
+	}
+}
+
+func TestTransformCentersData(t *testing.T) {
+	r := rng.New(2)
+	rows := make([][]float64, 300)
+	for i := range rows {
+		rows[i] = []float64{r.NormalAt(10, 2), r.NormalAt(-5, 1), r.NormalAt(3, 0.5)}
+	}
+	m, err := Fit(rows, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj := m.TransformAll(rows)
+	for c := 0; c < 2; c++ {
+		var mean float64
+		for _, p := range proj {
+			mean += p[c]
+		}
+		mean /= float64(len(proj))
+		if math.Abs(mean) > 1e-9 {
+			t.Errorf("projected component %d mean = %v, want 0", c, mean)
+		}
+	}
+	// Projected variance of component c matches the eigenvalue.
+	for c := 0; c < 2; c++ {
+		var ss float64
+		for _, p := range proj {
+			ss += p[c] * p[c]
+		}
+		got := ss / float64(len(proj)-1)
+		if math.Abs(got-m.Variances[c]) > 0.05*m.Variances[c] {
+			t.Errorf("component %d variance %v vs eigenvalue %v", c, got, m.Variances[c])
+		}
+	}
+}
+
+func TestComponentsOrthonormal(t *testing.T) {
+	r := rng.New(3)
+	rows := make([][]float64, 200)
+	for i := range rows {
+		rows[i] = []float64{r.Normal(), r.Normal(), r.Normal(), r.Normal()}
+	}
+	m, err := Fit(rows, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 4; a++ {
+		for b := a; b < 4; b++ {
+			var dot float64
+			for j := range m.Components[a] {
+				dot += m.Components[a][j] * m.Components[b][j]
+			}
+			want := 0.0
+			if a == b {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-8 {
+				t.Errorf("components %d.%d dot = %v, want %v", a, b, dot, want)
+			}
+		}
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, 1); err == nil {
+		t.Error("empty input not rejected")
+	}
+	if _, err := Fit([][]float64{{1}, {2}}, 2); err == nil {
+		t.Error("k > p not rejected")
+	}
+	if _, err := Fit([][]float64{{1, 2}, {1}}, 1); err == nil {
+		t.Error("ragged rows not rejected")
+	}
+}
+
+func TestConstantData(t *testing.T) {
+	rows := [][]float64{{5, 5}, {5, 5}, {5, 5}}
+	m, err := Fit(rows, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Variances[0] != 0 {
+		t.Errorf("constant data variance = %v", m.Variances[0])
+	}
+	if m.ExplainedVariance(1) != 0 {
+		t.Error("explained variance of zero-variance data should be 0")
+	}
+}
+
+func BenchmarkFit36(b *testing.B) {
+	r := rng.New(1)
+	rows := make([][]float64, 500)
+	for i := range rows {
+		rows[i] = make([]float64, 36)
+		for j := range rows[i] {
+			rows[i][j] = r.Normal()
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(rows, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

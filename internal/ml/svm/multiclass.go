@@ -1,0 +1,317 @@
+package svm
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+// Config holds SVM training options. The paper's settings are an RBF
+// kernel with gamma = 0.1 and C = 1000 on standardized features.
+type Config struct {
+	Kernel Kernel
+	C      float64
+
+	// Tol is the SMO KKT stopping tolerance (default 1e-3).
+	Tol float64
+	// MaxIter caps SMO iterations per binary problem (0 = auto).
+	MaxIter int
+	// CacheBytes is the kernel row cache budget per solver (default 64 MiB).
+	CacheBytes int
+
+	// Probability enables Platt calibration + pairwise coupling.
+	// ProbabilityCV is the number of cross-validation folds used to
+	// obtain unbiased decision values for the sigmoid fit (default 3;
+	// 1 fits on raw training decision values).
+	Probability   bool
+	ProbabilityCV int
+
+	// Workers bounds the number of binary problems trained concurrently
+	// (default: GOMAXPROCS).
+	Workers int
+
+	// Seed drives the CV fold assignment for probability calibration.
+	Seed uint64
+
+	// ClassWeights scales the per-class cost: C_i = C * ClassWeights[name]
+	// (absent classes weigh 1). The paper suggests class weighting to
+	// counter mixture-share-driven misclassification (VASP/NAMD).
+	ClassWeights map[string]float64
+}
+
+// weightFor returns the configured weight of a class (default 1).
+func (c Config) weightFor(name string) float64 {
+	if w, ok := c.ClassWeights[name]; ok && w > 0 {
+		return w
+	}
+	return 1
+}
+
+// PaperConfig returns the paper's SVM configuration (RBF, gamma=0.1,
+// C=1000, probability outputs on).
+func PaperConfig() Config {
+	return Config{Kernel: RBF{Gamma: 0.1}, C: 1000, Probability: true}
+}
+
+// Model is a trained one-vs-one multiclass SVM.
+type Model struct {
+	cfg      Config
+	classes  []string
+	features int
+	pairs    []pairModel
+}
+
+type pairModel struct {
+	i, j int // class indices; machine outputs +1 for class i
+	m    *binaryMachine
+}
+
+// Train fits a one-vs-one SVM on the dataset. Classes with no training
+// rows are kept in the vocabulary but receive no votes.
+func Train(d *dataset.Dataset, cfg Config) (*Model, error) {
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("svm: empty training set")
+	}
+	if cfg.Kernel == nil {
+		cfg.Kernel = RBF{Gamma: 0.1}
+	}
+	if cfg.C <= 0 {
+		cfg.C = 1
+	}
+	if cfg.ProbabilityCV <= 0 {
+		cfg.ProbabilityCV = 3
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+
+	byClass := make([][]int, d.NumClasses())
+	for i, y := range d.Y {
+		byClass[y] = append(byClass[y], i)
+	}
+	type pairJob struct{ i, j int }
+	var jobs []pairJob
+	for i := 0; i < d.NumClasses(); i++ {
+		for j := i + 1; j < d.NumClasses(); j++ {
+			if len(byClass[i]) > 0 && len(byClass[j]) > 0 {
+				jobs = append(jobs, pairJob{i, j})
+			}
+		}
+	}
+
+	model := &Model{cfg: cfg, classes: d.ClassNames, features: d.NumFeatures()}
+	model.pairs = make([]pairModel, len(jobs))
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	for idx, job := range jobs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(idx int, job pairJob) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			x, y := pairData(d, byClass[job.i], byClass[job.j])
+			wPos := cfg.weightFor(d.ClassNames[job.i])
+			wNeg := cfg.weightFor(d.ClassNames[job.j])
+			m := trainBinary(x, y, wPos, wNeg, cfg, uint64(idx))
+			model.pairs[idx] = pairModel{i: job.i, j: job.j, m: m}
+		}(idx, job)
+	}
+	wg.Wait()
+	return model, nil
+}
+
+// pairData assembles the two-class subproblem: +1 for class i, -1 for j.
+func pairData(d *dataset.Dataset, iIdx, jIdx []int) ([][]float64, []float64) {
+	n := len(iIdx) + len(jIdx)
+	x := make([][]float64, 0, n)
+	y := make([]float64, 0, n)
+	for _, t := range iIdx {
+		x = append(x, d.X[t])
+		y = append(y, 1)
+	}
+	for _, t := range jIdx {
+		x = append(x, d.X[t])
+		y = append(y, -1)
+	}
+	return x, y
+}
+
+// weightedC builds the per-sample box constraints for a labeled pair.
+func weightedC(y []float64, c, wPos, wNeg float64) []float64 {
+	cv := make([]float64, len(y))
+	for i, yi := range y {
+		if yi > 0 {
+			cv[i] = c * wPos
+		} else {
+			cv[i] = c * wNeg
+		}
+	}
+	return cv
+}
+
+// trainBinary solves one pair, optionally with probability calibration on
+// cross-validated decision values.
+func trainBinary(x [][]float64, y []float64, wPos, wNeg float64, cfg Config, seed uint64) *binaryMachine {
+	res := solveSMOGeneral(x, y, nil, weightedC(y, cfg.C, wPos, wNeg), cfg.Kernel, cfg.Tol, cfg.MaxIter, cfg.CacheBytes)
+	m := newBinaryMachine(x, y, res)
+	if !cfg.Probability {
+		return m
+	}
+
+	folds := cfg.ProbabilityCV
+	n := len(x)
+	dec := make([]float64, n)
+	if folds <= 1 || n < 2*folds {
+		for i := range x {
+			dec[i] = m.decision(cfg.Kernel, x[i])
+		}
+	} else {
+		r := rng.New(cfg.Seed ^ 0x5eed).Split(seed)
+		fold := make([]int, n)
+		perm := r.Perm(n)
+		for i, p := range perm {
+			fold[p] = i % folds
+		}
+		for f := 0; f < folds; f++ {
+			var tx [][]float64
+			var ty []float64
+			for i := range x {
+				if fold[i] != f {
+					tx = append(tx, x[i])
+					ty = append(ty, y[i])
+				}
+			}
+			if !hasBothClasses(ty) {
+				sub := m // degenerate fold: fall back to full model
+				for i := range x {
+					if fold[i] == f {
+						dec[i] = sub.decision(cfg.Kernel, x[i])
+					}
+				}
+				continue
+			}
+			subRes := solveSMOGeneral(tx, ty, nil, weightedC(ty, cfg.C, wPos, wNeg), cfg.Kernel, cfg.Tol, cfg.MaxIter, cfg.CacheBytes)
+			sub := newBinaryMachine(tx, ty, subRes)
+			for i := range x {
+				if fold[i] == f {
+					dec[i] = sub.decision(cfg.Kernel, x[i])
+				}
+			}
+		}
+	}
+	m.a, m.b = fitSigmoid(dec, y)
+	m.hasAB = true
+	return m
+}
+
+func hasBothClasses(y []float64) bool {
+	var pos, neg bool
+	for _, v := range y {
+		if v > 0 {
+			pos = true
+		} else {
+			neg = true
+		}
+	}
+	return pos && neg
+}
+
+// Classes returns the class vocabulary.
+func (m *Model) Classes() []string { return m.classes }
+
+// NumSupportVectors returns the total SV count across pair machines.
+func (m *Model) NumSupportVectors() int {
+	n := 0
+	for _, p := range m.pairs {
+		n += len(p.m.sv)
+	}
+	return n
+}
+
+// Predict returns the index of the winning class by one-vs-one voting,
+// breaking ties toward the lower class index (LIBSVM behaviour).
+func (m *Model) Predict(x []float64) int {
+	votes := make([]int, len(m.classes))
+	for _, p := range m.pairs {
+		if p.m.decision(m.cfg.Kernel, x) > 0 {
+			votes[p.i]++
+		} else {
+			votes[p.j]++
+		}
+	}
+	best := 0
+	for c := 1; c < len(votes); c++ {
+		if votes[c] > votes[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// PredictProb returns the posterior class probabilities via pairwise
+// coupling and the index of the most probable class. Train must have run
+// with Probability enabled.
+func (m *Model) PredictProb(x []float64) (int, []float64) {
+	k := len(m.classes)
+	r := make([][]float64, k)
+	for i := range r {
+		r[i] = make([]float64, k)
+	}
+	seen := make([]bool, k)
+	for _, p := range m.pairs {
+		pr := p.m.prob(p.m.decision(m.cfg.Kernel, x))
+		// Clip away exact 0/1 as LIBSVM does to keep coupling stable.
+		pr = clamp(pr, 1e-7, 1-1e-7)
+		r[p.i][p.j] = pr
+		r[p.j][p.i] = 1 - pr
+		seen[p.i], seen[p.j] = true, true
+	}
+	// Restrict coupling to classes that participated in training.
+	var active []int
+	for c, ok := range seen {
+		if ok {
+			active = append(active, c)
+		}
+	}
+	if len(active) == 0 {
+		return 0, make([]float64, k)
+	}
+	sub := make([][]float64, len(active))
+	for a, ca := range active {
+		sub[a] = make([]float64, len(active))
+		for b, cb := range active {
+			sub[a][b] = r[ca][cb]
+		}
+	}
+	p := coupleProbabilities(sub)
+	probs := make([]float64, k)
+	best := active[0]
+	bestP := -1.0
+	for a, ca := range active {
+		probs[ca] = p[a]
+		if p[a] > bestP {
+			bestP = p[a]
+			best = ca
+		}
+	}
+	return best, probs
+}
+
+// Accuracy evaluates plain voting accuracy on a dataset whose class
+// vocabulary matches the training vocabulary.
+func (m *Model) Accuracy(d *dataset.Dataset) float64 {
+	if d.Len() == 0 {
+		return 0
+	}
+	correct := 0
+	for i, row := range d.X {
+		if m.Predict(row) == d.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(d.Len())
+}

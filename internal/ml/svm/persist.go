@@ -1,0 +1,101 @@
+package svm
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Persistence uses an exported snapshot struct encoded with gob, so a
+// trained classifier can be saved once and reloaded by production tooling
+// without retraining. Only the three built-in kernels round-trip.
+
+type modelSnapshot struct {
+	Classes  []string
+	Features int
+	Kernel   kernelSnapshot
+	Pairs    []pairSnapshot
+}
+
+type kernelSnapshot struct {
+	Name   string
+	Gamma  float64
+	Coef0  float64
+	Degree int
+}
+
+type pairSnapshot struct {
+	I, J  int
+	SV    [][]float64
+	Coef  []float64
+	Rho   float64
+	A, B  float64
+	HasAB bool
+}
+
+func snapshotKernel(k Kernel) (kernelSnapshot, error) {
+	switch kk := k.(type) {
+	case RBF:
+		return kernelSnapshot{Name: "rbf", Gamma: kk.Gamma}, nil
+	case Linear:
+		return kernelSnapshot{Name: "linear"}, nil
+	case Poly:
+		return kernelSnapshot{Name: "poly", Gamma: kk.Gamma, Coef0: kk.Coef0, Degree: kk.Degree}, nil
+	}
+	return kernelSnapshot{}, fmt.Errorf("svm: kernel %q is not serializable", k.Name())
+}
+
+func restoreKernel(s kernelSnapshot) (Kernel, error) {
+	switch s.Name {
+	case "rbf":
+		return RBF{Gamma: s.Gamma}, nil
+	case "linear":
+		return Linear{}, nil
+	case "poly":
+		return Poly{Gamma: s.Gamma, Coef0: s.Coef0, Degree: s.Degree}, nil
+	}
+	return nil, fmt.Errorf("svm: unknown kernel %q in snapshot", s.Name)
+}
+
+// MarshalBinary serializes the trained model.
+func (m *Model) MarshalBinary() ([]byte, error) {
+	ks, err := snapshotKernel(m.cfg.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	snap := modelSnapshot{Classes: m.classes, Features: m.features, Kernel: ks}
+	for _, p := range m.pairs {
+		snap.Pairs = append(snap.Pairs, pairSnapshot{
+			I: p.i, J: p.j, SV: p.m.sv, Coef: p.m.coef,
+			Rho: p.m.rho, A: p.m.a, B: p.m.b, HasAB: p.m.hasAB,
+		})
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary restores a model saved with MarshalBinary. The restored
+// model predicts identically; training-only configuration is not retained.
+func (m *Model) UnmarshalBinary(data []byte) error {
+	var snap modelSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return err
+	}
+	kernel, err := restoreKernel(snap.Kernel)
+	if err != nil {
+		return err
+	}
+	m.cfg = Config{Kernel: kernel}
+	m.classes = snap.Classes
+	m.features = snap.Features
+	m.pairs = m.pairs[:0]
+	for _, p := range snap.Pairs {
+		m.pairs = append(m.pairs, pairModel{i: p.I, j: p.J, m: &binaryMachine{
+			sv: p.SV, coef: p.Coef, rho: p.Rho, a: p.A, b: p.B, hasAB: p.HasAB,
+		}})
+	}
+	return nil
+}

@@ -1,0 +1,272 @@
+package svm
+
+import "math"
+
+// tau is the numerical floor for second-derivative terms, as in LIBSVM.
+const tau = 1e-12
+
+// smoProblem is one binary C-SVC training problem. Box constraints are
+// per-sample (cvec), which is how per-class cost weighting -- the paper's
+// suggested remedy for mixture-share-driven misclassification -- is
+// realized: C_i = C * weight[class(i)].
+type smoProblem struct {
+	x      [][]float64
+	y      []float64 // +1 / -1
+	cvec   []float64 // per-sample upper bound C_i
+	kernel Kernel
+	tol    float64
+	maxIt  int
+	cache  *rowCache
+	diag   []float64 // K(i,i)
+}
+
+// smoResult is the solved dual.
+type smoResult struct {
+	alpha []float64
+	rho   float64
+	iters int
+}
+
+// solveSMO minimizes (1/2) a'Qa + p'a subject to 0 <= a <= C, y'a = 0,
+// with Q_ij = y_i y_j K(x_i, x_j), using maximal-violating-pair selection
+// with LIBSVM's second-order refinement for the second index. A nil p
+// means the C-SVC linear term -e.
+func solveSMO(x [][]float64, y []float64, c float64, kernel Kernel, tol float64, maxIt, cacheBytes int) smoResult {
+	return solveSMOGeneral(x, y, nil, uniformC(len(x), c), kernel, tol, maxIt, cacheBytes)
+}
+
+// uniformC builds a constant box-constraint vector.
+func uniformC(n int, c float64) []float64 {
+	cv := make([]float64, n)
+	for i := range cv {
+		cv[i] = c
+	}
+	return cv
+}
+
+func solveSMOGeneral(x [][]float64, y, p0 []float64, cvec []float64, kernel Kernel, tol float64, maxIt, cacheBytes int) smoResult {
+	n := len(x)
+	p := &smoProblem{x: x, y: y, cvec: cvec, kernel: kernel, tol: tol, maxIt: maxIt}
+	if p.tol <= 0 {
+		p.tol = 1e-3
+	}
+	if p.maxIt <= 0 {
+		p.maxIt = 10_000_000 / (n + 1) * 10 // generous; scaled by size
+		if p.maxIt < 10000 {
+			p.maxIt = 10000
+		}
+	}
+	if cacheBytes <= 0 {
+		cacheBytes = 64 << 20
+	}
+	p.cache = newRowCache(n, cacheBytes, p.kernelRow)
+	p.diag = make([]float64, n)
+	for i := range p.diag {
+		p.diag[i] = kernel.Compute(x[i], x[i])
+	}
+
+	alpha := make([]float64, n)
+	grad := make([]float64, n) // G_i = sum_j Q_ij a_j + p_i
+	for i := range grad {
+		if p0 != nil {
+			grad[i] = p0[i]
+		} else {
+			grad[i] = -1
+		}
+	}
+
+	iters := 0
+	for ; iters < p.maxIt; iters++ {
+		i, j, gap := p.selectWorkingSet(alpha, grad)
+		if j < 0 || gap < p.tol {
+			break
+		}
+		p.update(alpha, grad, i, j)
+	}
+	return smoResult{alpha: alpha, rho: p.computeRho(alpha, grad), iters: iters}
+}
+
+func (p *smoProblem) kernelRow(i int) []float64 {
+	row := make([]float64, len(p.x))
+	xi := p.x[i]
+	for t := range p.x {
+		row[t] = p.kernel.Compute(xi, p.x[t])
+	}
+	return row
+}
+
+// selectWorkingSet returns the maximal violating pair (i, j) and the KKT
+// gap m(a) - M(a); j is chosen by the second-order rule.
+func (p *smoProblem) selectWorkingSet(alpha, grad []float64) (int, int, float64) {
+	n := len(alpha)
+	gmax := math.Inf(-1)
+	gmin := math.Inf(1)
+	i := -1
+	for t := 0; t < n; t++ {
+		if p.inUp(t, alpha) {
+			if v := -p.y[t] * grad[t]; v > gmax {
+				gmax = v
+				i = t
+			}
+		}
+	}
+	if i < 0 {
+		return -1, -1, 0
+	}
+	rowI := p.cache.get(i)
+	j := -1
+	best := math.Inf(1) // most negative objective decrease
+	for t := 0; t < n; t++ {
+		if !p.inLow(t, alpha) {
+			continue
+		}
+		v := -p.y[t] * grad[t]
+		if v < gmin {
+			gmin = v
+		}
+		b := gmax - v
+		if b <= 0 {
+			continue
+		}
+		// Second derivative along the feasible pair direction is
+		// ||phi(x_i) - phi(x_t)||^2 regardless of label signs.
+		a := p.diag[i] + p.diag[t] - 2*rowI[t]
+		if a <= 0 {
+			a = tau
+		}
+		if obj := -(b * b) / a; obj < best {
+			best = obj
+			j = t
+		}
+	}
+	return i, j, gmax - gmin
+}
+
+func (p *smoProblem) inUp(t int, alpha []float64) bool {
+	if p.y[t] > 0 {
+		return alpha[t] < p.cvec[t]
+	}
+	return alpha[t] > 0
+}
+
+func (p *smoProblem) inLow(t int, alpha []float64) bool {
+	if p.y[t] > 0 {
+		return alpha[t] > 0
+	}
+	return alpha[t] < p.cvec[t]
+}
+
+// update optimizes the (i, j) pair analytically and refreshes the gradient.
+func (p *smoProblem) update(alpha, grad []float64, i, j int) {
+	rowI := p.cache.get(i)
+	rowJ := p.cache.get(j)
+	yi, yj := p.y[i], p.y[j]
+
+	a := p.diag[i] + p.diag[j] - 2*rowI[j]
+	if a <= 0 {
+		a = tau
+	}
+	b := -yi*grad[i] + yj*grad[j]
+
+	oldAi, oldAj := alpha[i], alpha[j]
+	alpha[i] += yi * b / a
+	alpha[j] -= yj * b / a
+
+	// Project back to the feasible box preserving y_i a_i + y_j a_j.
+	sum := yi*oldAi + yj*oldAj
+	alpha[i] = clamp(alpha[i], 0, p.cvec[i])
+	alpha[j] = yj * (sum - yi*alpha[i])
+	alpha[j] = clamp(alpha[j], 0, p.cvec[j])
+	alpha[i] = yi * (sum - yj*alpha[j])
+	alpha[i] = clamp(alpha[i], 0, p.cvec[i])
+
+	dAi, dAj := alpha[i]-oldAi, alpha[j]-oldAj
+	if dAi == 0 && dAj == 0 {
+		return
+	}
+	for t := range grad {
+		grad[t] += p.y[t] * (yi*rowI[t]*dAi + yj*rowJ[t]*dAj)
+	}
+}
+
+// computeRho recovers the threshold from the KKT conditions: the average
+// of y_t G_t over free vectors, or the midpoint of the bound-derived range.
+func (p *smoProblem) computeRho(alpha, grad []float64) float64 {
+	var sum float64
+	nFree := 0
+	ub, lb := math.Inf(1), math.Inf(-1)
+	for t := range alpha {
+		yg := p.y[t] * grad[t]
+		switch {
+		case alpha[t] > 0 && alpha[t] < p.cvec[t]:
+			sum += yg
+			nFree++
+		case p.inUp(t, alpha):
+			if -yg > lb {
+				lb = -yg
+			}
+		default:
+			if -yg < ub {
+				ub = -yg
+			}
+		}
+	}
+	if nFree > 0 {
+		return sum / float64(nFree)
+	}
+	return -(ub + lb) / 2
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// binaryMachine is a trained two-class decision function.
+type binaryMachine struct {
+	sv    [][]float64 // support vectors
+	coef  []float64   // alpha_i * y_i
+	rho   float64
+	a, b  float64 // Platt sigmoid parameters (probability calibration)
+	hasAB bool
+}
+
+// decision returns sum_i coef_i K(sv_i, x) - rho; positive means class +1.
+func (m *binaryMachine) decision(kernel Kernel, x []float64) float64 {
+	var s float64
+	for i, sv := range m.sv {
+		s += m.coef[i] * kernel.Compute(sv, x)
+	}
+	return s - m.rho
+}
+
+// prob returns the calibrated P(y=+1 | decision value f).
+func (m *binaryMachine) prob(f float64) float64 {
+	if !m.hasAB {
+		// Uncalibrated fallback: a steep logistic on the margin.
+		return 1 / (1 + math.Exp(-2*f))
+	}
+	// Numerically careful sigmoid 1/(1+exp(A f + B)).
+	fApB := m.a*f + m.b
+	if fApB >= 0 {
+		return math.Exp(-fApB) / (1 + math.Exp(-fApB))
+	}
+	return 1 / (1 + math.Exp(fApB))
+}
+
+// newBinaryMachine compacts an SMO solution into the SV representation.
+func newBinaryMachine(x [][]float64, y []float64, res smoResult) *binaryMachine {
+	m := &binaryMachine{rho: res.rho}
+	for i, a := range res.alpha {
+		if a > 0 {
+			m.sv = append(m.sv, x[i])
+			m.coef = append(m.coef, a*y[i])
+		}
+	}
+	return m
+}

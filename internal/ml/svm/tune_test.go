@@ -1,0 +1,102 @@
+package svm
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+func TestTuneFindsWorkingRegion(t *testing.T) {
+	// Two tight blobs: any reasonable (gamma, C) separates them, but
+	// extreme gamma overfits badly on CV folds. Tune must rank a sane
+	// point first and return the full grid.
+	d := blobs(1, [][]float64{{-2, 0}, {2, 0}}, 0.6, 80)
+	grid := Grid{Gammas: []float64{0.1, 50}, Cs: []float64{10}}
+	results, err := Tune(d, grid, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if results[0].Gamma != 0.1 {
+		t.Errorf("best gamma = %v, want 0.1 (gamma=50 should overfit)", results[0].Gamma)
+	}
+	if results[0].Accuracy < 0.95 {
+		t.Errorf("best accuracy = %v", results[0].Accuracy)
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].Accuracy > results[i-1].Accuracy {
+			t.Fatal("results not sorted")
+		}
+	}
+}
+
+func TestTuneDefaults(t *testing.T) {
+	d := blobs(2, [][]float64{{-2, 0}, {2, 0}}, 0.5, 30)
+	results, err := Tune(d, Grid{}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(DefaultGrid().Gammas) * len(DefaultGrid().Cs)
+	if len(results) != want {
+		t.Errorf("default grid evaluated %d points, want %d", len(results), want)
+	}
+}
+
+func TestTuneEmptyData(t *testing.T) {
+	d, _ := dataset.New([]string{"x"}, nil, nil)
+	if _, err := Tune(d, Grid{}, 3, 1); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestTuneDeterminism(t *testing.T) {
+	d := blobs(3, [][]float64{{-2, 0}, {2, 0}}, 0.7, 40)
+	g := Grid{Gammas: []float64{0.5}, Cs: []float64{10}}
+	r1, _ := Tune(d, g, 3, 5)
+	r2, _ := Tune(d, g, 3, 5)
+	if r1[0].Accuracy != r2[0].Accuracy {
+		t.Fatal("Tune not deterministic")
+	}
+}
+
+func TestClassWeightsShiftBoundary(t *testing.T) {
+	// Overlapping blobs: up-weighting one class must increase its recall.
+	r := rng.New(9)
+	var rows [][]float64
+	var labels []string
+	for i := 0; i < 400; i++ {
+		if i%2 == 0 {
+			rows = append(rows, []float64{r.NormalAt(-0.5, 1)})
+			labels = append(labels, "neg")
+		} else {
+			rows = append(rows, []float64{r.NormalAt(0.5, 1)})
+			labels = append(labels, "pos")
+		}
+	}
+	d, _ := dataset.New([]string{"x"}, rows, labels)
+	recall := func(weights map[string]float64) float64 {
+		m, err := Train(d, Config{Kernel: RBF{Gamma: 0.5}, C: 1, ClassWeights: weights})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pos, correct := 0, 0
+		for i, row := range d.X {
+			if d.Label(i) != "pos" {
+				continue
+			}
+			pos++
+			if m.Classes()[m.Predict(row)] == "pos" {
+				correct++
+			}
+		}
+		return float64(correct) / float64(pos)
+	}
+	plain := recall(nil)
+	boosted := recall(map[string]float64{"pos": 8})
+	if boosted <= plain {
+		t.Errorf("up-weighted recall %v not above plain %v", boosted, plain)
+	}
+}

@@ -1,0 +1,154 @@
+// Package pcp implements a Performance Co-Pilot-style archive format for
+// the raw node data. The paper notes SUPReMM supports multiple open-source
+// collectors -- Performance Co-Pilot and TACC_Stats -- feeding one
+// summarization pipeline; this package provides the second wire format
+// (JSON lines with PCP-style dotted metric names) and lossless conversion
+// to and from the TACC_Stats archive model, so the summarizer consumes
+// either source unchanged.
+package pcp
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/taccstats"
+)
+
+// sample is one JSON line: everything one host reported at one instant.
+type sample struct {
+	Host    string            `json:"host"`
+	JobID   string            `json:"jobid"`
+	TS      int64             `json:"ts"`
+	Marker  string            `json:"marker,omitempty"`
+	Metrics map[string]uint64 `json:"metrics"`
+}
+
+// metricName maps a device and key index to the PCP-style dotted name.
+func metricName(device string, key taccstats.Key) string {
+	return "supremm." + device + "." + key.Name
+}
+
+// nameTable builds the bidirectional metric-name mapping from the schema
+// set.
+func nameTable(schemas []taccstats.Schema) (toName map[string][]string, fromName map[string][2]string) {
+	toName = map[string][]string{}
+	fromName = map[string][2]string{}
+	for _, s := range schemas {
+		names := make([]string, len(s.Keys))
+		for k, key := range s.Keys {
+			n := metricName(s.Device, key)
+			names[k] = n
+			fromName[n] = [2]string{s.Device, key.Name}
+		}
+		toName[s.Device] = names
+	}
+	return toName, fromName
+}
+
+// Export writes the archive as PCP-style JSON lines.
+func Export(a *taccstats.Archive, w io.Writer) error {
+	toName, _ := nameTable(taccstats.DefaultSchemas())
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, node := range a.Nodes {
+		for _, s := range node.Samples {
+			out := sample{Host: node.Host, JobID: a.JobID, TS: s.Time, Marker: s.Marker,
+				Metrics: map[string]uint64{}}
+			for _, rec := range s.Records {
+				names, ok := toName[rec.Device]
+				if !ok {
+					return fmt.Errorf("pcp: no schema for device %q", rec.Device)
+				}
+				for k, v := range rec.Values {
+					if k < len(names) {
+						out.Metrics[names[k]] = v
+					}
+				}
+			}
+			if err := enc.Encode(&out); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Import parses PCP-style JSON lines into a TACC_Stats archive. Samples
+// may arrive interleaved across hosts; they are regrouped per host and
+// time-ordered.
+func Import(r io.Reader) (*taccstats.Archive, error) {
+	schemas := taccstats.DefaultSchemas()
+	_, fromName := nameTable(schemas)
+	set := taccstats.NewSchemaSet(schemas)
+
+	byHost := map[string][]taccstats.Sample{}
+	var hostOrder []string
+	jobID := ""
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var in sample
+		if err := json.Unmarshal(line, &in); err != nil {
+			return nil, fmt.Errorf("pcp: line %d: %w", lineNo, err)
+		}
+		if in.Host == "" {
+			return nil, fmt.Errorf("pcp: line %d: missing host", lineNo)
+		}
+		if jobID == "" {
+			jobID = in.JobID
+		} else if in.JobID != jobID {
+			return nil, fmt.Errorf("pcp: line %d: mixed job ids %q and %q", lineNo, jobID, in.JobID)
+		}
+		// Rebuild device records from dotted names.
+		recs := map[string][]uint64{}
+		for name, v := range in.Metrics {
+			dk, ok := fromName[name]
+			if !ok {
+				continue // unknown metric: tolerated, like real PCP configs
+			}
+			device, key := dk[0], dk[1]
+			sch := set[device]
+			if recs[device] == nil {
+				recs[device] = make([]uint64, len(sch.Keys))
+			}
+			recs[device][sch.KeyIndex(key)] = v
+		}
+		s := taccstats.Sample{Time: in.TS, Marker: in.Marker}
+		devices := make([]string, 0, len(recs))
+		for d := range recs {
+			devices = append(devices, d)
+		}
+		sort.Strings(devices)
+		for _, d := range devices {
+			s.Records = append(s.Records, taccstats.Record{Device: d, Values: recs[d]})
+		}
+		if _, seen := byHost[in.Host]; !seen {
+			hostOrder = append(hostOrder, in.Host)
+		}
+		byHost[in.Host] = append(byHost[in.Host], s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(byHost) == 0 {
+		return nil, fmt.Errorf("pcp: no samples")
+	}
+
+	a := &taccstats.Archive{JobID: jobID}
+	for _, host := range hostOrder {
+		samples := byHost[host]
+		sort.SliceStable(samples, func(i, j int) bool { return samples[i].Time < samples[j].Time })
+		a.Nodes = append(a.Nodes, taccstats.NodeArchive{Host: host, JobID: jobID, Samples: samples})
+	}
+	return a, nil
+}

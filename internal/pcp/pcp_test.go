@@ -1,0 +1,144 @@
+package pcp
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/rng"
+	"repro/internal/summarize"
+	"repro/internal/taccstats"
+)
+
+func testArchive(t *testing.T) *taccstats.Archive {
+	t.Helper()
+	a, ok := apps.ByName("WRF")
+	if !ok {
+		t.Fatal("WRF missing")
+	}
+	d := a.Sig.Draw(rng.New(3))
+	hosts := make([]string, d.Nodes)
+	for i := range hosts {
+		hosts[i] = taccstats.Hostname(0, i)
+	}
+	return taccstats.Collect(taccstats.DefaultConfig(), taccstats.JobInfo{
+		ID: "pcpjob", Start: 1_400_000_000, Hosts: hosts,
+	}, d, rng.New(4))
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	arch := testArchive(t)
+	var buf bytes.Buffer
+	if err := Export(arch, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Import(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.JobID != arch.JobID || len(got.Nodes) != len(arch.Nodes) {
+		t.Fatalf("shape mismatch: %s, %d nodes", got.JobID, len(got.Nodes))
+	}
+	for i := range arch.Nodes {
+		w, g := arch.Nodes[i], got.Nodes[i]
+		if w.Host != g.Host || len(w.Samples) != len(g.Samples) {
+			t.Fatalf("node %d mismatch", i)
+		}
+		for j := range w.Samples {
+			ws, gs := w.Samples[j], g.Samples[j]
+			if ws.Time != gs.Time || ws.Marker != gs.Marker {
+				t.Fatal("sample header mismatch")
+			}
+			for _, rec := range ws.Records {
+				grec := gs.Find(rec.Device)
+				if grec == nil || !reflect.DeepEqual(grec.Values, rec.Values) {
+					t.Fatalf("device %s mismatch", rec.Device)
+				}
+			}
+		}
+	}
+}
+
+// TestSummarizerAgnosticToSource is the point of the package: summaries
+// from the PCP path must be identical to the TACC_Stats path.
+func TestSummarizerAgnosticToSource(t *testing.T) {
+	arch := testArchive(t)
+	var buf bytes.Buffer
+	if err := Export(arch, &buf); err != nil {
+		t.Fatal(err)
+	}
+	viaPCP, err := Import(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := summarize.Summarize(arch, taccstats.DefaultConfig(), summarize.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := summarize.Summarize(viaPCP, taccstats.DefaultConfig(), summarize.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := apps.MetricID(0); m < apps.NumMetrics; m++ {
+		if math.Abs(s1.Means[m]-s2.Means[m]) > 1e-12*math.Abs(s1.Means[m]) {
+			t.Fatalf("metric %v differs: %v vs %v", m, s1.Means[m], s2.Means[m])
+		}
+		if s1.COVs[m] != s2.COVs[m] {
+			t.Fatalf("COV %v differs", m)
+		}
+	}
+	if s1.Catastrophe != s2.Catastrophe || s1.CPUUserImbalance != s2.CPUUserImbalance {
+		t.Fatal("derived metrics differ between sources")
+	}
+}
+
+func TestImportInterleavedHosts(t *testing.T) {
+	in := strings.Join([]string{
+		`{"host":"c1","jobid":"7","ts":200,"metrics":{"supremm.cpu.user":20,"supremm.cpu.system":2,"supremm.cpu.idle":1}}`,
+		`{"host":"c0","jobid":"7","ts":100,"marker":"begin","metrics":{"supremm.cpu.user":1,"supremm.cpu.system":1,"supremm.cpu.idle":1}}`,
+		`{"host":"c1","jobid":"7","ts":100,"marker":"begin","metrics":{"supremm.cpu.user":2,"supremm.cpu.system":1,"supremm.cpu.idle":1}}`,
+		`{"host":"c0","jobid":"7","ts":200,"metrics":{"supremm.cpu.user":10,"supremm.cpu.system":2,"supremm.cpu.idle":1}}`,
+	}, "\n")
+	a, err := Import(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Nodes) != 2 {
+		t.Fatalf("nodes = %d", len(a.Nodes))
+	}
+	for _, n := range a.Nodes {
+		if len(n.Samples) != 2 || n.Samples[0].Time != 100 || n.Samples[1].Time != 200 {
+			t.Fatalf("host %s samples not time-ordered: %+v", n.Host, n.Samples)
+		}
+	}
+}
+
+func TestImportErrors(t *testing.T) {
+	cases := []string{
+		``,                                  // no samples
+		`{"jobid":"1","ts":1,"metrics":{}}`, // missing host
+		`{"host":"c0","jobid":"1","ts":1,"metrics":{}}` + "\n" + // mixed jobs
+			`{"host":"c0","jobid":"2","ts":2,"metrics":{}}`,
+		`not json`,
+	}
+	for i, in := range cases {
+		if _, err := Import(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestImportToleratesUnknownMetrics(t *testing.T) {
+	in := `{"host":"c0","jobid":"1","ts":1,"metrics":{"some.other.metric":5,"supremm.cpu.user":3,"supremm.cpu.system":1,"supremm.cpu.idle":1}}`
+	a, err := Import(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := a.Nodes[0].Samples[0].Find(taccstats.DevCPU)
+	if rec == nil || rec.Values[0] != 3 {
+		t.Fatal("known metric lost among unknown ones")
+	}
+}

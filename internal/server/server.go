@@ -1,0 +1,208 @@
+// Package server exposes the warehouse and a trained job classifier over
+// HTTP -- the paper's stated destination for this work: "we do plan to
+// develop the machine learning technology that was explored in this work
+// into production tools for use in XDMoD". The API mirrors the XDMoD
+// views: overview totals, dimensional group-bys, drill-downs, monthly
+// utilization, and an online classification endpoint that labels a
+// SUPReMM summary with a probability threshold.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/warehouse"
+)
+
+// Server wires the API handlers to a warehouse store and an optional
+// classifier.
+type Server struct {
+	store        *warehouse.Store
+	model        *core.JobClassifier
+	machineNodes int
+	mux          *http.ServeMux
+}
+
+// New builds a server. model may be nil (the classify endpoint then
+// returns 503). machineNodes sizes the utilization report.
+func New(store *warehouse.Store, model *core.JobClassifier, machineNodes int) *Server {
+	s := &Server{store: store, model: model, machineNodes: machineNodes, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /api/overview", s.handleOverview)
+	s.mux.HandleFunc("GET /api/groupby", s.handleGroupBy)
+	s.mux.HandleFunc("GET /api/drilldown", s.handleDrillDown)
+	s.mux.HandleFunc("GET /api/utilization", s.handleUtilization)
+	s.mux.HandleFunc("GET /api/features", s.handleFeatures)
+	s.mux.HandleFunc("POST /api/classify", s.handleClassify)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleOverview(w http.ResponseWriter, r *http.Request) {
+	t := s.store.Totals()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"jobs":      t.Jobs,
+		"cpuHours":  t.CPUHours,
+		"wallHours": t.WallHours,
+	})
+}
+
+// validDims lists the dimensions the API accepts.
+var validDims = map[warehouse.Dimension]bool{
+	warehouse.ByApplication: true, warehouse.ByCategory: true,
+	warehouse.ByUser: true, warehouse.ByPopulation: true,
+	warehouse.ByJobSize: true, warehouse.ByMonth: true,
+}
+
+func parseDim(r *http.Request, param string) (warehouse.Dimension, error) {
+	d := warehouse.Dimension(r.URL.Query().Get(param))
+	if !validDims[d] {
+		return "", fmt.Errorf("unknown or missing dimension %q", d)
+	}
+	return d, nil
+}
+
+func (s *Server) handleGroupBy(w http.ResponseWriter, r *http.Request) {
+	dim, err := parseDim(r, "dim")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	type row struct {
+		Key        string  `json:"key"`
+		Jobs       int     `json:"jobs"`
+		MixPercent float64 `json:"mixPercent"`
+		CPUHours   float64 `json:"cpuHours"`
+		AvgNodes   float64 `json:"avgNodes"`
+		AvgWaitHrs float64 `json:"avgWaitHours"`
+	}
+	var out []row
+	for _, g := range s.store.GroupBy(dim) {
+		out = append(out, row{g.Key, g.Jobs, g.MixPercent, g.CPUHours, g.AvgNodes, g.AvgWaitHrs})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleDrillDown(w http.ResponseWriter, r *http.Request) {
+	outer, err := parseDim(r, "outer")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	inner, err := parseDim(r, "inner")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	type innerRow struct {
+		Key        string  `json:"key"`
+		Jobs       int     `json:"jobs"`
+		MixPercent float64 `json:"mixPercent"`
+	}
+	type group struct {
+		Key   string     `json:"key"`
+		Jobs  int        `json:"jobs"`
+		Inner []innerRow `json:"inner"`
+	}
+	var out []group
+	for _, g := range s.store.DrillDown(outer, inner) {
+		gg := group{Key: g.Key, Jobs: g.Jobs}
+		for _, in := range g.Inner {
+			gg.Inner = append(gg.Inner, innerRow{in.Key, in.Jobs, in.MixPercent})
+		}
+		out = append(out, gg)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleUtilization(w http.ResponseWriter, r *http.Request) {
+	nodes := s.machineNodes
+	if q := r.URL.Query().Get("nodes"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, "bad nodes parameter %q", q)
+			return
+		}
+		nodes = n
+	}
+	if nodes <= 0 {
+		writeError(w, http.StatusBadRequest, "machine node count not configured; pass ?nodes=N")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.store.Utilization(nodes))
+}
+
+func (s *Server) handleFeatures(w http.ResponseWriter, r *http.Request) {
+	if s.model == nil {
+		writeError(w, http.StatusServiceUnavailable, "no classifier loaded")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"algorithm": s.model.Algo,
+		"features":  s.model.Features,
+		"classes":   s.model.Classes(),
+	})
+}
+
+// classifyRequest is the classification endpoint's body: a feature map
+// keyed by attribute name (missing attributes default to 0).
+type classifyRequest struct {
+	Features  map[string]float64 `json:"features"`
+	Threshold float64            `json:"threshold"`
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	if s.model == nil {
+		writeError(w, http.StatusServiceUnavailable, "no classifier loaded")
+		return
+	}
+	var req classifyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Threshold < 0 || req.Threshold > 1 {
+		writeError(w, http.StatusBadRequest, "threshold must be in [0,1]")
+		return
+	}
+	row := make([]float64, len(s.model.Features))
+	unknown := []string{}
+	for name, v := range req.Features {
+		idx := -1
+		for i, f := range s.model.Features {
+			if f == name {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			unknown = append(unknown, name)
+			continue
+		}
+		row[idx] = v
+	}
+	if len(unknown) > 0 {
+		writeError(w, http.StatusBadRequest, "unknown features: %v", unknown)
+		return
+	}
+	label, prob, ok := s.model.Classify(row, req.Threshold)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"label":       label,
+		"probability": prob,
+		"classified":  ok,
+	})
+}

@@ -1,0 +1,291 @@
+// Package summarize converts raw TACC_Stats node archives into the
+// job-level SUPReMM summaries of the paper's Table 1: for every base metric
+// the across-node mean of the node's time-averaged value, plus the
+// "...COV" attributes -- the across-node coefficient of variation -- and the
+// derived CATASTROPHE and CPU USER IMBALANCE metrics used by the paper's
+// efficiency labeling.
+//
+// The summarizer must unwrap 48-bit hardware-counter rollover, tolerate
+// arbitrary counter bases, treat gauges and counters differently, and
+// handle degenerate jobs (single node: COV is zero; fewer than two samples:
+// rejected as unsummarizable, as the production pipeline does).
+package summarize
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/apps"
+	"repro/internal/stats"
+	"repro/internal/taccstats"
+)
+
+// ErrTooFewSamples marks an archive without enough samples to summarize.
+var ErrTooFewSamples = errors.New("summarize: node archive has fewer than two samples")
+
+// Summary is the job-level SUPReMM record.
+type Summary struct {
+	JobID       string
+	Nodes       int
+	WallSeconds float64
+
+	// Means[m] is the across-node mean of each node's time-averaged value
+	// of metric m. COVs[m] is the across-node coefficient of variation
+	// (population stddev / mean); zero for single-node jobs.
+	Means [apps.NumMetrics]float64
+	COVs  [apps.NumMetrics]float64
+
+	// Catastrophe is the minimum over nodes of (lowest interval CPU-user
+	// rate / highest interval CPU-user rate). Values near 1 indicate
+	// steady CPU activity; values near 0 indicate activity collapsed
+	// partway through the job.
+	Catastrophe float64
+
+	// CPUUserImbalance is (max - min)/max of the per-node CPU user
+	// fraction: near 0 when all nodes work equally, near 1 when some
+	// nodes idle while others compute.
+	CPUUserImbalance float64
+
+	// SegmentMeans, when segment summarization is enabled, holds the
+	// across-node mean metric values for equal time slices of the job
+	// (the paper's "time dependent attributes" extension).
+	SegmentMeans [][apps.NumMetrics]float64
+
+	// DroppedNodes lists hosts whose archives could not be summarized and
+	// were skipped (only with Options.SkipBadNodes).
+	DroppedNodes []string
+}
+
+// Options configures summarization.
+type Options struct {
+	// Segments > 0 additionally produces per-time-slice means
+	// (Summary.SegmentMeans) with the given number of slices.
+	Segments int
+	// SkipBadNodes tolerates nodes whose archives cannot be summarized
+	// (crashed node, truncated archive): they are dropped and recorded in
+	// Summary.DroppedNodes instead of failing the job, as the production
+	// pipeline does. At least one summarizable node is still required.
+	SkipBadNodes bool
+}
+
+// nodeStats is the per-node reduction of one archive.
+type nodeStats struct {
+	avg         [apps.NumMetrics]float64
+	catastrophe float64
+	segments    [][apps.NumMetrics]float64
+	duration    float64
+}
+
+// Summarize reduces a job's raw archive to its SUPReMM summary.
+func Summarize(a *taccstats.Archive, cfg taccstats.Config, opt Options) (*Summary, error) {
+	if len(a.Nodes) == 0 {
+		return nil, errors.New("summarize: archive has no nodes")
+	}
+	perNode := make([]nodeStats, 0, len(a.Nodes))
+	var dropped []string
+	for i := range a.Nodes {
+		ns, err := summarizeNode(&a.Nodes[i], cfg, opt)
+		if err != nil {
+			if opt.SkipBadNodes {
+				dropped = append(dropped, a.Nodes[i].Host)
+				continue
+			}
+			return nil, fmt.Errorf("node %s: %w", a.Nodes[i].Host, err)
+		}
+		perNode = append(perNode, ns)
+	}
+	if len(perNode) == 0 {
+		return nil, fmt.Errorf("summarize: job %s has no summarizable nodes (%d dropped)", a.JobID, len(dropped))
+	}
+
+	s := &Summary{JobID: a.JobID, Nodes: len(perNode), WallSeconds: perNode[0].duration, DroppedNodes: dropped}
+	var accs [apps.NumMetrics]stats.Accumulator
+	for _, ns := range perNode {
+		for m := apps.MetricID(0); m < apps.NumMetrics; m++ {
+			accs[m].Add(ns.avg[m])
+		}
+	}
+	for m := apps.MetricID(0); m < apps.NumMetrics; m++ {
+		s.Means[m] = accs[m].Mean()
+		s.COVs[m] = accs[m].COV()
+	}
+
+	s.Catastrophe = 1
+	for _, ns := range perNode {
+		if ns.catastrophe < s.Catastrophe {
+			s.Catastrophe = ns.catastrophe
+		}
+	}
+	maxU, minU := math.Inf(-1), math.Inf(1)
+	for _, ns := range perNode {
+		u := ns.avg[apps.CPUUser]
+		if u > maxU {
+			maxU = u
+		}
+		if u < minU {
+			minU = u
+		}
+	}
+	if maxU > 0 {
+		s.CPUUserImbalance = (maxU - minU) / maxU
+	}
+
+	if opt.Segments > 0 {
+		s.SegmentMeans = make([][apps.NumMetrics]float64, opt.Segments)
+		for seg := 0; seg < opt.Segments; seg++ {
+			var segAccs [apps.NumMetrics]stats.Accumulator
+			for _, ns := range perNode {
+				for m := apps.MetricID(0); m < apps.NumMetrics; m++ {
+					segAccs[m].Add(ns.segments[seg][m])
+				}
+			}
+			for m := apps.MetricID(0); m < apps.NumMetrics; m++ {
+				s.SegmentMeans[seg][m] = segAccs[m].Mean()
+			}
+		}
+	}
+	return s, nil
+}
+
+// intervalRates computes the per-second metric rates over one sample pair.
+func intervalRates(prev, cur *taccstats.Sample, cfg taccstats.Config) (rates [apps.NumMetrics]float64, dt float64, err error) {
+	dt = float64(cur.Time - prev.Time)
+	if dt <= 0 {
+		return rates, 0, fmt.Errorf("non-increasing sample times %d -> %d", prev.Time, cur.Time)
+	}
+	delta := func(dev string, idx int, pmc bool) float64 {
+		p, c := prev.Find(dev), cur.Find(dev)
+		if p == nil || c == nil || idx >= len(p.Values) || idx >= len(c.Values) {
+			err = fmt.Errorf("missing device %s[%d]", dev, idx)
+			return 0
+		}
+		return float64(taccstats.CounterDelta(p.Values[idx], c.Values[idx], pmc))
+	}
+
+	du := delta(taccstats.DevCPU, 0, false)
+	ds := delta(taccstats.DevCPU, 1, false)
+	di := delta(taccstats.DevCPU, 2, false)
+	total := du + ds + di
+	if total > 0 {
+		rates[apps.CPUUser] = du / total
+		rates[apps.CPUSystem] = ds / total
+		rates[apps.CPUIdle] = di / total
+	} else {
+		rates[apps.CPUIdle] = 1
+	}
+
+	cyc := delta(taccstats.DevPMC, 0, true)
+	ins := delta(taccstats.DevPMC, 1, true)
+	l1d := delta(taccstats.DevPMC, 2, true)
+	flops := delta(taccstats.DevPMC, 3, true)
+	if ins > 0 {
+		rates[apps.CPI] = cyc / ins
+	}
+	if l1d > 0 {
+		rates[apps.CPLD] = cyc / l1d
+	}
+	rates[apps.Flops] = flops / dt
+
+	// Memory footprint is a gauge: use the closing sample's reading.
+	if rec := cur.Find(taccstats.DevMem); rec != nil && len(rec.Values) > 0 {
+		rates[apps.MemUsed] = float64(rec.Values[0])
+	}
+	rates[apps.MemBW] = delta(taccstats.DevMem, 1, false) / dt
+	rates[apps.EthTx] = delta(taccstats.DevNet, 0, false) / dt
+	rates[apps.IBRx] = delta(taccstats.DevIB, 0, false) / dt
+	rates[apps.IBTx] = delta(taccstats.DevIB, 1, false) / dt
+	rates[apps.HomeWrite] = delta(taccstats.DevNFS, 0, false) / dt
+	rates[apps.ScratchWrite] = delta(taccstats.DevLLite, 0, false) / dt
+	rates[apps.LustreTx] = delta(taccstats.DevLNet, 0, false) / dt
+	rates[apps.DiskReadIOPS] = delta(taccstats.DevBlock, 0, false) / dt
+	rates[apps.DiskReadBytes] = delta(taccstats.DevBlock, 1, false) / dt
+	rates[apps.DiskWriteBytes] = delta(taccstats.DevBlock, 2, false) / dt
+	return rates, dt, err
+}
+
+func summarizeNode(n *taccstats.NodeArchive, cfg taccstats.Config, opt Options) (nodeStats, error) {
+	var ns nodeStats
+	if len(n.Samples) < 2 {
+		return ns, ErrTooFewSamples
+	}
+	start := n.Samples[0].Time
+	end := n.Samples[len(n.Samples)-1].Time
+	ns.duration = float64(end - start)
+
+	type interval struct {
+		rates [apps.NumMetrics]float64
+		dt    float64
+		mid   float64 // midpoint time offset from start
+	}
+	ivs := make([]interval, 0, len(n.Samples)-1)
+	for i := 1; i < len(n.Samples); i++ {
+		r, dt, err := intervalRates(&n.Samples[i-1], &n.Samples[i], cfg)
+		if err != nil {
+			return ns, err
+		}
+		mid := float64(n.Samples[i-1].Time+n.Samples[i].Time)/2 - float64(start)
+		ivs = append(ivs, interval{rates: r, dt: dt, mid: mid})
+	}
+
+	// Time-weighted node average of each metric.
+	var totalDT float64
+	for _, iv := range ivs {
+		totalDT += iv.dt
+	}
+	for m := apps.MetricID(0); m < apps.NumMetrics; m++ {
+		var sum float64
+		for _, iv := range ivs {
+			sum += iv.rates[m] * iv.dt
+		}
+		ns.avg[m] = sum / totalDT
+	}
+
+	// CATASTROPHE: lowest/highest interval CPU-user rate. A single
+	// interval cannot show a collapse, so it reports 1.
+	minU, maxU := math.Inf(1), math.Inf(-1)
+	for _, iv := range ivs {
+		u := iv.rates[apps.CPUUser]
+		if u < minU {
+			minU = u
+		}
+		if u > maxU {
+			maxU = u
+		}
+	}
+	if len(ivs) < 2 || maxU <= 0 {
+		ns.catastrophe = 1
+	} else {
+		ns.catastrophe = minU / maxU
+	}
+
+	if opt.Segments > 0 {
+		ns.segments = make([][apps.NumMetrics]float64, opt.Segments)
+		segDT := make([]float64, opt.Segments)
+		for _, iv := range ivs {
+			seg := int(iv.mid / ns.duration * float64(opt.Segments))
+			if seg >= opt.Segments {
+				seg = opt.Segments - 1
+			}
+			if seg < 0 {
+				seg = 0
+			}
+			for m := apps.MetricID(0); m < apps.NumMetrics; m++ {
+				ns.segments[seg][m] += iv.rates[m] * iv.dt
+			}
+			segDT[seg] += iv.dt
+		}
+		for seg := range ns.segments {
+			if segDT[seg] == 0 {
+				// Empty slice (short job): inherit the node average so
+				// segment features degrade gracefully to the mean.
+				ns.segments[seg] = ns.avg
+				continue
+			}
+			for m := apps.MetricID(0); m < apps.NumMetrics; m++ {
+				ns.segments[seg][m] /= segDT[seg]
+			}
+		}
+	}
+	return ns, nil
+}

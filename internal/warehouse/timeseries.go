@@ -1,0 +1,109 @@
+package warehouse
+
+import (
+	"sort"
+	"time"
+)
+
+// UtilizationPoint is one month of machine utilization, the headline
+// XDMoD chart (delivered node-hours / available node-hours).
+type UtilizationPoint struct {
+	Month        string // "2014-01"
+	Jobs         int    // jobs that overlapped the month
+	NodeHours    float64
+	CPUHours     float64
+	Utilization  float64 // NodeHours / (machine nodes * hours in month)
+	AvgWaitHours float64 // mean queue wait of jobs STARTING in the month
+}
+
+// Utilization computes the monthly utilization series for a machine of
+// the given node count. Job node-hours are apportioned to months by
+// overlap, so a job spanning a month boundary contributes to both.
+func (s *Store) Utilization(machineNodes int) []UtilizationPoint {
+	if machineNodes <= 0 || len(s.records) == 0 {
+		return nil
+	}
+	type agg struct {
+		jobs      map[string]bool
+		nodeHours float64
+		cpuHours  float64
+		waitSum   float64
+		waitN     int
+	}
+	months := map[string]*agg{}
+	get := func(key string) *agg {
+		a, ok := months[key]
+		if !ok {
+			a = &agg{jobs: map[string]bool{}}
+			months[key] = a
+		}
+		return a
+	}
+
+	for _, r := range s.records {
+		start := r.Start
+		end := r.Start + int64(r.WallSeconds)
+		if end <= start {
+			end = start + 1
+		}
+		// Walk months the job overlaps.
+		t := time.Unix(start, 0).UTC()
+		cursor := time.Date(t.Year(), t.Month(), 1, 0, 0, 0, 0, time.UTC)
+		for cursor.Unix() < end {
+			next := cursor.AddDate(0, 1, 0)
+			overlapStart := max64(start, cursor.Unix())
+			overlapEnd := min64v(end, next.Unix())
+			if overlapEnd > overlapStart {
+				key := cursor.Format("2006-01")
+				a := get(key)
+				a.jobs[r.JobID] = true
+				hours := float64(overlapEnd-overlapStart) / 3600
+				a.nodeHours += hours * float64(r.Nodes)
+				a.cpuHours += hours * float64(r.Cores)
+			}
+			cursor = next
+		}
+		startKey := time.Unix(start, 0).UTC().Format("2006-01")
+		a := get(startKey)
+		a.waitSum += r.WaitSeconds()
+		a.waitN++
+	}
+
+	keys := make([]string, 0, len(months))
+	for k := range months {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]UtilizationPoint, 0, len(keys))
+	for _, k := range keys {
+		a := months[k]
+		monthStart, _ := time.Parse("2006-01", k)
+		monthHours := monthStart.AddDate(0, 1, 0).Sub(monthStart).Hours()
+		p := UtilizationPoint{
+			Month:       k,
+			Jobs:        len(a.jobs),
+			NodeHours:   a.nodeHours,
+			CPUHours:    a.cpuHours,
+			Utilization: a.nodeHours / (float64(machineNodes) * monthHours),
+		}
+		if a.waitN > 0 {
+			p.AvgWaitHours = a.waitSum / float64(a.waitN) / 3600
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64v(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

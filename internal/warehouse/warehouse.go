@@ -1,0 +1,271 @@
+// Package warehouse implements the XDMoD-style data warehouse layer: it
+// ingests job accounting records joined with SUPReMM summaries and answers
+// the dimensional aggregation queries XDMoD exposes (jobs, CPU hours, wall
+// and wait time, broken down by application, broad category, user,
+// population, job size bucket, or month). The paper's Table 3 "% mix"
+// column is one of these queries.
+package warehouse
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/summarize"
+)
+
+// Record is one ingested job: accounting joined with its SUPReMM summary
+// and Lariat-derived application label.
+type Record struct {
+	JobID    string
+	User     string
+	AppLabel string // community app name, "Uncategorized", or "NA"
+	Category string // broad category label ("Unknown" for unlabeled jobs)
+	Pop      cluster.Population
+
+	Nodes       int
+	Cores       int
+	Submit      int64
+	Start       int64
+	WallSeconds float64
+	ExitCode    int
+
+	Summary *summarize.Summary
+}
+
+// WaitSeconds returns the queue wait.
+func (r *Record) WaitSeconds() float64 { return float64(r.Start - r.Submit) }
+
+// CPUHours returns core-hours consumed.
+func (r *Record) CPUHours() float64 {
+	return float64(r.Cores) * r.WallSeconds / 3600
+}
+
+// Dimension is a grouping axis.
+type Dimension string
+
+// The supported grouping dimensions.
+const (
+	ByApplication Dimension = "application"
+	ByCategory    Dimension = "category"
+	ByUser        Dimension = "user"
+	ByPopulation  Dimension = "population"
+	ByJobSize     Dimension = "jobsize"
+	ByMonth       Dimension = "month"
+)
+
+// dimensionKey extracts the group key of a record along a dimension.
+func dimensionKey(r *Record, dim Dimension) string {
+	switch dim {
+	case ByApplication:
+		return r.AppLabel
+	case ByCategory:
+		return r.Category
+	case ByUser:
+		return r.User
+	case ByPopulation:
+		return r.Pop.String()
+	case ByJobSize:
+		return sizeBucket(r.Nodes)
+	case ByMonth:
+		return time.Unix(r.Start, 0).UTC().Format("2006-01")
+	}
+	return ""
+}
+
+// sizeBucket maps node counts to XDMoD's job-size buckets.
+func sizeBucket(nodes int) string {
+	switch {
+	case nodes <= 1:
+		return "1"
+	case nodes <= 4:
+		return "2-4"
+	case nodes <= 16:
+		return "5-16"
+	case nodes <= 64:
+		return "17-64"
+	case nodes <= 256:
+		return "65-256"
+	default:
+		return "257+"
+	}
+}
+
+// Aggregate is the set of metrics XDMoD reports per group.
+type Aggregate struct {
+	Key         string
+	Jobs        int
+	CPUHours    float64
+	WallHours   float64
+	AvgWaitHrs  float64
+	AvgNodes    float64
+	MixPercent  float64 // share of total jobs, the Table 3 "% mix"
+	AvgCPUUser  float64 // mean SUPReMM CPU user fraction (QoS view)
+	minWait     float64
+	maxWait     float64
+	totalWait   float64
+	totalNodes  float64
+	totalCPUUsr float64
+	nSummaries  int
+}
+
+// MinWaitHours and MaxWaitHours expose the wait-time extremes.
+func (a *Aggregate) MinWaitHours() float64 { return a.minWait / 3600 }
+
+// MaxWaitHours returns the maximum queue wait in hours.
+func (a *Aggregate) MaxWaitHours() float64 { return a.maxWait / 3600 }
+
+// Store is the in-memory warehouse.
+type Store struct {
+	records []*Record
+	byJobID map[string]*Record
+}
+
+// NewStore returns an empty warehouse.
+func NewStore() *Store {
+	return &Store{byJobID: map[string]*Record{}}
+}
+
+// Ingest adds a record; re-ingesting a job id replaces the prior record.
+func (s *Store) Ingest(r *Record) error {
+	if r.JobID == "" {
+		return fmt.Errorf("warehouse: record without job id")
+	}
+	if old, ok := s.byJobID[r.JobID]; ok {
+		for i, rec := range s.records {
+			if rec == old {
+				s.records[i] = r
+				break
+			}
+		}
+	} else {
+		s.records = append(s.records, r)
+	}
+	s.byJobID[r.JobID] = r
+	return nil
+}
+
+// Len returns the number of ingested jobs.
+func (s *Store) Len() int { return len(s.records) }
+
+// Lookup returns a record by job id.
+func (s *Store) Lookup(jobID string) (*Record, bool) {
+	r, ok := s.byJobID[jobID]
+	return r, ok
+}
+
+// Filter returns records matching the predicate.
+func (s *Store) Filter(pred func(*Record) bool) []*Record {
+	var out []*Record
+	for _, r := range s.records {
+		if pred(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// GroupBy aggregates all records along a dimension, sorted by descending
+// job count.
+func (s *Store) GroupBy(dim Dimension) []*Aggregate {
+	return groupRecords(s.records, dim, len(s.records))
+}
+
+// GroupByFiltered aggregates a filtered subset; mix percentages are
+// relative to the subset.
+func (s *Store) GroupByFiltered(dim Dimension, pred func(*Record) bool) []*Aggregate {
+	recs := s.Filter(pred)
+	return groupRecords(recs, dim, len(recs))
+}
+
+func groupRecords(recs []*Record, dim Dimension, total int) []*Aggregate {
+	groups := map[string]*Aggregate{}
+	for _, r := range recs {
+		key := dimensionKey(r, dim)
+		a, ok := groups[key]
+		if !ok {
+			a = &Aggregate{Key: key, minWait: r.WaitSeconds(), maxWait: r.WaitSeconds()}
+			groups[key] = a
+		}
+		a.Jobs++
+		a.CPUHours += r.CPUHours()
+		a.WallHours += r.WallSeconds / 3600
+		w := r.WaitSeconds()
+		a.totalWait += w
+		if w < a.minWait {
+			a.minWait = w
+		}
+		if w > a.maxWait {
+			a.maxWait = w
+		}
+		a.totalNodes += float64(r.Nodes)
+		if r.Summary != nil {
+			a.totalCPUUsr += r.Summary.Means[0] // apps.CPUUser is metric 0
+			a.nSummaries++
+		}
+	}
+	out := make([]*Aggregate, 0, len(groups))
+	for _, a := range groups {
+		a.AvgWaitHrs = a.totalWait / float64(a.Jobs) / 3600
+		a.AvgNodes = a.totalNodes / float64(a.Jobs)
+		if total > 0 {
+			a.MixPercent = 100 * float64(a.Jobs) / float64(total)
+		}
+		if a.nSummaries > 0 {
+			a.AvgCPUUser = a.totalCPUUsr / float64(a.nSummaries)
+		}
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Jobs != out[j].Jobs {
+			return out[i].Jobs > out[j].Jobs
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// Totals returns machine-wide aggregate metrics.
+func (s *Store) Totals() Aggregate {
+	gs := groupRecords(s.records, Dimension("__all__"), len(s.records))
+	if len(gs) == 0 {
+		return Aggregate{Key: "total"}
+	}
+	t := *gs[0]
+	t.Key = "total"
+	return t
+}
+
+// DrillDown aggregates along two dimensions (XDMoD's drill-down view):
+// the outer groups are returned in descending job order, each carrying its
+// inner breakdown. Inner mix percentages are relative to the outer group.
+type DrillDownGroup struct {
+	Key   string
+	Jobs  int
+	Inner []*Aggregate
+}
+
+// DrillDown groups records by outer, then by inner within each group.
+func (s *Store) DrillDown(outer, inner Dimension) []*DrillDownGroup {
+	byOuter := map[string][]*Record{}
+	for _, r := range s.records {
+		k := dimensionKey(r, outer)
+		byOuter[k] = append(byOuter[k], r)
+	}
+	out := make([]*DrillDownGroup, 0, len(byOuter))
+	for k, recs := range byOuter {
+		out = append(out, &DrillDownGroup{
+			Key:   k,
+			Jobs:  len(recs),
+			Inner: groupRecords(recs, inner, len(recs)),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Jobs != out[j].Jobs {
+			return out[i].Jobs > out[j].Jobs
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}

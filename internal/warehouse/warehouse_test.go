@@ -1,0 +1,237 @@
+package warehouse
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/summarize"
+)
+
+func rec(id, user, app, cat string, nodes int, start, wall int64, wait int64) *Record {
+	return &Record{
+		JobID: id, User: user, AppLabel: app, Category: cat,
+		Nodes: nodes, Cores: nodes * 16,
+		Submit: start - wait, Start: start, WallSeconds: float64(wall),
+	}
+}
+
+func TestIngestAndLookup(t *testing.T) {
+	s := NewStore()
+	if err := s.Ingest(rec("1", "u1", "VASP", "QC,ES", 2, 1000, 3600, 60)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Ingest(&Record{}); err == nil {
+		t.Error("empty job id should error")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	r, ok := s.Lookup("1")
+	if !ok || r.AppLabel != "VASP" {
+		t.Fatal("lookup failed")
+	}
+	// Replacement.
+	if err := s.Ingest(rec("1", "u1", "NAMD", "MD", 2, 1000, 3600, 60)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Errorf("replacement grew store to %d", s.Len())
+	}
+	r, _ = s.Lookup("1")
+	if r.AppLabel != "NAMD" {
+		t.Error("replacement did not take effect")
+	}
+}
+
+func TestRecordDerivedMetrics(t *testing.T) {
+	r := rec("1", "u", "VASP", "QC,ES", 4, 10000, 7200, 600)
+	if r.CPUHours() != 4*16*2 {
+		t.Errorf("cpu hours = %v", r.CPUHours())
+	}
+	if r.WaitSeconds() != 600 {
+		t.Errorf("wait = %v", r.WaitSeconds())
+	}
+}
+
+func TestGroupByApplication(t *testing.T) {
+	s := NewStore()
+	s.Ingest(rec("1", "u1", "VASP", "QC,ES", 2, 1000, 3600, 100))
+	s.Ingest(rec("2", "u2", "VASP", "QC,ES", 4, 2000, 7200, 200))
+	s.Ingest(rec("3", "u1", "NAMD", "MD", 8, 3000, 1800, 300))
+	gs := s.GroupBy(ByApplication)
+	if len(gs) != 2 {
+		t.Fatalf("groups = %d", len(gs))
+	}
+	if gs[0].Key != "VASP" || gs[0].Jobs != 2 {
+		t.Errorf("top group = %+v", gs[0])
+	}
+	if math.Abs(gs[0].MixPercent-66.666) > 0.1 {
+		t.Errorf("mix = %v", gs[0].MixPercent)
+	}
+	wantCPU := (2.0*16*1 + 4.0*16*2)
+	if math.Abs(gs[0].CPUHours-wantCPU) > 1e-9 {
+		t.Errorf("cpu hours = %v, want %v", gs[0].CPUHours, wantCPU)
+	}
+	if math.Abs(gs[0].AvgNodes-3) > 1e-9 {
+		t.Errorf("avg nodes = %v", gs[0].AvgNodes)
+	}
+	wantWait := (100.0 + 200.0) / 2 / 3600
+	if math.Abs(gs[0].AvgWaitHrs-wantWait) > 1e-9 {
+		t.Errorf("avg wait = %v", gs[0].AvgWaitHrs)
+	}
+	if gs[0].MinWaitHours() > gs[0].MaxWaitHours() {
+		t.Error("wait extremes inverted")
+	}
+}
+
+func TestGroupByJobSizeBuckets(t *testing.T) {
+	s := NewStore()
+	for i, nodes := range []int{1, 3, 10, 40, 100, 500} {
+		s.Ingest(rec(string(rune('a'+i)), "u", "A", "C", nodes, 1000, 60, 1))
+	}
+	gs := s.GroupBy(ByJobSize)
+	keys := map[string]bool{}
+	for _, g := range gs {
+		keys[g.Key] = true
+	}
+	for _, want := range []string{"1", "2-4", "5-16", "17-64", "65-256", "257+"} {
+		if !keys[want] {
+			t.Errorf("missing bucket %s", want)
+		}
+	}
+}
+
+func TestGroupByMonth(t *testing.T) {
+	s := NewStore()
+	s.Ingest(rec("1", "u", "A", "C", 1, 1388534400, 60, 1)) // 2014-01
+	s.Ingest(rec("2", "u", "A", "C", 1, 1396310400, 60, 1)) // 2014-04
+	gs := s.GroupBy(ByMonth)
+	if len(gs) != 2 {
+		t.Fatalf("month groups = %d", len(gs))
+	}
+	keys := map[string]bool{gs[0].Key: true, gs[1].Key: true}
+	if !keys["2014-01"] || !keys["2014-04"] {
+		t.Errorf("month keys wrong: %v", keys)
+	}
+}
+
+func TestGroupByPopulationAndFiltered(t *testing.T) {
+	s := NewStore()
+	a := rec("1", "u", "VASP", "QC,ES", 1, 1000, 60, 1)
+	a.Pop = cluster.PopCommunity
+	b := rec("2", "u", "NA", "Unknown", 1, 1000, 60, 1)
+	b.Pop = cluster.PopNA
+	s.Ingest(a)
+	s.Ingest(b)
+	gs := s.GroupBy(ByPopulation)
+	if len(gs) != 2 {
+		t.Fatalf("population groups = %d", len(gs))
+	}
+	f := s.GroupByFiltered(ByApplication, func(r *Record) bool { return r.Pop == cluster.PopCommunity })
+	if len(f) != 1 || f[0].Key != "VASP" || f[0].MixPercent != 100 {
+		t.Errorf("filtered groups = %+v", f[0])
+	}
+}
+
+func TestAvgCPUUserFromSummaries(t *testing.T) {
+	s := NewStore()
+	r1 := rec("1", "u", "A", "C", 1, 1000, 60, 1)
+	r1.Summary = &summarize.Summary{}
+	r1.Summary.Means[0] = 0.9
+	r2 := rec("2", "u", "A", "C", 1, 1000, 60, 1)
+	r2.Summary = &summarize.Summary{}
+	r2.Summary.Means[0] = 0.5
+	r3 := rec("3", "u", "A", "C", 1, 1000, 60, 1) // no summary
+	s.Ingest(r1)
+	s.Ingest(r2)
+	s.Ingest(r3)
+	gs := s.GroupBy(ByApplication)
+	if math.Abs(gs[0].AvgCPUUser-0.7) > 1e-9 {
+		t.Errorf("avg cpu user = %v", gs[0].AvgCPUUser)
+	}
+}
+
+func TestTotals(t *testing.T) {
+	s := NewStore()
+	if tot := s.Totals(); tot.Jobs != 0 {
+		t.Error("empty totals should be zero")
+	}
+	s.Ingest(rec("1", "u", "A", "C", 2, 1000, 3600, 100))
+	s.Ingest(rec("2", "u", "B", "C", 4, 1000, 3600, 100))
+	tot := s.Totals()
+	if tot.Jobs != 2 || math.Abs(tot.CPUHours-(2*16+4*16)) > 1e-9 {
+		t.Errorf("totals = %+v", tot)
+	}
+}
+
+func TestUtilizationSingleMonth(t *testing.T) {
+	s := NewStore()
+	// 2014-01-10 00:00 UTC, 2-node job running 10 hours.
+	s.Ingest(rec("1", "u", "A", "C", 2, 1389312000, 36000, 3600))
+	pts := s.Utilization(10)
+	if len(pts) != 1 || pts[0].Month != "2014-01" {
+		t.Fatalf("points = %+v", pts)
+	}
+	if math.Abs(pts[0].NodeHours-20) > 1e-9 {
+		t.Errorf("node hours = %v, want 20", pts[0].NodeHours)
+	}
+	wantUtil := 20.0 / (10 * 31 * 24)
+	if math.Abs(pts[0].Utilization-wantUtil) > 1e-12 {
+		t.Errorf("utilization = %v, want %v", pts[0].Utilization, wantUtil)
+	}
+	if math.Abs(pts[0].AvgWaitHours-1) > 1e-9 {
+		t.Errorf("avg wait = %v, want 1h", pts[0].AvgWaitHours)
+	}
+}
+
+func TestUtilizationSpansMonths(t *testing.T) {
+	s := NewStore()
+	// Job starting 2014-01-31 12:00 UTC running 24h: 12h in Jan, 12h in Feb.
+	s.Ingest(rec("1", "u", "A", "C", 1, 1391169600, 86400, 60))
+	pts := s.Utilization(10)
+	if len(pts) != 2 {
+		t.Fatalf("points = %+v", pts)
+	}
+	if math.Abs(pts[0].NodeHours-12) > 1e-9 || math.Abs(pts[1].NodeHours-12) > 1e-9 {
+		t.Errorf("split = %v / %v, want 12 / 12", pts[0].NodeHours, pts[1].NodeHours)
+	}
+	// Wait is attributed only to the start month.
+	if pts[0].AvgWaitHours == 0 || pts[1].AvgWaitHours != 0 {
+		t.Errorf("wait attribution wrong: %v / %v", pts[0].AvgWaitHours, pts[1].AvgWaitHours)
+	}
+	if pts[0].Jobs != 1 || pts[1].Jobs != 1 {
+		t.Errorf("job counts = %d / %d", pts[0].Jobs, pts[1].Jobs)
+	}
+}
+
+func TestUtilizationEmptyAndBadInput(t *testing.T) {
+	s := NewStore()
+	if pts := s.Utilization(10); pts != nil {
+		t.Error("empty store should yield nil")
+	}
+	s.Ingest(rec("1", "u", "A", "C", 1, 1389312000, 60, 1))
+	if pts := s.Utilization(0); pts != nil {
+		t.Error("zero machine nodes should yield nil")
+	}
+}
+
+func TestDrillDown(t *testing.T) {
+	s := NewStore()
+	s.Ingest(rec("1", "u1", "VASP", "QC,ES", 1, 1000, 60, 1))
+	s.Ingest(rec("2", "u1", "NAMD", "MD", 1, 1000, 60, 1))
+	s.Ingest(rec("3", "u2", "VASP", "QC,ES", 1, 1000, 60, 1))
+	s.Ingest(rec("4", "u1", "VASP", "QC,ES", 1, 1000, 60, 1))
+	groups := s.DrillDown(ByUser, ByApplication)
+	if len(groups) != 2 || groups[0].Key != "u1" || groups[0].Jobs != 3 {
+		t.Fatalf("outer groups = %+v", groups[0])
+	}
+	inner := groups[0].Inner
+	if inner[0].Key != "VASP" || inner[0].Jobs != 2 {
+		t.Errorf("u1 inner = %+v", inner[0])
+	}
+	// Inner mix relative to the outer group.
+	if math.Abs(inner[0].MixPercent-66.666) > 0.1 {
+		t.Errorf("inner mix = %v", inner[0].MixPercent)
+	}
+}
