@@ -1,0 +1,45 @@
+# Single source of truth for the commands CI runs, so humans and the
+# workflow in .github/workflows/ci.yml exercise the repo identically.
+
+GO ?= go
+BENCH_OUT ?= .
+
+.PHONY: all build test vet fmt-check race bench bench-smoke paper clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fails when any file is not gofmt-clean (gofmt -l prints offenders).
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# Race-detect the packages the parallel harness touches.
+race:
+	$(GO) test -race ./internal/parallel ./internal/ml/... ./internal/core ./internal/experiments
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# The CI correctness gate: a small fixed seeded workload through the
+# serial and parallel paths; exits non-zero on any divergence and writes
+# BENCH_<rev>.json to $(BENCH_OUT).
+bench-smoke:
+	$(GO) run ./cmd/supremm-bench -jobs 800 -exp e1,e2,table2,fig1 \
+		-train 25 -test 400 -unknown 200 -trees 60 -out $(BENCH_OUT)
+
+paper:
+	$(GO) run ./cmd/supremm-paper
+
+clean:
+	rm -f BENCH_*.json

@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/ml/eval"
 	"repro/internal/ml/forest"
 	"repro/internal/ml/svm"
 	"repro/internal/rng"
@@ -310,6 +311,103 @@ func BenchmarkSVMTrainPaperConfig(b *testing.B) {
 		if _, err := core.TrainJobClassifier(train, core.ClassifierConfig{Algo: core.AlgoSVM, SVM: cfg}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkParallelPipeline compares the end-to-end pipeline at one
+// worker against the full pool — the tentpole speedup the parallel
+// harness exists for, with bit-identical output either way.
+func BenchmarkParallelPipeline(b *testing.B) {
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{{"workers=1", 1}, {"workers=all", 0}} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultPipelineConfig(uint64(i), 300)
+				cfg.Workers = tc.workers
+				if _, err := core.RunPipeline(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(300*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
+}
+
+// BenchmarkParallelCrossValidate compares fold-serial against
+// fold-parallel cross-validation of a forest.
+func BenchmarkParallelCrossValidate(b *testing.B) {
+	train, _ := benchAppData(b, 81, core.DefaultFeatures())
+	trainFn := func(workers int) eval.TrainFunc {
+		return func(d *dataset.Dataset) (eval.ProbClassifier, error) {
+			return forest.TrainClassifier(d, forest.Config{Trees: 50, Seed: 81, Workers: workers})
+		}
+	}
+	var serialAcc float64
+	b.Run("workers=1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			acc, err := eval.CrossValidateWorkers(train, 4, 81, 1, trainFn(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			serialAcc = acc
+			b.ReportMetric(acc, "cv-accuracy")
+		}
+	})
+	b.Run("workers=all", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			acc, err := eval.CrossValidateWorkers(train, 4, 81, 0, trainFn(0))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if serialAcc != 0 && acc != serialAcc {
+				b.Fatalf("parallel CV accuracy %v diverged from serial %v", acc, serialAcc)
+			}
+			b.ReportMetric(acc, "cv-accuracy")
+		}
+	})
+}
+
+// BenchmarkParallelForestImportance compares serial and pooled
+// permutation-importance computation on one trained forest.
+func BenchmarkParallelForestImportance(b *testing.B) {
+	train, _ := benchAppData(b, 91, core.DefaultFeatures())
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{{"workers=1", 1}, {"workers=all", 0}} {
+		b.Run(tc.name, func(b *testing.B) {
+			model, err := forest.TrainClassifier(train, forest.Config{Trees: 100, Seed: 91, Workers: tc.workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if imp := model.Importance(); len(imp) == 0 {
+					b.Fatal("no importance returned")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelSuite compares the experiment runner at one worker
+// against the concurrent fan-out over a representative subset.
+func BenchmarkParallelSuite(b *testing.B) {
+	ids := []string{"e1", "e2", "table2", "fig1"}
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{{"workers=1", 1}, {"workers=all", 0}} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				env := experiments.NewEnv(benchConfig(uint64(200 + i)))
+				if _, err := experiments.RunSelected(env, ids, tc.workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

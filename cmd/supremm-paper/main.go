@@ -3,10 +3,12 @@
 //
 // Usage:
 //
-//	supremm-paper [-seed N] [-exp id[,id...]] [-train N] [-test N] [-unknown N]
+//	supremm-paper [-seed N] [-exp id[,id...]] [-train N] [-test N] [-unknown N] [-workers N]
 //
 // With no -exp it runs the full suite in paper order (e1, e2, table2,
 // fig1, fig2, fig3, table3, fig4, fig5, fig6, x1, x2, x3, x4).
+// Independent experiments run concurrently (bounded by -workers); results
+// are printed in paper order and are bit-identical at any worker count.
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -26,6 +29,7 @@ func main() {
 	train := flag.Int("train", 0, "training jobs per class (default 300)")
 	test := flag.Int("test", 0, "native-mix test jobs (default 4000)")
 	unknown := flag.Int("unknown", 0, "jobs per unknown pool (default 1200)")
+	workers := flag.Int("workers", 0, "concurrent experiments (0 = all cores, 1 = serial)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	jsonOut := flag.Bool("json", false, "emit results as JSON instead of text")
 	flag.Parse()
@@ -52,34 +56,56 @@ func main() {
 	ids := experiments.IDs()
 	if *exp != "" {
 		ids = strings.Split(*exp, ",")
+		for i := range ids {
+			ids[i] = strings.TrimSpace(ids[i])
+		}
 	}
-	var jsonResults []*experiments.Result
 	for _, id := range ids {
-		driver, ok := experiments.ByID(strings.TrimSpace(id))
-		if !ok {
+		if _, ok := experiments.ByID(id); !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
 			os.Exit(2)
 		}
+	}
+
+	// Fan the independent experiments out over the worker pool; results
+	// come back in input (paper) order regardless of completion order.
+	type timed struct {
+		res *experiments.Result
+		dur time.Duration
+	}
+	suiteStart := time.Now()
+	out, err := parallel.Map(*workers, len(ids), func(i int) (timed, error) {
+		driver, _ := experiments.ByID(ids[i])
 		start := time.Now()
 		res, err := driver(env)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
-			os.Exit(1)
+			return timed{}, fmt.Errorf("experiment %s failed: %w", ids[i], err)
 		}
-		if *jsonOut {
-			jsonResults = append(jsonResults, res)
-			fmt.Fprintf(os.Stderr, "(%s in %v)\n", res.ID, time.Since(start).Round(time.Millisecond))
-			continue
-		}
-		fmt.Print(res.String())
-		fmt.Printf("(%s in %v)\n\n", res.ID, time.Since(start).Round(time.Millisecond))
+		return timed{res: res, dur: time.Since(start)}, nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
+
 	if *jsonOut {
+		results := make([]*experiments.Result, len(out))
+		for i, t := range out {
+			results[i] = t.res
+			fmt.Fprintf(os.Stderr, "(%s in %v)\n", t.res.ID, t.dur.Round(time.Millisecond))
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(jsonResults); err != nil {
+		if err := enc.Encode(results); err != nil {
 			fmt.Fprintln(os.Stderr, "supremm-paper:", err)
 			os.Exit(1)
 		}
+	} else {
+		for _, t := range out {
+			fmt.Print(t.res.String())
+			fmt.Printf("(%s in %v)\n\n", t.res.ID, t.dur.Round(time.Millisecond))
+		}
 	}
+	fmt.Fprintf(os.Stderr, "(suite: %d experiments in %v on %d workers)\n",
+		len(ids), time.Since(suiteStart).Round(time.Millisecond), parallel.Workers(*workers))
 }

@@ -2,13 +2,12 @@ package core
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/apps"
 	"repro/internal/cluster"
 	"repro/internal/dataset"
 	"repro/internal/lariat"
+	"repro/internal/parallel"
 	"repro/internal/rng"
 	"repro/internal/summarize"
 	"repro/internal/taccstats"
@@ -94,9 +93,6 @@ func RunPipeline(cfg PipelineConfig) (*PipelineResult, error) {
 	if cfg.Collector.Period <= 0 {
 		cfg.Collector = taccstats.DefaultConfig()
 	}
-	if cfg.Workers <= 0 {
-		cfg.Workers = runtime.GOMAXPROCS(0)
-	}
 	cfg.Cluster.Seed = cfg.Seed
 
 	gen := cluster.NewGenerator(cfg.Machine, cfg.Cluster)
@@ -119,34 +115,22 @@ func RunPipeline(cfg PipelineConfig) (*PipelineResult, error) {
 		}
 	}
 
-	records := make([]*JobRecord, len(jobs))
-	errs := make([]error, len(jobs))
+	// Job i's collection noise comes from Split(i), so the archives are
+	// identical at any worker count.
 	root := rng.New(cfg.Seed ^ 0xc011ec7)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Workers)
-	for i, j := range jobs {
-		wg.Add(1)
-		sem <- struct{}{}
-		r := root.Split(uint64(i))
-		go func(i int, j *cluster.Job, r *rng.Rand) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			arch := taccstats.Collect(cfg.Collector, taccstats.JobInfo{
-				ID: j.ID, Start: j.Start, Hosts: j.Hosts,
-			}, j.Draw, r)
-			sum, err := summarize.Summarize(arch, cfg.Collector, summarize.Options{Segments: cfg.Segments})
-			if err != nil {
-				errs[i] = fmt.Errorf("job %s: %w", j.ID, err)
-				return
-			}
-			records[i] = &JobRecord{Job: j, Summary: sum, Label: launches.Label(matcher, j.ID)}
-		}(i, j, r)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	records, err := parallel.MapSeeded(root, cfg.Workers, len(jobs), func(i int, r *rng.Rand) (*JobRecord, error) {
+		j := jobs[i]
+		arch := taccstats.Collect(cfg.Collector, taccstats.JobInfo{
+			ID: j.ID, Start: j.Start, Hosts: j.Hosts,
+		}, j.Draw, r)
+		sum, err := summarize.Summarize(arch, cfg.Collector, summarize.Options{Segments: cfg.Segments})
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("job %s: %w", j.ID, err)
 		}
+		return &JobRecord{Job: j, Summary: sum, Label: launches.Label(matcher, j.ID)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	store := warehouse.NewStore()

@@ -1,6 +1,10 @@
 package experiments
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+)
 
 // Driver runs one experiment against an environment.
 type Driver func(*Env) (*Result, error)
@@ -45,16 +49,33 @@ func IDs() []string {
 	return out
 }
 
-// RunAll executes every experiment against one environment, stopping on
-// the first error.
-func RunAll(e *Env) ([]*Result, error) {
-	var out []*Result
-	for _, entry := range Registry {
-		res, err := entry.Driver(e)
-		if err != nil {
-			return out, fmt.Errorf("experiment %s: %w", entry.ID, err)
+// RunSelected executes the given experiment ids concurrently on at most
+// workers goroutines (<= 0 means GOMAXPROCS; 1 runs serially) and
+// returns the results in input order. Every driver derives its datasets
+// and models from the Env's seed — shared lazily-built state is guarded
+// by sync.Once — so each experiment's result is bit-identical whether it
+// runs alone, serially, or alongside the rest of the suite. On failure
+// the smallest-index failing experiment's error is returned.
+func RunSelected(e *Env, ids []string, workers int) ([]*Result, error) {
+	drivers := make([]Driver, len(ids))
+	for i, id := range ids {
+		d, ok := ByID(id)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown experiment %q", id)
 		}
-		out = append(out, res)
+		drivers[i] = d
 	}
-	return out, nil
+	return parallel.Map(workers, len(ids), func(i int) (*Result, error) {
+		res, err := drivers[i](e)
+		if err != nil {
+			return nil, fmt.Errorf("experiment %s: %w", ids[i], err)
+		}
+		return res, nil
+	})
+}
+
+// RunAll executes every experiment against one environment, fanning the
+// independent experiments out over e.Cfg.Workers goroutines.
+func RunAll(e *Env) ([]*Result, error) {
+	return RunSelected(e, IDs(), e.Cfg.Workers)
 }

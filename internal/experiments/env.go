@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/ml/eval"
+	"repro/internal/parallel"
 	"repro/internal/rng"
 )
 
@@ -380,34 +381,16 @@ func scoreParallel(c *core.JobClassifier, d *dataset.Dataset, workers int) []eva
 }
 
 func scoreRowsParallel(c *core.JobClassifier, rows [][]float64, y []int, workers int) []eval.Prediction {
-	if workers <= 0 {
-		workers = 8
-	}
 	preds := make([]eval.Prediction, len(rows))
-	var wg sync.WaitGroup
-	chunk := (len(rows) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(rows) {
-			hi = len(rows)
+	// Per-row prediction is pure, so a plain ordered fan-out suffices.
+	_ = parallel.ForEach(workers, len(rows), func(i int) error {
+		cls, probs := c.PredictProb(rows[i])
+		truth := -1
+		if y != nil {
+			truth = y[i]
 		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				cls, probs := c.PredictProb(rows[i])
-				truth := -1
-				if y != nil {
-					truth = y[i]
-				}
-				preds[i] = eval.Prediction{True: truth, Pred: cls, MaxProb: probs[cls]}
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+		preds[i] = eval.Prediction{True: truth, Pred: cls, MaxProb: probs[cls]}
+		return nil
+	})
 	return preds
 }

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunSelectedParallelParity runs two cheap experiments through the
+// concurrent runner and through the drivers directly on an identically
+// seeded environment, and requires bit-identical metrics and rendered
+// lines. The two environments are separate so the lazily-built datasets
+// regenerate under both schedules.
+func TestRunSelectedParallelParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment drivers are expensive")
+	}
+	cfg := Config{Seed: 123, TrainPerClass: 20, TestJobs: 300, UnknownJobs: 120}
+	ids := []string{"e1", "e2"}
+
+	serial := NewEnv(cfg)
+	var want []*Result
+	for _, id := range ids {
+		driver, _ := ByID(id)
+		r, err := driver(serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, r)
+	}
+
+	got, err := RunSelected(NewEnv(cfg), ids, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID {
+			t.Fatalf("result[%d] = %s, want %s (input order must be preserved)", i, got[i].ID, want[i].ID)
+		}
+		for k, v := range want[i].Metrics {
+			if gv, ok := got[i].Metrics[k]; !ok || gv != v {
+				t.Errorf("%s: metric %q = %v, want %v", got[i].ID, k, gv, v)
+			}
+		}
+		if a, b := strings.Join(got[i].Lines, "\n"), strings.Join(want[i].Lines, "\n"); a != b {
+			t.Errorf("%s: rendered lines diverged", got[i].ID)
+		}
+	}
+}
+
+// TestRunSelectedUnknownID rejects bad ids before any work starts.
+func TestRunSelectedUnknownID(t *testing.T) {
+	if _, err := RunSelected(NewEnv(Config{Seed: 1}), []string{"nope"}, 1); err == nil {
+		t.Fatal("RunSelected accepted an unknown id")
+	}
+}

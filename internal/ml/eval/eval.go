@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"repro/internal/dataset"
+	"repro/internal/parallel"
 )
 
 // ProbClassifier is any classifier producing class posteriors; the SVM,
@@ -69,18 +70,60 @@ type ConfusionMatrix struct {
 	Counts  [][]int // [true][pred]
 }
 
-// NewConfusionMatrix tallies predictions into a matrix.
+// confusionParallelMin is the prediction count below which the parallel
+// tally is not worth the fan-out overhead.
+const confusionParallelMin = 8192
+
+// NewConfusionMatrix tallies predictions into a matrix, fanning the count
+// accumulation out over all cores for large prediction sets.
 func NewConfusionMatrix(classes []string, preds []Prediction) *ConfusionMatrix {
+	return NewConfusionMatrixWorkers(classes, preds, 0)
+}
+
+// NewConfusionMatrixWorkers tallies predictions on at most workers
+// goroutines (<= 0 means GOMAXPROCS). Each worker counts a contiguous
+// chunk into its own matrix and the integer partials are merged, so the
+// result is identical to the serial tally at any worker count.
+func NewConfusionMatrixWorkers(classes []string, preds []Prediction, workers int) *ConfusionMatrix {
 	m := &ConfusionMatrix{Classes: classes, Counts: make([][]int, len(classes))}
 	for i := range m.Counts {
 		m.Counts[i] = make([]int, len(classes))
 	}
-	for _, p := range preds {
-		if p.True >= 0 {
-			m.Counts[p.True][p.Pred]++
+	w := parallel.Workers(workers)
+	if len(preds) < confusionParallelMin || w == 1 {
+		tallyConfusion(m.Counts, preds)
+		return m
+	}
+	chunk := (len(preds) + w - 1) / w
+	nChunks := (len(preds) + chunk - 1) / chunk
+	partials, _ := parallel.Map(w, nChunks, func(c int) ([][]int, error) {
+		counts := make([][]int, len(classes))
+		for i := range counts {
+			counts[i] = make([]int, len(classes))
+		}
+		lo, hi := c*chunk, (c+1)*chunk
+		if hi > len(preds) {
+			hi = len(preds)
+		}
+		tallyConfusion(counts, preds[lo:hi])
+		return counts, nil
+	})
+	for _, counts := range partials {
+		for i, row := range counts {
+			for j, n := range row {
+				m.Counts[i][j] += n
+			}
 		}
 	}
 	return m
+}
+
+func tallyConfusion(counts [][]int, preds []Prediction) {
+	for _, p := range preds {
+		if p.True >= 0 {
+			counts[p.True][p.Pred]++
+		}
+	}
 }
 
 // Accuracy returns the trace fraction.
@@ -251,14 +294,23 @@ func AUCLike(points []ROCPoint) float64 {
 // TrainFunc builds a classifier from a training set, for cross-validation.
 type TrainFunc func(train *dataset.Dataset) (ProbClassifier, error)
 
-// CrossValidate returns the mean accuracy over k stratified folds.
+// CrossValidate returns the mean accuracy over k stratified folds, with
+// folds trained and scored concurrently on all cores.
 func CrossValidate(d *dataset.Dataset, k int, seed uint64, trainFn TrainFunc) (float64, error) {
+	return CrossValidateWorkers(d, k, seed, 0, trainFn)
+}
+
+// CrossValidateWorkers runs at most workers folds concurrently (<= 0
+// means GOMAXPROCS). Fold contents depend only on (d, k, seed) and the
+// per-fold accuracies are reduced in fold order, so the mean is
+// bit-identical to the serial loop at any worker count. trainFn must be
+// safe to call from multiple goroutines.
+func CrossValidateWorkers(d *dataset.Dataset, k int, seed uint64, workers int, trainFn TrainFunc) (float64, error) {
 	if k < 2 {
 		return 0, fmt.Errorf("eval: need k >= 2 folds")
 	}
 	folds := stratifiedFolds(d, k, seed)
-	var total float64
-	for f := 0; f < k; f++ {
+	accs, err := parallel.Map(workers, k, func(f int) (float64, error) {
 		var trainIdx, testIdx []int
 		for i, fi := range folds {
 			if fi == f {
@@ -271,7 +323,14 @@ func CrossValidate(d *dataset.Dataset, k int, seed uint64, trainFn TrainFunc) (f
 		if err != nil {
 			return 0, err
 		}
-		total += Accuracy(Score(model, d.Subset(testIdx)))
+		return Accuracy(Score(model, d.Subset(testIdx))), nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	var total float64
+	for _, a := range accs {
+		total += a
 	}
 	return total / float64(k), nil
 }

@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
 
 	"repro/internal/dataset"
+	"repro/internal/parallel"
 	"repro/internal/rng"
 )
 
@@ -73,26 +73,21 @@ func TrainClassifier(d *dataset.Dataset, cfg Config) (*Classifier, error) {
 		oob:     make([][]int, cfg.Trees),
 		train:   d,
 	}
+	// Tree t's randomness comes from Split(t), so the ensemble is
+	// identical at any worker count.
 	root := rng.New(cfg.Seed)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Workers)
-	for t := 0; t < cfg.Trees; t++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		r := root.Split(uint64(t))
-		go func(t int, r *rng.Rand) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			rows, oob := bootstrap(r, d.Len())
-			b := &treeBuilder{
-				x: d.X, y: d.Y, numClasses: d.NumClasses(),
-				mtry: cfg.MTry, minLeaf: cfg.MinLeaf, maxDepth: cfg.MaxDepth, r: r,
-			}
-			c.trees[t] = b.build(rows)
-			c.oob[t] = oob
-		}(t, r)
+	if err := parallel.ForEachSeeded(root, cfg.Workers, cfg.Trees, func(t int, r *rng.Rand) error {
+		rows, oob := bootstrap(r, d.Len())
+		b := &treeBuilder{
+			x: d.X, y: d.Y, numClasses: d.NumClasses(),
+			mtry: cfg.MTry, minLeaf: cfg.MinLeaf, maxDepth: cfg.MaxDepth, r: r,
+		}
+		c.trees[t] = b.build(rows)
+		c.oob[t] = oob
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	wg.Wait()
 	return c, nil
 }
 
@@ -214,32 +209,20 @@ func (c *Classifier) Importance() []float64 {
 	if c.train == nil {
 		return nil // restored from a snapshot: no training data retained
 	}
-	workers := c.cfg.Workers
-	if workers <= 0 {
-		workers = 1
-	}
 	p := c.train.NumFeatures()
-	imp := make([]float64, p)
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
 	root := rng.New(c.cfg.Seed ^ 0x1a9e57ac) // distinct stream from training
-	for t := range c.trees {
-		wg.Add(1)
-		sem <- struct{}{}
-		r := root.Split(uint64(t))
-		go func(t int, r *rng.Rand) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			local := c.treeImportance(t, r)
-			mu.Lock()
-			for f := range imp {
-				imp[f] += local[f]
-			}
-			mu.Unlock()
-		}(t, r)
+	// Collect per-tree contributions in tree order and reduce serially:
+	// summing floats in completion order would make the importance vector
+	// drift across runs at worker count > 1.
+	locals, _ := parallel.MapSeeded(root, c.cfg.Workers, len(c.trees), func(t int, r *rng.Rand) ([]float64, error) {
+		return c.treeImportance(t, r), nil
+	})
+	imp := make([]float64, p)
+	for _, local := range locals {
+		for f := range imp {
+			imp[f] += local[f]
+		}
 	}
-	wg.Wait()
 	for f := range imp {
 		imp[f] /= float64(len(c.trees))
 	}

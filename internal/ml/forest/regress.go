@@ -2,8 +2,8 @@ package forest
 
 import (
 	"fmt"
-	"sync"
 
+	"repro/internal/parallel"
 	"repro/internal/rng"
 )
 
@@ -32,25 +32,18 @@ func TrainRegressor(x [][]float64, y []float64, cfg Config) (*Regressor, error) 
 		y:     y,
 	}
 	root := rng.New(cfg.Seed)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Workers)
-	for t := 0; t < cfg.Trees; t++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		r := root.Split(uint64(t))
-		go func(t int, r *rng.Rand) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			rows, oob := bootstrap(r, len(x))
-			b := &treeBuilder{
-				x: x, target: y, regression: true,
-				mtry: cfg.MTry, minLeaf: cfg.MinLeaf, maxDepth: cfg.MaxDepth, r: r,
-			}
-			m.trees[t] = b.build(rows)
-			m.oob[t] = oob
-		}(t, r)
+	if err := parallel.ForEachSeeded(root, cfg.Workers, cfg.Trees, func(t int, r *rng.Rand) error {
+		rows, oob := bootstrap(r, len(x))
+		b := &treeBuilder{
+			x: x, target: y, regression: true,
+			mtry: cfg.MTry, minLeaf: cfg.MinLeaf, maxDepth: cfg.MaxDepth, r: r,
+		}
+		m.trees[t] = b.build(rows)
+		m.oob[t] = oob
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	wg.Wait()
 	return m, nil
 }
 

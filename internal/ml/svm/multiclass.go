@@ -2,10 +2,9 @@ package svm
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/dataset"
+	"repro/internal/parallel"
 	"repro/internal/rng"
 )
 
@@ -84,9 +83,6 @@ func Train(d *dataset.Dataset, cfg Config) (*Model, error) {
 	if cfg.ProbabilityCV <= 0 {
 		cfg.ProbabilityCV = 3
 	}
-	if cfg.Workers <= 0 {
-		cfg.Workers = runtime.GOMAXPROCS(0)
-	}
 
 	byClass := make([][]int, d.NumClasses())
 	for i, y := range d.Y {
@@ -103,24 +99,20 @@ func Train(d *dataset.Dataset, cfg Config) (*Model, error) {
 	}
 
 	model := &Model{cfg: cfg, classes: d.ClassNames, features: d.NumFeatures()}
-	model.pairs = make([]pairModel, len(jobs))
-
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Workers)
-	for idx, job := range jobs {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(idx int, job pairJob) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			x, y := pairData(d, byClass[job.i], byClass[job.j])
-			wPos := cfg.weightFor(d.ClassNames[job.i])
-			wNeg := cfg.weightFor(d.ClassNames[job.j])
-			m := trainBinary(x, y, wPos, wNeg, cfg, uint64(idx))
-			model.pairs[idx] = pairModel{i: job.i, j: job.j, m: m}
-		}(idx, job)
+	// Each binary problem is seeded by its pair index, so the trained
+	// machines are identical at any worker count.
+	pairs, err := parallel.Map(cfg.Workers, len(jobs), func(idx int) (pairModel, error) {
+		job := jobs[idx]
+		x, y := pairData(d, byClass[job.i], byClass[job.j])
+		wPos := cfg.weightFor(d.ClassNames[job.i])
+		wNeg := cfg.weightFor(d.ClassNames[job.j])
+		m := trainBinary(x, y, wPos, wNeg, cfg, uint64(idx))
+		return pairModel{i: job.i, j: job.j, m: m}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
+	model.pairs = pairs
 	return model, nil
 }
 

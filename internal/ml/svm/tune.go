@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/dataset"
+	"repro/internal/parallel"
 	"repro/internal/rng"
 )
 
@@ -34,8 +35,17 @@ type TuneResult struct {
 // Tune grid-searches (gamma, C) for an RBF SVM by k-fold cross-validation
 // on the training set and returns every grid point's score sorted best
 // first. Probability calibration is disabled during the search (it does
-// not affect voting accuracy and triples the cost).
+// not affect voting accuracy and triples the cost). Grid points are
+// evaluated concurrently on all cores.
 func Tune(d *dataset.Dataset, grid Grid, folds int, seed uint64) ([]TuneResult, error) {
+	return TuneWorkers(d, grid, folds, seed, 0)
+}
+
+// TuneWorkers evaluates at most workers grid points concurrently (<= 0
+// means GOMAXPROCS). The fold assignment is fixed before the fan-out and
+// every grid point's cross-validation is self-contained, so scores are
+// bit-identical to the serial search at any worker count.
+func TuneWorkers(d *dataset.Dataset, grid Grid, folds int, seed uint64, workers int) ([]TuneResult, error) {
 	if d.Len() == 0 {
 		return nil, fmt.Errorf("svm: empty tuning set")
 	}
@@ -64,42 +74,52 @@ func Tune(d *dataset.Dataset, grid Grid, folds int, seed uint64) ([]TuneResult, 
 		}
 	}
 
-	var results []TuneResult
+	// Flatten the grid gamma-major (the historical evaluation order) so
+	// the pre-sort result order is stable at any worker count.
+	type point struct{ gamma, c float64 }
+	pts := make([]point, 0, len(grid.Gammas)*len(grid.Cs))
 	for _, gamma := range grid.Gammas {
 		for _, c := range grid.Cs {
-			var total, count float64
-			for f := 0; f < folds; f++ {
-				var trainIdx, testIdx []int
-				for i := range fold {
-					if fold[i] == f {
-						testIdx = append(testIdx, i)
-					} else {
-						trainIdx = append(trainIdx, i)
-					}
-				}
-				if len(trainIdx) == 0 || len(testIdx) == 0 {
-					continue
-				}
-				m, err := Train(d.Subset(trainIdx), Config{Kernel: RBF{Gamma: gamma}, C: c, Seed: seed})
-				if err != nil {
-					return nil, err
-				}
-				test := d.Subset(testIdx)
-				correct := 0
-				for i, row := range test.X {
-					if m.Predict(row) == test.Y[i] {
-						correct++
-					}
-				}
-				total += float64(correct) / float64(test.Len())
-				count++
-			}
-			acc := 0.0
-			if count > 0 {
-				acc = total / count
-			}
-			results = append(results, TuneResult{Gamma: gamma, C: c, Accuracy: acc})
+			pts = append(pts, point{gamma, c})
 		}
+	}
+	results, err := parallel.Map(workers, len(pts), func(k int) (TuneResult, error) {
+		gamma, c := pts[k].gamma, pts[k].c
+		var total, count float64
+		for f := 0; f < folds; f++ {
+			var trainIdx, testIdx []int
+			for i := range fold {
+				if fold[i] == f {
+					testIdx = append(testIdx, i)
+				} else {
+					trainIdx = append(trainIdx, i)
+				}
+			}
+			if len(trainIdx) == 0 || len(testIdx) == 0 {
+				continue
+			}
+			m, err := Train(d.Subset(trainIdx), Config{Kernel: RBF{Gamma: gamma}, C: c, Seed: seed})
+			if err != nil {
+				return TuneResult{}, err
+			}
+			test := d.Subset(testIdx)
+			correct := 0
+			for i, row := range test.X {
+				if m.Predict(row) == test.Y[i] {
+					correct++
+				}
+			}
+			total += float64(correct) / float64(test.Len())
+			count++
+		}
+		acc := 0.0
+		if count > 0 {
+			acc = total / count
+		}
+		return TuneResult{Gamma: gamma, C: c, Accuracy: acc}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	sort.SliceStable(results, func(i, j int) bool { return results[i].Accuracy > results[j].Accuracy })
 	return results, nil

@@ -1,0 +1,168 @@
+// Package parallel provides the bounded worker pool and deterministic
+// fan-out primitives behind every concurrent hot path in this repo:
+// cross-validation folds, one-vs-one SVM pair training, per-tree forest
+// construction, pipeline collection/summarization, and the experiment
+// runner.
+//
+// Three properties hold at any worker count and any GOMAXPROCS:
+//
+//   - Ordered results: Map stores task i's output in slot i, so callers
+//     that reduce in index order get bit-identical floating-point sums
+//     regardless of completion order.
+//   - Independent randomness: MapSeeded derives task i's generator as
+//     root.Split(i). The parent generator never advances, so the stream a
+//     task sees does not depend on scheduling, worker count, or how much
+//     randomness any other task consumed.
+//   - Deterministic errors: when tasks fail, the error of the
+//     smallest-indexed failing task is returned. Tasks are dispatched in
+//     index order and dispatch stops at the first observed failure, so
+//     every task below a failing index has started and is awaited; the
+//     minimum over completed failures cannot depend on scheduling.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// Workers resolves a worker-count knob: values <= 0 mean GOMAXPROCS.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers goroutines
+// (workers <= 0 means GOMAXPROCS). On failure the remaining undispatched
+// tasks are skipped and the smallest-index error is returned.
+func ForEach(workers, n int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), workers, n, func(_ context.Context, i int) error {
+		return fn(i)
+	})
+}
+
+// ForEachCtx is ForEach with cancellation: when ctx is cancelled no new
+// tasks are dispatched and, if no task itself failed, ctx.Err() is
+// returned. Tasks that want to stop mid-flight can poll the passed
+// context, which is also cancelled as soon as any task fails.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	st := &dispatcher{n: n, firstIdx: n}
+	if w == 1 {
+		// Serial fast path: identical semantics (in-order dispatch, stop
+		// at the first failure) without goroutine overhead.
+		for i := 0; i < n; i++ {
+			if cctx.Err() != nil {
+				return ctx.Err()
+			}
+			if err := fn(cctx, i); err != nil {
+				return err
+			}
+		}
+		return ctx.Err()
+	}
+
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := st.claim(cctx)
+				if !ok {
+					return
+				}
+				if err := fn(cctx, i); err != nil {
+					st.fail(i, err)
+					cancel()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if st.firstErr != nil {
+		return st.firstErr
+	}
+	return ctx.Err()
+}
+
+// dispatcher hands out task indices in order and records the
+// smallest-index failure.
+type dispatcher struct {
+	mu       sync.Mutex
+	next     int
+	n        int
+	stopped  bool
+	firstIdx int
+	firstErr error
+}
+
+func (d *dispatcher) claim(ctx context.Context) (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.stopped || d.next >= d.n || ctx.Err() != nil {
+		return 0, false
+	}
+	i := d.next
+	d.next++
+	return i, true
+}
+
+func (d *dispatcher) fail(i int, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stopped = true
+	if i < d.firstIdx {
+		d.firstIdx, d.firstErr = i, err
+	}
+}
+
+// Map runs fn over [0, n) on at most workers goroutines and returns the
+// results in task order. On error the partial results are dropped and the
+// smallest-index error is returned.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MapSeeded is Map with a per-task deterministic RNG stream: task i
+// receives root.Split(i). The parent generator is only read, never
+// advanced, so results are bit-identical at any worker count; the caller
+// must not use root concurrently for anything else while MapSeeded runs.
+func MapSeeded[T any](root *rng.Rand, workers, n int, fn func(i int, r *rng.Rand) (T, error)) ([]T, error) {
+	return Map(workers, n, func(i int) (T, error) {
+		return fn(i, root.Split(uint64(i)))
+	})
+}
+
+// ForEachSeeded is ForEach with a per-task RNG stream, for tasks that
+// write into caller-owned slots instead of returning values.
+func ForEachSeeded(root *rng.Rand, workers, n int, fn func(i int, r *rng.Rand) error) error {
+	return ForEach(workers, n, func(i int) error {
+		return fn(i, root.Split(uint64(i)))
+	})
+}
