@@ -4,7 +4,7 @@
 GO ?= go
 BENCH_OUT ?= .
 
-.PHONY: all build test vet fmt-check race bench bench-smoke paper clean
+.PHONY: all build test vet fmt-check race bench bench-smoke paper trace serve-debug clean
 
 all: build test
 
@@ -24,9 +24,11 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# Race-detect the packages the parallel harness touches.
+# Race-detect the packages the parallel harness and the observability
+# layer touch.
 race:
-	$(GO) test -race ./internal/parallel ./internal/ml/... ./internal/core ./internal/experiments
+	$(GO) test -race ./internal/parallel ./internal/ml/... ./internal/core \
+		./internal/experiments ./internal/obs ./internal/server
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -41,5 +43,15 @@ bench-smoke:
 paper:
 	$(GO) run ./cmd/supremm-paper
 
+# Run a reduced suite with span tracing on; writes trace.json and prints
+# the per-stage timing summary to stderr.
+trace:
+	$(GO) run ./cmd/supremm-paper -exp e1,e2,table2,fig1 \
+		-train 25 -test 400 -unknown 200 -trace trace.json
+
+# Serve the API with /metrics, /debug/pprof and debug logging enabled.
+serve-debug:
+	$(GO) run ./cmd/supremm-serve -pprof -log-level debug
+
 clean:
-	rm -f BENCH_*.json
+	rm -f BENCH_*.json trace.json

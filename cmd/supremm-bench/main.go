@@ -33,6 +33,8 @@ import (
 	"repro/internal/ml/eval"
 	"repro/internal/ml/forest"
 	"repro/internal/ml/svm"
+	"repro/internal/obs"
+	"repro/internal/parallel"
 )
 
 // section is one serial-vs-parallel comparison in the report.
@@ -57,7 +59,9 @@ func (s *section) finish(serial, par time.Duration, parity bool, detail string) 
 type report struct {
 	Rev         string   `json:"rev"`
 	Seed        uint64   `json:"seed"`
+	GoVersion   string   `json:"go_version"`
 	GoMaxProcs  int      `json:"gomaxprocs"`
+	NumCPU      int      `json:"num_cpu"`
 	Jobs        int      `json:"jobs"`
 	JobsPerSec  float64  `json:"jobs_per_sec"`
 	Experiments []string `json:"experiments,omitempty"`
@@ -66,7 +70,30 @@ type report struct {
 	Forest      section  `json:"forest"`
 	SVM         section  `json:"svm"`
 	Suite       *section `json:"suite,omitempty"`
+	Obs         *obsDump `json:"obs,omitempty"`
 	OK          bool     `json:"ok"`
+}
+
+// obsDump embeds the instrumented parallel legs' observability state:
+// per-stage wall timings summed over the trace tree plus every registry
+// series (pool gauges/histograms, pipeline stage histograms).
+type obsDump struct {
+	StageWallMS map[string]float64   `json:"stage_wall_ms"`
+	Metrics     []obs.SeriesSnapshot `json:"metrics"`
+}
+
+// stageWall sums wall milliseconds by span name across the trace tree.
+func stageWall(t *obs.TraceNode) map[string]float64 {
+	out := map[string]float64{}
+	var walk func(n *obs.TraceNode)
+	walk = func(n *obs.TraceNode) {
+		out[n.Name] += n.WallMS
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(t)
+	return out
 }
 
 func main() {
@@ -85,19 +112,31 @@ func main() {
 	r := report{
 		Rev:        resolveRev(*rev),
 		Seed:       *seed,
+		GoVersion:  runtime.Version(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Jobs:       *jobs,
 	}
+
+	// Spans and stage metrics go on the parallel legs only, while the
+	// serial baselines run with zero Instrumentation (the process-wide
+	// pool gauges see both legs). Every parity check below therefore
+	// doubles as proof that instrumentation leaves results bit-identical.
+	reg := obs.NewRegistry()
+	root := obs.NewSpan("bench")
+	parallel.Instrument(reg)
 
 	// --- Pipeline: generation + collection + summarization ---------------
 	fmt.Fprintf(os.Stderr, "pipeline: %d jobs, serial...\n", *jobs)
 	serialStart := time.Now()
-	serialRun := runPipeline(*seed, *jobs, 1)
+	serialRun := runPipeline(*seed, *jobs, 1, core.Instrumentation{})
 	serialDur := time.Since(serialStart)
 	fmt.Fprintf(os.Stderr, "pipeline: parallel on %d cores...\n", r.GoMaxProcs)
+	psp := root.Child("pipeline")
 	parStart := time.Now()
-	parRun := runPipeline(*seed, *jobs, 0)
+	parRun := runPipeline(*seed, *jobs, 0, core.Instrumentation{Span: psp, Metrics: reg})
 	parDur := time.Since(parStart)
+	psp.End()
 	sd, pd := pipelineDigest(serialRun), pipelineDigest(parRun)
 	detail := ""
 	if sd != pd {
@@ -124,12 +163,14 @@ func main() {
 		fatal("serial crossval: %v", err)
 	}
 	cvSerialDur := time.Since(cvSerialStart)
+	cvsp := root.Child("crossval")
 	cvParStart := time.Now()
-	cvPar, err := eval.CrossValidateWorkers(ds, 4, *seed, 0, cvTrain(0))
+	cvPar, err := eval.CrossValidateObs(cvsp, ds, 4, *seed, 0, cvTrain(0))
 	if err != nil {
 		fatal("parallel crossval: %v", err)
 	}
 	cvParDur := time.Since(cvParStart)
+	cvsp.End()
 	detail = ""
 	if cvSerial != cvPar {
 		detail = fmt.Sprintf("fold-mean accuracy diverged: serial %.17g vs parallel %.17g", cvSerial, cvPar)
@@ -145,13 +186,15 @@ func main() {
 	}
 	impSerial := fSerial.Importance()
 	fSerialDur := time.Since(fSerialStart)
+	fsp := root.Child("forest")
 	fParStart := time.Now()
-	fPar, err := forest.TrainClassifier(ds, forest.Config{Trees: *trees, Seed: *seed})
+	fPar, err := forest.TrainClassifier(ds, forest.Config{Trees: *trees, Seed: *seed, Span: fsp})
 	if err != nil {
 		fatal("parallel forest: %v", err)
 	}
 	impPar := fPar.Importance()
 	fParDur := time.Since(fParStart)
+	fsp.End()
 	detail = compareForest(fSerial, fPar, impSerial, impPar)
 	r.Forest.finish(fSerialDur, fParDur, detail == "", detail)
 
@@ -171,13 +214,16 @@ func main() {
 		fatal("serial svm: %v", err)
 	}
 	sSerialDur := time.Since(sSerialStart)
+	ssp := root.Child("svm")
 	sParStart := time.Now()
 	svmCfg.Workers = 0
+	svmCfg.Span = ssp
 	mPar, err := svm.Train(svmData, svmCfg)
 	if err != nil {
 		fatal("parallel svm: %v", err)
 	}
 	sParDur := time.Since(sParStart)
+	ssp.End()
 	detail = compareSVM(mSerial, mPar, probe)
 	r.SVM.finish(sSerialDur, sParDur, detail == "", detail)
 
@@ -203,9 +249,13 @@ func main() {
 			fatal("serial suite: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "suite: parallel on %d cores...\n", old)
+		stsp := root.Child("suite")
+		pcfg := cfg
+		pcfg.Obs = core.Instrumentation{Span: stsp, Metrics: reg}
 		suiteParStart := time.Now()
-		parRes, err := experiments.RunSelected(experiments.NewEnv(cfg), ids, 0)
+		parRes, err := experiments.RunSelected(experiments.NewEnv(pcfg), ids, 0)
 		suiteParDur := time.Since(suiteParStart)
+		stsp.End()
 		if err != nil {
 			fatal("parallel suite: %v", err)
 		}
@@ -217,6 +267,22 @@ func main() {
 
 	r.OK = r.Pipeline.Parity && r.CrossVal.Parity && r.Forest.Parity && r.SVM.Parity &&
 		(r.Suite == nil || r.Suite.Parity)
+
+	root.End()
+	tree := root.Tree()
+	r.Obs = &obsDump{StageWallMS: stageWall(tree), Metrics: reg.Snapshot()}
+	tracePath := filepath.Join(*out, "BENCH_TRACE_"+r.Rev+".json")
+	tf, err := os.Create(tracePath)
+	if err != nil {
+		fatal("write trace: %v", err)
+	}
+	if err := root.WriteJSON(tf); err != nil {
+		fatal("write trace: %v", err)
+	}
+	if err := tf.Close(); err != nil {
+		fatal("write trace: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "trace written to %s\n", tracePath)
 
 	path := filepath.Join(*out, "BENCH_"+r.Rev+".json")
 	buf, err := json.MarshalIndent(&r, "", "  ")
@@ -235,9 +301,10 @@ func main() {
 	fmt.Fprintf(os.Stderr, "supremm-bench: all parity checks passed, report at %s\n", path)
 }
 
-func runPipeline(seed uint64, jobs, workers int) *core.PipelineResult {
+func runPipeline(seed uint64, jobs, workers int, ins core.Instrumentation) *core.PipelineResult {
 	cfg := core.DefaultPipelineConfig(seed, jobs)
 	cfg.Workers = workers
+	cfg.Obs = ins
 	res, err := core.RunPipeline(cfg)
 	if err != nil {
 		fatal("pipeline (workers=%d): %v", workers, err)

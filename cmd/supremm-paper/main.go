@@ -3,12 +3,18 @@
 //
 // Usage:
 //
-//	supremm-paper [-seed N] [-exp id[,id...]] [-train N] [-test N] [-unknown N] [-workers N]
+//	supremm-paper [-seed N] [-exp id[,id...]] [-train N] [-test N] [-unknown N]
+//	              [-workers N] [-trace out.json] [-log-level LEVEL]
 //
 // With no -exp it runs the full suite in paper order (e1, e2, table2,
 // fig1, fig2, fig3, table3, fig4, fig5, fig6, x1, x2, x3, x4).
 // Independent experiments run concurrently (bounded by -workers); results
 // are printed in paper order and are bit-identical at any worker count.
+//
+// -trace writes a hierarchical span tree (JSON) covering every shared
+// dataset build, pipeline stage and experiment, and prints a rendered
+// timing summary to stderr. Tracing never touches the experiment RNG
+// streams, so traced and untraced runs emit identical results.
 package main
 
 import (
@@ -19,7 +25,9 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -32,6 +40,8 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent experiments (0 = all cores, 1 = serial)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	jsonOut := flag.Bool("json", false, "emit results as JSON instead of text")
+	trace := flag.String("trace", "", "write a span-tree trace of the run to this JSON file")
+	logLevel := flag.String("log-level", "warn", "log level: debug, info, warn, error")
 	flag.Parse()
 
 	if *list {
@@ -41,7 +51,19 @@ func main() {
 		return
 	}
 
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "supremm-paper:", err)
+		os.Exit(2)
+	}
+	log := obs.NewLogger(os.Stderr, level)
+	var root *obs.Span // nil (no-op) unless -trace is set
+	if *trace != "" {
+		root = obs.NewSpan("suite")
+	}
+
 	cfg := experiments.DefaultConfig(*seed)
+	cfg.Obs = core.Instrumentation{Span: root, Log: log}
 	if *train > 0 {
 		cfg.TrainPerClass = *train
 	}
@@ -76,6 +98,8 @@ func main() {
 	suiteStart := time.Now()
 	out, err := parallel.Map(*workers, len(ids), func(i int) (timed, error) {
 		driver, _ := experiments.ByID(ids[i])
+		sp := root.Child("exp." + ids[i])
+		defer sp.End()
 		start := time.Now()
 		res, err := driver(env)
 		if err != nil {
@@ -108,4 +132,23 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "(suite: %d experiments in %v on %d workers)\n",
 		len(ids), time.Since(suiteStart).Round(time.Millisecond), parallel.Workers(*workers))
+
+	if *trace != "" {
+		root.End()
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "supremm-paper: trace:", err)
+			os.Exit(1)
+		}
+		if err := root.WriteJSON(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "supremm-paper: trace:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s\n%s", *trace, root.Summary())
+	}
 }

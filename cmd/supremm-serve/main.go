@@ -6,6 +6,7 @@
 // Usage:
 //
 //	supremm-serve [-addr :8080] [-jobs N] [-seed N] [-model saved.bin]
+//	              [-pprof] [-log-level debug|info|warn|error]
 //
 // Endpoints:
 //
@@ -15,15 +16,27 @@
 //	GET  /api/utilization[?nodes=N]
 //	GET  /api/features
 //	POST /api/classify   {"features": {"MEM_USED": ..., ...}, "threshold": 0.8}
+//	GET  /metrics        Prometheus text exposition
+//	GET  /debug/pprof/*  (with -pprof)
+//
+// The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests for up to -shutdown-timeout.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/server"
 )
 
@@ -32,10 +45,22 @@ func main() {
 	jobs := flag.Int("jobs", 2000, "workload size to generate and serve")
 	seed := flag.Uint64("seed", 2014, "random seed")
 	modelPath := flag.String("model", "", "load a saved classifier (default: train a category RF on the workload)")
+	pprofOn := flag.Bool("pprof", false, "expose /debug/pprof endpoints")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
 	flag.Parse()
 
-	fmt.Fprintf(os.Stderr, "generating %d-job workload...\n", *jobs)
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	log := obs.NewLogger(os.Stderr, level)
+	reg := obs.NewRegistry()
+	parallel.Instrument(reg)
+
+	log.Info("generating workload", "jobs", *jobs, "seed", *seed)
 	cfg := core.DefaultPipelineConfig(*seed, *jobs)
+	cfg.Obs = core.Instrumentation{Metrics: reg, Log: log}
 	res, err := core.RunPipeline(cfg)
 	if err != nil {
 		fatal(err)
@@ -52,7 +77,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "loaded %s model from %s\n", model.Algo, *modelPath)
+		log.Info("loaded classifier", "algo", model.Algo, "path", *modelPath)
 	} else {
 		ds, err := core.BuildDataset(res.Records, core.LabelByCategory, core.DefaultFeatures())
 		if err != nil {
@@ -62,13 +87,40 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintln(os.Stderr, "trained a category random forest on the generated workload")
+		log.Info("trained category random forest on the generated workload")
 	}
 
-	srv := server.New(res.Store, model, cfg.Machine.TotalNodes())
-	fmt.Fprintf(os.Stderr, "serving on %s\n", *addr)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
-		fatal(err)
+	opts := []server.Option{server.WithMetrics(reg), server.WithLogger(log)}
+	if *pprofOn {
+		opts = append(opts, server.WithPprof())
+	}
+	api := server.New(res.Store, model, cfg.Machine.TotalNodes(), opts...)
+
+	srv := &http.Server{Addr: *addr, Handler: api}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Info("serving api", "addr", *addr, "pprof", *pprofOn)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case <-ctx.Done():
+		stop() // restore default signal handling so a second ^C kills us
+		log.Info("shutting down", "grace", *shutdownTimeout)
+		sctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Warn("shutdown incomplete", "err", err)
+			_ = srv.Close()
+		}
+		log.Info("stopped")
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"repro/internal/ml/eval"
 	"repro/internal/ml/forest"
 	"repro/internal/ml/svm"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -26,6 +27,10 @@ type ClassifierConfig struct {
 	Algo   Algorithm
 	SVM    svm.Config
 	Forest forest.Config
+
+	// Span, when set, receives a "train.<algo>" child span covering the
+	// fit (with model-internal sub-spans); nil is a no-op.
+	Span *obs.Span
 }
 
 // PaperSVM returns the paper's SVM setup (RBF gamma=0.1, C=1000).
@@ -58,17 +63,23 @@ func TrainJobClassifier(train *dataset.Dataset, cfg ClassifierConfig) (*JobClass
 	if train.Len() == 0 {
 		return nil, fmt.Errorf("core: empty training set")
 	}
+	sp := cfg.Span.Child("train." + string(cfg.Algo))
+	defer sp.End()
+	sp.SetAttr("rows", train.Len())
+	sp.SetAttr("classes", len(train.ClassNames))
 	work := train.Subset(indexRange(train.Len())) // deep copy
 	scaler := work.Standardize()
 	c := &JobClassifier{Algo: cfg.Algo, Features: train.FeatureNames, scaler: scaler}
 	switch cfg.Algo {
 	case AlgoSVM:
+		cfg.SVM.Span = sp
 		m, err := svm.Train(work, cfg.SVM)
 		if err != nil {
 			return nil, err
 		}
 		c.model = m
 	case AlgoForest:
+		cfg.Forest.Span = sp
 		m, err := forest.TrainClassifier(work, cfg.Forest)
 		if err != nil {
 			return nil, err

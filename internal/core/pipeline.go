@@ -2,17 +2,34 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/cluster"
 	"repro/internal/dataset"
 	"repro/internal/lariat"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/rng"
 	"repro/internal/summarize"
 	"repro/internal/taccstats"
 	"repro/internal/warehouse"
 )
+
+// Instrumentation carries optional observability hooks through the
+// pipeline and training layers. The zero value is a valid no-op: all obs
+// types are nil-safe, so uninstrumented callers pay near-zero cost and no
+// RNG stream is ever touched by instrumentation.
+type Instrumentation struct {
+	Span    *obs.Span
+	Metrics *obs.Registry
+	Log     *obs.Logger
+}
+
+// enabled reports whether any timing work should happen at all, so the
+// uninstrumented hot path skips even the time.Now calls.
+func (ins Instrumentation) enabled() bool { return ins.Span != nil || ins.Metrics != nil }
 
 // JobRecord is one fully processed job: scheduler metadata, the SUPReMM
 // summary, and the Lariat-derived label (which is what a production
@@ -58,6 +75,10 @@ type PipelineConfig struct {
 	// backfill reservation logic reasons about these estimates (default
 	// 1.5 when UseScheduler is set).
 	WallEstimateFactor float64
+
+	// Obs carries optional metrics/tracing/logging; the zero value is a
+	// no-op and leaves the run bit-identical to an uninstrumented one.
+	Obs Instrumentation
 }
 
 // DefaultPipelineConfig mirrors the paper's Stampede 2014 setting at a
@@ -95,6 +116,10 @@ func RunPipeline(cfg PipelineConfig) (*PipelineResult, error) {
 	}
 	cfg.Cluster.Seed = cfg.Seed
 
+	sp := cfg.Obs.Span
+	cfg.Obs.Log.Debug("pipeline: generating workload", "jobs", cfg.NumJobs, "seed", cfg.Seed)
+
+	gsp := sp.Child("generate")
 	gen := cluster.NewGenerator(cfg.Machine, cfg.Cluster)
 	jobs := gen.Generate(cfg.NumJobs)
 	if cfg.UseScheduler {
@@ -102,10 +127,15 @@ func RunPipeline(cfg PipelineConfig) (*PipelineResult, error) {
 		if estFactor <= 0 {
 			estFactor = 1.5
 		}
-		if err := cluster.ScheduleWorkload(cfg.Machine, jobs, cfg.Backfill, estFactor); err != nil {
+		ssp := gsp.Child("schedule")
+		err := cluster.ScheduleWorkload(cfg.Machine, jobs, cfg.Backfill, estFactor)
+		ssp.End()
+		if err != nil {
 			return nil, err
 		}
 	}
+	gsp.SetAttr("jobs", len(jobs))
+	gsp.End()
 
 	matcher := lariat.NewMatcher(apps.Catalog())
 	launches := lariat.NewStore()
@@ -115,24 +145,61 @@ func RunPipeline(cfg PipelineConfig) (*PipelineResult, error) {
 		}
 	}
 
+	// Collection and summarization are fused per job, so the stage span
+	// covers both; the per-phase split is recovered from worker-summed
+	// busy time (AddTimed children) and the per-job latency histograms.
+	timed := cfg.Obs.enabled()
+	var collectNS, summarizeNS atomic.Int64
+	var collectHist, summarizeHist *obs.Histogram
+	if reg := cfg.Obs.Metrics; reg != nil {
+		reg.Help("pipeline_collect_seconds", "Per-job TACC_Stats collection latency.")
+		reg.Help("pipeline_summarize_seconds", "Per-job SUPReMM summarization latency.")
+		collectHist = reg.Histogram("pipeline_collect_seconds", nil)
+		summarizeHist = reg.Histogram("pipeline_summarize_seconds", nil)
+	}
+	csp := sp.Child("collect+summarize")
+
 	// Job i's collection noise comes from Split(i), so the archives are
 	// identical at any worker count.
 	root := rng.New(cfg.Seed ^ 0xc011ec7)
 	records, err := parallel.MapSeeded(root, cfg.Workers, len(jobs), func(i int, r *rng.Rand) (*JobRecord, error) {
 		j := jobs[i]
+		var t0 time.Time
+		if timed {
+			t0 = time.Now()
+		}
 		arch := taccstats.Collect(cfg.Collector, taccstats.JobInfo{
 			ID: j.ID, Start: j.Start, Hosts: j.Hosts,
 		}, j.Draw, r)
+		if timed {
+			d := time.Since(t0)
+			collectNS.Add(int64(d))
+			collectHist.Observe(d.Seconds())
+			t0 = time.Now()
+		}
 		sum, err := summarize.Summarize(arch, cfg.Collector, summarize.Options{Segments: cfg.Segments})
+		if timed {
+			d := time.Since(t0)
+			summarizeNS.Add(int64(d))
+			summarizeHist.Observe(d.Seconds())
+		}
 		if err != nil {
 			return nil, fmt.Errorf("job %s: %w", j.ID, err)
 		}
 		return &JobRecord{Job: j, Summary: sum, Label: launches.Label(matcher, j.ID)}, nil
 	})
 	if err != nil {
+		csp.End()
 		return nil, err
 	}
+	if timed {
+		csp.AddTimed("collect", time.Duration(collectNS.Load())).SetAttr("timing", "worker-summed busy")
+		csp.AddTimed("summarize", time.Duration(summarizeNS.Load())).SetAttr("timing", "worker-summed busy")
+	}
+	csp.SetAttr("jobs", len(jobs))
+	csp.End()
 
+	isp := sp.Child("ingest")
 	store := warehouse.NewStore()
 	for _, rec := range records {
 		cat := "Unknown"
@@ -156,6 +223,9 @@ func RunPipeline(cfg PipelineConfig) (*PipelineResult, error) {
 			return nil, err
 		}
 	}
+	isp.SetAttr("records", len(records))
+	isp.End()
+	cfg.Obs.Log.Debug("pipeline: complete", "jobs", len(records))
 	return &PipelineResult{Records: records, Store: store}, nil
 }
 
@@ -229,5 +299,26 @@ func FeaturizeAll(records []*JobRecord, opt FeatureOptions) [][]float64 {
 	for i, r := range records {
 		rows[i] = Featurize(r.Summary, opt)
 	}
+	return rows
+}
+
+// BuildDatasetObs is BuildDataset wrapped in a "featurize" stage span.
+func BuildDatasetObs(ins Instrumentation, records []*JobRecord, label LabelFunc, opt FeatureOptions) (*dataset.Dataset, error) {
+	sp := ins.Span.Child("featurize")
+	ds, err := BuildDataset(records, label, opt)
+	if err == nil && sp != nil {
+		sp.SetAttr("rows", ds.Len())
+		sp.SetAttr("features", len(ds.FeatureNames))
+	}
+	sp.End()
+	return ds, err
+}
+
+// FeaturizeAllObs is FeaturizeAll wrapped in a "featurize" stage span.
+func FeaturizeAllObs(ins Instrumentation, records []*JobRecord, opt FeatureOptions) [][]float64 {
+	sp := ins.Span.Child("featurize")
+	rows := FeaturizeAll(records, opt)
+	sp.SetAttr("rows", len(rows))
+	sp.End()
 	return rows
 }

@@ -66,10 +66,13 @@ func RunSelected(e *Env, ids []string, workers int) ([]*Result, error) {
 		drivers[i] = d
 	}
 	return parallel.Map(workers, len(ids), func(i int) (*Result, error) {
+		sp := e.Cfg.Obs.Span.Child("exp." + ids[i])
+		defer sp.End()
 		res, err := drivers[i](e)
 		if err != nil {
 			return nil, fmt.Errorf("experiment %s: %w", ids[i], err)
 		}
+		e.Cfg.Obs.Log.Debug("experiment done", "id", ids[i], "wall", sp.Wall())
 		return res, nil
 	})
 }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/ml/eval"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/rng"
 )
@@ -39,6 +40,11 @@ type Config struct {
 	SweepCounts []int
 	// Workers bounds parallel scoring (0 = GOMAXPROCS).
 	Workers int
+
+	// Obs carries optional metrics/tracing/logging through every dataset
+	// build and experiment; the zero value is a no-op and results stay
+	// bit-identical either way.
+	Obs core.Instrumentation
 }
 
 // DefaultConfig returns the fast-run scale documented in EXPERIMENTS.md.
@@ -137,7 +143,11 @@ func (e *Env) AppSVM() (*core.JobClassifier, error) {
 			e.svmErr = err
 			return
 		}
-		e.svmModel, e.svmErr = core.TrainJobClassifier(train, core.PaperSVM(e.Cfg.Seed))
+		sp, _ := e.stage("env.appsvm")
+		defer sp.End()
+		cfg := core.PaperSVM(e.Cfg.Seed)
+		cfg.Span = sp
+		e.svmModel, e.svmErr = core.TrainJobClassifier(train, cfg)
 	})
 	return e.svmModel, e.svmErr
 }
@@ -151,7 +161,11 @@ func (e *Env) AppRF() (*core.JobClassifier, error) {
 			e.rfErr = err
 			return
 		}
-		e.rfModel, e.rfErr = core.TrainJobClassifier(train, core.PaperForest(e.Cfg.Seed))
+		sp, _ := e.stage("env.apprf")
+		defer sp.End()
+		cfg := core.PaperForest(e.Cfg.Seed)
+		cfg.Span = sp
+		e.rfModel, e.rfErr = core.TrainJobClassifier(train, cfg)
 	})
 	return e.rfModel, e.rfErr
 }
@@ -164,9 +178,29 @@ func (e *Env) CategorySVM() (*core.JobClassifier, error) {
 			e.catMErr = err
 			return
 		}
-		e.catModel, e.catMErr = core.TrainJobClassifier(train, core.PaperSVM(e.Cfg.Seed))
+		sp, _ := e.stage("env.catsvm")
+		defer sp.End()
+		cfg := core.PaperSVM(e.Cfg.Seed)
+		cfg.Span = sp
+		e.catModel, e.catMErr = core.TrainJobClassifier(train, cfg)
 	})
 	return e.catModel, e.catMErr
+}
+
+// stage opens a child span under the suite span for one lazily-built
+// environment dataset; the returned Instrumentation is bound to it.
+func (e *Env) stage(name string) (*obs.Span, core.Instrumentation) {
+	sp := e.Cfg.Obs.Span.Child(name)
+	ins := e.Cfg.Obs
+	ins.Span = sp
+	return sp, ins
+}
+
+// pipelineObs binds the env's metrics/logger to a fresh child span of sp,
+// for one RunPipeline call; the caller ends the returned span.
+func (e *Env) pipelineObs(sp *obs.Span, name string) (core.Instrumentation, *obs.Span) {
+	c := sp.Child(name)
+	return core.Instrumentation{Span: c, Metrics: e.Cfg.Obs.Metrics, Log: e.Cfg.Obs.Log}, c
 }
 
 // NewEnv returns an experiment environment; datasets generate lazily.
@@ -222,28 +256,35 @@ func communityOnly(seed uint64, community []apps.App) cluster.Config {
 // set over the 20 Table 2 applications.
 func (e *Env) AppData() (train, test *dataset.Dataset, err error) {
 	e.once.appData.Do(func() {
+		sp, ins := e.stage("env.appdata")
+		defer sp.End()
 		t2 := apps.Table2Apps()
 		trainCfg := core.DefaultPipelineConfig(e.Cfg.Seed+1, 20*e.Cfg.TrainPerClass)
 		trainCfg.Cluster = communityOnly(e.Cfg.Seed+1, balancedApps(t2))
+		var psp *obs.Span
+		trainCfg.Obs, psp = e.pipelineObs(sp, "pipeline.train")
 		trainRun, err := core.RunPipeline(trainCfg)
+		psp.End()
 		if err != nil {
 			e.appErr = err
 			return
 		}
-		e.appTrain, e.appErr = core.BuildDataset(trainRun.Records, core.LabelByLariat, core.DefaultFeatures())
+		e.appTrain, e.appErr = core.BuildDatasetObs(ins, trainRun.Records, core.LabelByLariat, core.DefaultFeatures())
 		if e.appErr != nil {
 			return
 		}
 
 		testCfg := core.DefaultPipelineConfig(e.Cfg.Seed+2, e.Cfg.TestJobs)
 		testCfg.Cluster = communityOnly(e.Cfg.Seed+2, t2)
+		testCfg.Obs, psp = e.pipelineObs(sp, "pipeline.test")
 		testRun, err := core.RunPipeline(testCfg)
+		psp.End()
 		if err != nil {
 			e.appErr = err
 			return
 		}
 		var testDS *dataset.Dataset
-		testDS, e.appErr = core.BuildDataset(testRun.Records, core.LabelByLariat, core.DefaultFeatures())
+		testDS, e.appErr = core.BuildDatasetObs(ins, testRun.Records, core.LabelByLariat, core.DefaultFeatures())
 		if e.appErr != nil {
 			return
 		}
@@ -257,27 +298,34 @@ func (e *Env) AppData() (train, test *dataset.Dataset, err error) {
 // sets over the full catalogue, labeled by broad category.
 func (e *Env) CategoryData() (train, test *dataset.Dataset, err error) {
 	e.once.catData.Do(func() {
+		sp, ins := e.stage("env.catdata")
+		defer sp.End()
 		trainCfg := core.DefaultPipelineConfig(e.Cfg.Seed+3, 12*2*e.Cfg.TrainPerClass)
 		trainCfg.Cluster = communityOnly(e.Cfg.Seed+3, categoryBalancedApps())
+		var psp *obs.Span
+		trainCfg.Obs, psp = e.pipelineObs(sp, "pipeline.train")
 		trainRun, err := core.RunPipeline(trainCfg)
+		psp.End()
 		if err != nil {
 			e.catErr = err
 			return
 		}
-		e.catTrain, e.catErr = core.BuildDataset(trainRun.Records, core.LabelByCategory, core.DefaultFeatures())
+		e.catTrain, e.catErr = core.BuildDatasetObs(ins, trainRun.Records, core.LabelByCategory, core.DefaultFeatures())
 		if e.catErr != nil {
 			return
 		}
 
 		testCfg := core.DefaultPipelineConfig(e.Cfg.Seed+4, e.Cfg.TestJobs)
 		testCfg.Cluster = communityOnly(e.Cfg.Seed+4, apps.Catalog())
+		testCfg.Obs, psp = e.pipelineObs(sp, "pipeline.test")
 		testRun, err := core.RunPipeline(testCfg)
+		psp.End()
 		if err != nil {
 			e.catErr = err
 			return
 		}
 		var testDS *dataset.Dataset
-		testDS, e.catErr = core.BuildDataset(testRun.Records, core.LabelByCategory, core.DefaultFeatures())
+		testDS, e.catErr = core.BuildDatasetObs(ins, testRun.Records, core.LabelByCategory, core.DefaultFeatures())
 		if e.catErr != nil {
 			return
 		}
@@ -289,27 +337,34 @@ func (e *Env) CategoryData() (train, test *dataset.Dataset, err error) {
 // UnknownPools generates (once) the Uncategorized and NA feature rows.
 func (e *Env) UnknownPools() (uncat, na [][]float64, err error) {
 	e.once.pools.Do(func() {
+		sp, ins := e.stage("env.unknownpools")
+		defer sp.End()
 		uncatCfg := core.DefaultPipelineConfig(e.Cfg.Seed+5, e.Cfg.UnknownJobs)
 		uncatCfg.Cluster = cluster.DefaultConfig(e.Cfg.Seed + 5)
 		uncatCfg.Cluster.UncategorizedFrac = 1
 		uncatCfg.Cluster.NAFrac = 0
+		var psp *obs.Span
+		uncatCfg.Obs, psp = e.pipelineObs(sp, "pipeline.uncategorized")
 		uncatRun, err := core.RunPipeline(uncatCfg)
+		psp.End()
 		if err != nil {
 			e.poolErr = err
 			return
 		}
-		e.uncatRows = core.FeaturizeAll(uncatRun.Records, core.DefaultFeatures())
+		e.uncatRows = core.FeaturizeAllObs(ins, uncatRun.Records, core.DefaultFeatures())
 
 		naCfg := core.DefaultPipelineConfig(e.Cfg.Seed+6, e.Cfg.UnknownJobs)
 		naCfg.Cluster = cluster.DefaultConfig(e.Cfg.Seed + 6)
 		naCfg.Cluster.UncategorizedFrac = 0
 		naCfg.Cluster.NAFrac = 1
+		naCfg.Obs, psp = e.pipelineObs(sp, "pipeline.na")
 		naRun, err := core.RunPipeline(naCfg)
+		psp.End()
 		if err != nil {
 			e.poolErr = err
 			return
 		}
-		e.naRows = core.FeaturizeAll(naRun.Records, core.DefaultFeatures())
+		e.naRows = core.FeaturizeAllObs(ins, naRun.Records, core.DefaultFeatures())
 	})
 	return e.uncatRows, e.naRows, e.poolErr
 }
@@ -318,9 +373,14 @@ func (e *Env) UnknownPools() (uncat, na [][]float64, err error) {
 // experiments (efficiency + exit-code labels).
 func (e *Env) NativeRun() (*core.PipelineResult, error) {
 	e.once.native.Do(func() {
+		sp, _ := e.stage("env.native")
+		defer sp.End()
 		cfg := core.DefaultPipelineConfig(e.Cfg.Seed+7, e.Cfg.TestJobs)
 		cfg.Cluster = communityOnly(e.Cfg.Seed+7, apps.Catalog())
+		var psp *obs.Span
+		cfg.Obs, psp = e.pipelineObs(sp, "pipeline.native")
 		e.nativeRun, e.nativeErr = core.RunPipeline(cfg)
+		psp.End()
 	})
 	return e.nativeRun, e.nativeErr
 }
@@ -329,21 +389,26 @@ func (e *Env) NativeRun() (*core.PipelineResult, error) {
 // datasets from the same jobs (X1).
 func (e *Env) SegmentData() (segTrain, segTest, meanTrain, meanTest *dataset.Dataset, err error) {
 	e.once.segments.Do(func() {
+		sp, ins := e.stage("env.segments")
+		defer sp.End()
 		cfg := core.DefaultPipelineConfig(e.Cfg.Seed+8, 20*e.Cfg.TrainPerClass)
 		cfg.Cluster = communityOnly(e.Cfg.Seed+8, balancedApps(apps.Table2Apps()))
 		cfg.Segments = 3
+		var psp *obs.Span
+		cfg.Obs, psp = e.pipelineObs(sp, "pipeline.segments")
 		run, err := core.RunPipeline(cfg)
+		psp.End()
 		if err != nil {
 			e.segErr = err
 			return
 		}
 		segOpt := core.FeatureOptions{COV: true, Derived: true, Segments: 3}
-		segDS, err := core.BuildDataset(run.Records, core.LabelByLariat, segOpt)
+		segDS, err := core.BuildDatasetObs(ins, run.Records, core.LabelByLariat, segOpt)
 		if err != nil {
 			e.segErr = err
 			return
 		}
-		meanDS, err := core.BuildDataset(run.Records, core.LabelByLariat, core.DefaultFeatures())
+		meanDS, err := core.BuildDatasetObs(ins, run.Records, core.LabelByLariat, core.DefaultFeatures())
 		if err != nil {
 			e.segErr = err
 			return

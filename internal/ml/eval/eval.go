@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"repro/internal/dataset"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -306,11 +307,22 @@ func CrossValidate(d *dataset.Dataset, k int, seed uint64, trainFn TrainFunc) (f
 // bit-identical to the serial loop at any worker count. trainFn must be
 // safe to call from multiple goroutines.
 func CrossValidateWorkers(d *dataset.Dataset, k int, seed uint64, workers int, trainFn TrainFunc) (float64, error) {
+	return CrossValidateObs(nil, d, k, seed, workers, trainFn)
+}
+
+// CrossValidateObs is CrossValidateWorkers with per-fold tracing: each
+// fold gets a "fold.<i>" child span under sp (train + score, with the
+// fold's accuracy as an attribute). A nil span is a no-op and the fold
+// results are bit-identical either way — tracing never touches the fold
+// assignment or any RNG stream.
+func CrossValidateObs(sp *obs.Span, d *dataset.Dataset, k int, seed uint64, workers int, trainFn TrainFunc) (float64, error) {
 	if k < 2 {
 		return 0, fmt.Errorf("eval: need k >= 2 folds")
 	}
 	folds := stratifiedFolds(d, k, seed)
 	accs, err := parallel.Map(workers, k, func(f int) (float64, error) {
+		fsp := sp.Child(fmt.Sprintf("fold.%d", f))
+		defer fsp.End()
 		var trainIdx, testIdx []int
 		for i, fi := range folds {
 			if fi == f {
@@ -323,7 +335,10 @@ func CrossValidateWorkers(d *dataset.Dataset, k int, seed uint64, workers int, t
 		if err != nil {
 			return 0, err
 		}
-		return Accuracy(Score(model, d.Subset(testIdx))), nil
+		acc := Accuracy(Score(model, d.Subset(testIdx)))
+		fsp.SetAttr("accuracy", acc)
+		fsp.SetAttr("test_rows", len(testIdx))
+		return acc, nil
 	})
 	if err != nil {
 		return 0, err

@@ -6,6 +6,7 @@ import (
 	"runtime"
 
 	"repro/internal/dataset"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/rng"
 )
@@ -25,6 +26,9 @@ type Config struct {
 	Workers int
 	// Seed drives bootstrap and feature sampling.
 	Seed uint64
+	// Span, when set, receives an "rf.trees" child span covering tree
+	// construction; nil is a no-op and timing never touches the RNG.
+	Span *obs.Span
 }
 
 func (c Config) withDefaults(p int, regression bool) Config {
@@ -66,6 +70,10 @@ func TrainClassifier(d *dataset.Dataset, cfg Config) (*Classifier, error) {
 		return nil, fmt.Errorf("forest: empty training set")
 	}
 	cfg = cfg.withDefaults(d.NumFeatures(), false)
+	tsp := cfg.Span.Child("rf.trees")
+	tsp.SetAttr("trees", cfg.Trees)
+	defer tsp.End()
+	cfg.Span = nil // keep trained models from retaining the trace tree
 	c := &Classifier{
 		cfg:     cfg,
 		classes: d.ClassNames,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/dataset"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/rng"
 )
@@ -39,6 +40,10 @@ type Config struct {
 	// (absent classes weigh 1). The paper suggests class weighting to
 	// counter mixture-share-driven misclassification (VASP/NAMD).
 	ClassWeights map[string]float64
+
+	// Span, when set, receives an "svm.pairs" child span covering the
+	// one-vs-one pair training; nil is a no-op.
+	Span *obs.Span
 }
 
 // weightFor returns the configured weight of a class (default 1).
@@ -98,6 +103,9 @@ func Train(d *dataset.Dataset, cfg Config) (*Model, error) {
 		}
 	}
 
+	psp := cfg.Span.Child("svm.pairs")
+	psp.SetAttr("pairs", len(jobs))
+	cfg.Span = nil // keep trained models from retaining the trace tree
 	model := &Model{cfg: cfg, classes: d.ClassNames, features: d.NumFeatures()}
 	// Each binary problem is seeded by its pair index, so the trained
 	// machines are identical at any worker count.
@@ -109,6 +117,7 @@ func Train(d *dataset.Dataset, cfg Config) (*Model, error) {
 		m := trainBinary(x, y, wPos, wNeg, cfg, uint64(idx))
 		return pairModel{i: job.i, j: job.j, m: m}, nil
 	})
+	psp.End()
 	if err != nil {
 		return nil, err
 	}

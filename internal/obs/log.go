@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level is a log severity.
+type Level int32
+
+// Severities, least to most severe.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	default:
+		return "error"
+	}
+}
+
+// ParseLevel reads a level name ("debug", "info", "warn", "error").
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info", "":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("obs: unknown log level %q", s)
+}
+
+// Logger writes leveled key=value lines. Lines look like
+//
+//	level=info msg="serving" addr=:8080 jobs=2000
+//
+// optionally prefixed with ts=<RFC3339>. A nil *Logger discards
+// everything, so library code can log unconditionally.
+type Logger struct {
+	mu    *sync.Mutex
+	w     io.Writer
+	level Level
+	ts    bool
+	base  string // pre-rendered With fields
+}
+
+// NewLogger returns a logger writing lines at or above level to w.
+func NewLogger(w io.Writer, level Level) *Logger {
+	return &Logger{mu: &sync.Mutex{}, w: w, level: level}
+}
+
+// Timestamps returns a logger that prefixes every line with
+// ts=<RFC3339Nano> (off by default so CLI output stays reproducible).
+func (l *Logger) Timestamps(on bool) *Logger {
+	if l == nil {
+		return nil
+	}
+	c := *l
+	c.ts = on
+	return &c
+}
+
+// With returns a logger that appends the given key/value pairs to every
+// line. Derived loggers share the parent's writer lock.
+func (l *Logger) With(kv ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	c := *l
+	extra := renderKV(kv)
+	if extra != "" {
+		if c.base != "" {
+			c.base += " "
+		}
+		c.base += extra
+	}
+	return &c
+}
+
+// Enabled reports whether a line at level would be written.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && level >= l.level
+}
+
+// Debug logs at debug level.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at info level.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at warn level.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at error level.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(level Level, msg string, kv []any) {
+	if !l.Enabled(level) {
+		return
+	}
+	var b strings.Builder
+	if l.ts {
+		b.WriteString("ts=")
+		b.WriteString(time.Now().UTC().Format(time.RFC3339Nano))
+		b.WriteByte(' ')
+	}
+	b.WriteString("level=")
+	b.WriteString(level.String())
+	b.WriteString(" msg=")
+	b.WriteString(quoteValue(msg))
+	if l.base != "" {
+		b.WriteByte(' ')
+		b.WriteString(l.base)
+	}
+	if extra := renderKV(kv); extra != "" {
+		b.WriteByte(' ')
+		b.WriteString(extra)
+	}
+	b.WriteByte('\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, _ = io.WriteString(l.w, b.String())
+}
+
+// renderKV formats key/value pairs; a trailing odd key gets "(MISSING)".
+func renderKV(kv []any) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(fmt.Sprint(kv[i]))
+		b.WriteByte('=')
+		if i+1 < len(kv) {
+			b.WriteString(quoteValue(fmt.Sprint(kv[i+1])))
+		} else {
+			b.WriteString(`"(MISSING)"`)
+		}
+	}
+	return b.String()
+}
+
+// quoteValue quotes values containing spaces, quotes or control bytes.
+func quoteValue(s string) string {
+	if s == "" {
+		return `""`
+	}
+	if strings.ContainsAny(s, " \t\n\"=") {
+		return strconv.Quote(s)
+	}
+	return s
+}

@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	// Same name + labels returns the same series.
+	if r.Counter("reqs_total") != c {
+		t.Error("re-registration returned a different counter")
+	}
+	if r.Counter("reqs_total", "code", "200") == c {
+		t.Error("labeled series must be distinct from the unlabeled one")
+	}
+
+	g := r.Gauge("inflight")
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if g.Value() != 1 {
+		t.Fatalf("gauge = %v, want 1", g.Value())
+	}
+	g.Set(-2.5)
+	if g.Value() != -2.5 {
+		t.Fatalf("gauge = %v, want -2.5", g.Value())
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 2, 5})
+	// Upper bounds are inclusive: 1.0 belongs in the le="1" bucket,
+	// 2.0 in le="2"; values above the last bound go to +Inf.
+	for _, v := range []float64{0.5, 1.0, 1.5, 2.0, 5.0, 5.1, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d, want 7", h.Count())
+	}
+	wantSum := 0.5 + 1.0 + 1.5 + 2.0 + 5.0 + 5.1 + 100
+	if h.Sum() != wantSum {
+		t.Fatalf("sum = %v, want %v", h.Sum(), wantSum)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, line := range []string{
+		`lat_bucket{le="1"} 2`,    // 0.5, 1.0
+		`lat_bucket{le="2"} 4`,    // + 1.5, 2.0 (cumulative)
+		`lat_bucket{le="5"} 5`,    // + 5.0
+		`lat_bucket{le="+Inf"} 7`, // + 5.1, 100
+		`lat_count 7`,
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("exposition missing %q in:\n%s", line, out)
+		}
+	}
+}
+
+func TestPrometheusExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Help("http_requests_total", "Total HTTP requests served.")
+	r.Counter("http_requests_total", "code", "200", "path", "/api/overview").Add(3)
+	r.Counter("http_requests_total", "code", "400", "path", "/api/classify").Inc()
+	r.Gauge("http_in_flight").Set(2)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, line := range []string{
+		"# HELP http_requests_total Total HTTP requests served.",
+		"# TYPE http_requests_total counter",
+		`http_requests_total{code="200",path="/api/overview"} 3`,
+		`http_requests_total{code="400",path="/api/classify"} 1`,
+		"# TYPE http_in_flight gauge",
+		"http_in_flight 2",
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("exposition missing %q in:\n%s", line, out)
+		}
+	}
+	// Families render in sorted order: gauge family precedes counter one.
+	if strings.Index(out, "http_in_flight") > strings.Index(out, "http_requests_total") {
+		t.Errorf("families not sorted:\n%s", out)
+	}
+	// Label pairs canonicalize regardless of argument order.
+	if r.Counter("http_requests_total", "path", "/api/overview", "code", "200").Value() != 3 {
+		t.Error("label order changed series identity")
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, perG = 16, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r.Counter("ops_total").Inc()
+				r.Gauge("level").Add(1)
+				r.Histogram("obs", []float64{0.5, 1}).Observe(0.25)
+				r.Counter("ops_total", "worker", "a").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("ops_total").Value(); got != goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := r.Gauge("level").Value(); got != goroutines*perG {
+		t.Errorf("gauge = %v, want %d", got, goroutines*perG)
+	}
+	if got := r.Histogram("obs", nil).Count(); got != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", nil)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must return nil metrics")
+	}
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(2)
+	h.Observe(4)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil metrics must read as zero")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Error(err)
+	}
+	if r.Snapshot() != nil {
+		t.Error("nil registry snapshot must be nil")
+	}
+	r.Help("x", "help")
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(2)
+	r.Gauge("b").Set(1.5)
+	h := r.Histogram("c_seconds", []float64{1})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d series, want 3", len(snap))
+	}
+	// Sorted by name: a_total, b, c_seconds.
+	if snap[0].Name != "a_total" || snap[0].Value != 2 || snap[0].Type != "counter" {
+		t.Errorf("snap[0] = %+v", snap[0])
+	}
+	if snap[1].Name != "b" || snap[1].Value != 1.5 {
+		t.Errorf("snap[1] = %+v", snap[1])
+	}
+	if snap[2].Name != "c_seconds" || snap[2].Count != 2 || snap[2].Sum != 2 || snap[2].Mean != 1 {
+		t.Errorf("snap[2] = %+v", snap[2])
+	}
+}

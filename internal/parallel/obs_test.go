@@ -1,0 +1,93 @@
+package parallel
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// withInstrument installs a registry for the test and restores the
+// uninstrumented default afterwards.
+func withInstrument(t *testing.T) *obs.Registry {
+	t.Helper()
+	reg := obs.NewRegistry()
+	Instrument(reg)
+	t.Cleanup(func() { Instrument(nil) })
+	return reg
+}
+
+func TestInstrumentCountsTasks(t *testing.T) {
+	reg := withInstrument(t)
+	const n = 100
+	if err := ForEach(4, n, func(i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("pool_tasks_done_total").Value(); got != n {
+		t.Errorf("done = %d, want %d", got, n)
+	}
+	if got := reg.Counter("pool_tasks_failed_total").Value(); got != 0 {
+		t.Errorf("failed = %d, want 0", got)
+	}
+	if got := reg.Histogram("pool_task_seconds", nil).Count(); got != n {
+		t.Errorf("latency observations = %d, want %d", got, n)
+	}
+	if got := reg.Gauge("pool_tasks_queued").Value(); got != 0 {
+		t.Errorf("queued gauge not drained: %v", got)
+	}
+	if got := reg.Gauge("pool_tasks_running").Value(); got != 0 {
+		t.Errorf("running gauge not drained: %v", got)
+	}
+}
+
+func TestInstrumentDrainsQueuedOnFailure(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		reg := withInstrument(t)
+		boom := errors.New("boom")
+		err := ForEach(workers, 50, func(i int) error {
+			if i == 3 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		if got := reg.Gauge("pool_tasks_queued").Value(); got != 0 {
+			t.Errorf("workers=%d: queued gauge left at %v", workers, got)
+		}
+		if got := reg.Gauge("pool_tasks_running").Value(); got != 0 {
+			t.Errorf("workers=%d: running gauge left at %v", workers, got)
+		}
+		if got := reg.Counter("pool_tasks_failed_total").Value(); got < 1 {
+			t.Errorf("workers=%d: failed = %d, want >= 1", workers, got)
+		}
+		Instrument(nil)
+	}
+}
+
+func TestInstrumentedParityWithUninstrumented(t *testing.T) {
+	sum := func() (int, error) {
+		total := 0
+		out, err := Map(4, 64, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			return 0, err
+		}
+		for _, v := range out {
+			total += v
+		}
+		return total, nil
+	}
+	plain, err := sum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	withInstrument(t)
+	instrumented, err := sum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != instrumented {
+		t.Errorf("results diverged: %d vs %d", plain, instrumented)
+	}
+}

@@ -24,9 +24,70 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
+
+// PoolMetrics instruments every pool fan-out in the process: gauges for
+// tasks queued and running, counters for completions and failures, and a
+// per-task latency histogram. All fields are nil-safe obs metrics.
+type PoolMetrics struct {
+	Queued      *obs.Gauge
+	Running     *obs.Gauge
+	Done        *obs.Counter
+	Failed      *obs.Counter
+	TaskSeconds *obs.Histogram
+}
+
+// poolMetrics is the process-wide instrument; nil (the default) means
+// uninstrumented and costs one atomic load per fan-out.
+var poolMetrics atomic.Pointer[PoolMetrics]
+
+// Instrument registers pool metrics on reg under the pool_* names
+// (pool_tasks_queued, pool_tasks_running, pool_tasks_done_total,
+// pool_tasks_failed_total, pool_task_seconds). A nil registry disables
+// instrumentation. Metrics never touch any RNG stream, so enabling them
+// cannot perturb deterministic results.
+func Instrument(reg *obs.Registry) {
+	if reg == nil {
+		poolMetrics.Store(nil)
+		return
+	}
+	reg.Help("pool_tasks_queued", "Worker-pool tasks admitted but not yet started.")
+	reg.Help("pool_tasks_running", "Worker-pool tasks currently executing.")
+	reg.Help("pool_tasks_done_total", "Worker-pool tasks completed successfully.")
+	reg.Help("pool_tasks_failed_total", "Worker-pool tasks that returned an error.")
+	reg.Help("pool_task_seconds", "Worker-pool per-task latency in seconds.")
+	poolMetrics.Store(&PoolMetrics{
+		Queued:      reg.Gauge("pool_tasks_queued"),
+		Running:     reg.Gauge("pool_tasks_running"),
+		Done:        reg.Counter("pool_tasks_done_total"),
+		Failed:      reg.Counter("pool_tasks_failed_total"),
+		TaskSeconds: reg.Histogram("pool_task_seconds", nil),
+	})
+}
+
+// run executes one claimed task under instrumentation (m may be nil).
+func (m *PoolMetrics) run(ctx context.Context, i int, fn func(ctx context.Context, i int) error) error {
+	if m == nil {
+		return fn(ctx, i)
+	}
+	m.Queued.Dec()
+	m.Running.Inc()
+	start := time.Now()
+	err := fn(ctx, i)
+	m.TaskSeconds.ObserveDuration(start)
+	m.Running.Dec()
+	if err != nil {
+		m.Failed.Inc()
+	} else {
+		m.Done.Inc()
+	}
+	return err
+}
 
 // Workers resolves a worker-count knob: values <= 0 mean GOMAXPROCS.
 func Workers(n int) int {
@@ -61,6 +122,12 @@ func ForEachCtx(ctx context.Context, workers, n int, fn func(ctx context.Context
 	defer cancel()
 
 	st := &dispatcher{n: n, firstIdx: n}
+	m := poolMetrics.Load()
+	if m != nil {
+		m.Queued.Add(float64(n))
+		// Drain whatever never dispatched (early error or cancellation).
+		defer func() { m.Queued.Add(-float64(n - st.dispatched())) }()
+	}
 	if w == 1 {
 		// Serial fast path: identical semantics (in-order dispatch, stop
 		// at the first failure) without goroutine overhead.
@@ -68,7 +135,8 @@ func ForEachCtx(ctx context.Context, workers, n int, fn func(ctx context.Context
 			if cctx.Err() != nil {
 				return ctx.Err()
 			}
-			if err := fn(cctx, i); err != nil {
+			st.next = i + 1
+			if err := m.run(cctx, i, fn); err != nil {
 				return err
 			}
 		}
@@ -85,7 +153,7 @@ func ForEachCtx(ctx context.Context, workers, n int, fn func(ctx context.Context
 				if !ok {
 					return
 				}
-				if err := fn(cctx, i); err != nil {
+				if err := m.run(cctx, i, fn); err != nil {
 					st.fail(i, err)
 					cancel()
 				}
@@ -119,6 +187,13 @@ func (d *dispatcher) claim(ctx context.Context) (int, bool) {
 	i := d.next
 	d.next++
 	return i, true
+}
+
+// dispatched returns how many tasks have been handed out.
+func (d *dispatcher) dispatched() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.next
 }
 
 func (d *dispatcher) fail(i int, err error) {

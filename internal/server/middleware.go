@@ -1,0 +1,157 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Option configures optional server subsystems.
+type Option func(*Server)
+
+// WithMetrics wires a metrics registry into the request path and exposes
+// it at GET /metrics in Prometheus text format.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(s *Server) { s.metrics = reg }
+}
+
+// WithLogger attaches a structured logger; each request is logged at
+// debug level and panics at error level.
+func WithLogger(log *obs.Logger) Option {
+	return func(s *Server) { s.log = log }
+}
+
+// WithPprof mounts net/http/pprof under /debug/pprof/.
+func WithPprof() Option {
+	return func(s *Server) { s.pprof = true }
+}
+
+// knownPaths bounds the cardinality of the path label: anything not
+// registered on the API is reported as "other".
+var knownPaths = map[string]bool{
+	"/api/overview": true, "/api/groupby": true, "/api/drilldown": true,
+	"/api/utilization": true, "/api/features": true, "/api/classify": true,
+	"/metrics": true,
+}
+
+func pathLabel(p string) string {
+	if knownPaths[p] {
+		return p
+	}
+	if strings.HasPrefix(p, "/debug/pprof") {
+		return "/debug/pprof"
+	}
+	return "other"
+}
+
+// statusWriter captures the response status code for metrics and logs.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// requestSeq numbers requests process-wide for X-Request-ID generation.
+var requestSeq atomic.Uint64
+
+// requestID returns the inbound X-Request-ID or mints one. IDs combine
+// the server boot stamp with a process-wide sequence number, so they are
+// unique without consuming any randomness the pipeline depends on.
+func (s *Server) requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-ID"); id != "" {
+		return id
+	}
+	return fmt.Sprintf("%x-%06d", s.bootStamp, requestSeq.Add(1))
+}
+
+// wrap is the middleware chain applied to every request: request ID ->
+// panic recovery -> metrics -> logging -> handler.
+func (s *Server) wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := s.requestID(r)
+		w.Header().Set("X-Request-ID", id)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+
+		if s.metrics != nil {
+			inFlight := s.metrics.Gauge("http_in_flight_requests")
+			inFlight.Inc()
+			defer inFlight.Dec()
+		}
+
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler {
+					panic(rec)
+				}
+				s.metrics.Counter("http_panics_total").Inc()
+				s.log.Error("handler panic", "id", id, "path", r.URL.Path, "panic", rec)
+				if sw.status == 0 {
+					writeError(sw, http.StatusInternalServerError, "internal error (request %s)", id)
+				}
+			}
+			if sw.status == 0 {
+				sw.status = http.StatusOK
+			}
+			if s.metrics != nil {
+				pl := pathLabel(r.URL.Path)
+				s.metrics.Counter("http_requests_total",
+					"path", pl, "code", strconv.Itoa(sw.status)).Inc()
+				s.metrics.Histogram("http_request_seconds", nil, "path", pl).
+					ObserveDuration(start)
+			}
+			s.log.Debug("request",
+				"id", id, "method", r.Method, "path", r.URL.Path,
+				"status", sw.status, "dur", time.Since(start).Round(time.Microsecond))
+		}()
+
+		next.ServeHTTP(sw, r)
+	})
+}
+
+// classifyOutcome counts classification endpoint outcomes: classified,
+// below_threshold, bad_request, no_model.
+func (s *Server) classifyOutcome(outcome string) {
+	s.metrics.Counter("classify_outcomes_total", "outcome", outcome).Inc()
+}
+
+// mountDebug registers the optional /metrics and /debug/pprof routes and
+// pre-declares the HTTP metric families so /metrics carries HELP text
+// before the first request lands.
+func (s *Server) mountDebug() {
+	if s.metrics != nil {
+		s.metrics.Help("http_requests_total", "HTTP requests by path and status code.")
+		s.metrics.Help("http_request_seconds", "HTTP request latency in seconds by path.")
+		s.metrics.Help("http_in_flight_requests", "Requests currently being served.")
+		s.metrics.Help("http_panics_total", "Requests that panicked in a handler.")
+		s.metrics.Help("classify_outcomes_total", "Classification endpoint outcomes.")
+		s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = s.metrics.WritePrometheus(w)
+		})
+	}
+	if s.pprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+}

@@ -12,8 +12,10 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/warehouse"
 )
 
@@ -24,23 +26,39 @@ type Server struct {
 	model        *core.JobClassifier
 	machineNodes int
 	mux          *http.ServeMux
+	handler      http.Handler
+
+	metrics   *obs.Registry
+	log       *obs.Logger
+	pprof     bool
+	bootStamp int64
 }
 
 // New builds a server. model may be nil (the classify endpoint then
-// returns 503). machineNodes sizes the utilization report.
-func New(store *warehouse.Store, model *core.JobClassifier, machineNodes int) *Server {
-	s := &Server{store: store, model: model, machineNodes: machineNodes, mux: http.NewServeMux()}
+// returns 503). machineNodes sizes the utilization report. Options add
+// metrics (/metrics), structured logging, and pprof endpoints.
+func New(store *warehouse.Store, model *core.JobClassifier, machineNodes int, opts ...Option) *Server {
+	s := &Server{
+		store: store, model: model, machineNodes: machineNodes,
+		mux:       http.NewServeMux(),
+		bootStamp: time.Now().UnixNano(),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.mux.HandleFunc("GET /api/overview", s.handleOverview)
 	s.mux.HandleFunc("GET /api/groupby", s.handleGroupBy)
 	s.mux.HandleFunc("GET /api/drilldown", s.handleDrillDown)
 	s.mux.HandleFunc("GET /api/utilization", s.handleUtilization)
 	s.mux.HandleFunc("GET /api/features", s.handleFeatures)
 	s.mux.HandleFunc("POST /api/classify", s.handleClassify)
+	s.mountDebug()
+	s.handler = s.wrap(s.mux)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -167,15 +185,18 @@ type classifyRequest struct {
 
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	if s.model == nil {
+		s.classifyOutcome("no_model")
 		writeError(w, http.StatusServiceUnavailable, "no classifier loaded")
 		return
 	}
 	var req classifyRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.classifyOutcome("bad_request")
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
 	if req.Threshold < 0 || req.Threshold > 1 {
+		s.classifyOutcome("bad_request")
 		writeError(w, http.StatusBadRequest, "threshold must be in [0,1]")
 		return
 	}
@@ -196,10 +217,16 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		row[idx] = v
 	}
 	if len(unknown) > 0 {
+		s.classifyOutcome("bad_request")
 		writeError(w, http.StatusBadRequest, "unknown features: %v", unknown)
 		return
 	}
 	label, prob, ok := s.model.Classify(row, req.Threshold)
+	if ok {
+		s.classifyOutcome("classified")
+	} else {
+		s.classifyOutcome("below_threshold")
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"label":       label,
 		"probability": prob,
