@@ -206,9 +206,16 @@ func renderLabels(pairs []string) string {
 		return ""
 	}
 	type kv struct{ k, v string }
-	kvs := make([]kv, 0, len(pairs)/2)
-	for i := 0; i+1 < len(pairs); i += 2 {
-		kvs = append(kvs, kv{pairs[i], pairs[i+1]})
+	kvs := make([]kv, 0, (len(pairs)+1)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		// A dangling key (odd pair count) renders with a sentinel value,
+		// mirroring the logger, so the call-site bug is visible instead of
+		// silently aliasing another series.
+		v := "(MISSING)"
+		if i+1 < len(pairs) {
+			v = pairs[i+1]
+		}
+		kvs = append(kvs, kv{pairs[i], v})
 	}
 	sort.Slice(kvs, func(a, b int) bool { return kvs[a].k < kvs[b].k })
 	var b strings.Builder
@@ -233,7 +240,12 @@ func (r *Registry) lookup(name string, kind metricKind, buckets []float64, label
 			f.buckets = append([]float64(nil), buckets...)
 		}
 		r.families[name] = f
-	} else if len(f.series) == 0 && f.kind != kind {
+	} else if f.kind != kind {
+		if len(f.series) > 0 {
+			// Returning the existing series would hand the caller a nil
+			// metric that silently drops every observation; fail loudly.
+			panic(fmt.Sprintf("obs: metric %q already registered as %s, requested as %s", name, f.kind, kind))
+		}
 		// Family pre-created by Help: adopt the first registered kind.
 		f.kind = kind
 		if kind == kindHistogram {
@@ -305,6 +317,36 @@ func withLabel(labels, k, v string) string {
 	return labels + "," + extra
 }
 
+// familyView is an immutable copy of one family's identity plus its series
+// pointers, taken under r.mu. Concurrent lookups insert into the live
+// family.series maps, so renderers must never touch those maps (or the
+// help/kind fields) after the lock is released; the per-series atomics are
+// safe to read unlocked.
+type familyView struct {
+	name   string
+	help   string
+	kind   metricKind
+	series []*series // sorted by label string
+}
+
+// view snapshots every family under r.mu, families sorted by name.
+func (r *Registry) view() []familyView {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]familyView, 0, len(r.families))
+	for _, f := range r.families {
+		fv := familyView{name: f.name, help: f.help, kind: f.kind,
+			series: make([]*series, 0, len(f.series))}
+		for _, s := range f.series {
+			fv.series = append(fv.series, s)
+		}
+		sort.Slice(fv.series, func(i, j int) bool { return fv.series[i].labels < fv.series[j].labels })
+		out = append(out, fv)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
 // WritePrometheus renders every family in the Prometheus text exposition
 // format (version 0.0.4), families and series in sorted order so the
 // output is stable.
@@ -312,34 +354,16 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	names := make([]string, 0, len(r.families))
-	for name := range r.families {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	fams := make([]*family, len(names))
-	for i, n := range names {
-		fams[i] = r.families[n]
-	}
-	r.mu.Unlock()
-
 	var b strings.Builder
-	for _, f := range fams {
-		keys := make([]string, 0, len(f.series))
-		for k := range f.series {
-			keys = append(keys, k)
-		}
-		if len(keys) == 0 {
+	for _, f := range r.view() {
+		if len(f.series) == 0 {
 			continue
 		}
-		sort.Strings(keys)
 		if f.help != "" {
 			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
 		}
 		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
-		for _, k := range keys {
-			s := f.series[k]
+		for _, s := range f.series {
 			switch f.kind {
 			case kindCounter:
 				writeSample(&b, f.name, s.labels, strconv.FormatUint(s.counter.Value(), 10))
@@ -390,15 +414,8 @@ func (r *Registry) Snapshot() []SeriesSnapshot {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	fams := make([]*family, 0, len(r.families))
-	for _, f := range r.families {
-		fams = append(fams, f)
-	}
-	r.mu.Unlock()
-
 	var out []SeriesSnapshot
-	for _, f := range fams {
+	for _, f := range r.view() {
 		for _, s := range f.series {
 			name := f.name
 			if s.labels != "" {

@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"io"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -126,6 +128,85 @@ func TestRegistryConcurrency(t *testing.T) {
 	}
 	if got := r.Histogram("obs", nil).Count(); got != goroutines*perG {
 		t.Errorf("histogram count = %d, want %d", got, goroutines*perG)
+	}
+}
+
+// TestRenderConcurrentWithRegistration scrapes WritePrometheus and
+// Snapshot while other goroutines keep creating brand-new labeled series
+// in the same families — under -race this catches any renderer touching a
+// family's live series map after r.mu is released.
+func TestRenderConcurrentWithRegistration(t *testing.T) {
+	r := NewRegistry()
+	const writers, perG = 8, 300
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				lbl := strconv.Itoa(g*perG + i) // new series every iteration
+				r.Counter("scrape_reqs_total", "path", lbl).Inc()
+				r.Gauge("scrape_level", "worker", lbl).Set(1)
+				r.Histogram("scrape_lat", []float64{1}, "path", lbl).Observe(0.5)
+				r.Help("scrape_reqs_total", "requests seen during the race test")
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for scrapes := 0; ; scrapes++ {
+		if err := r.WritePrometheus(io.Discard); err != nil {
+			t.Errorf("scrape %d: %v", scrapes, err)
+		}
+		r.Snapshot()
+		select {
+		case <-done:
+			if got := len(r.Snapshot()); got != 3*writers*perG {
+				t.Errorf("snapshot has %d series, want %d", got, 3*writers*perG)
+			}
+			return
+		default:
+		}
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jobs_total").Inc()
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter family as a gauge did not panic")
+		}
+	}()
+	r.Gauge("jobs_total")
+}
+
+func TestHelpPrecreatedFamilyAdoptsKind(t *testing.T) {
+	r := NewRegistry()
+	r.Help("depth", "queue depth")
+	r.Gauge("depth").Set(3) // no panic: Help alone does not fix the kind
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "# TYPE depth gauge") {
+		t.Errorf("help-precreated family did not adopt gauge kind:\n%s", b.String())
+	}
+}
+
+func TestDanglingLabelKeyRendersMissing(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("odd_total", "path") // odd pair count: value missing
+	c.Inc()
+	if c == r.Counter("odd_total") {
+		t.Error("dangling key aliased the unlabeled series")
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `odd_total{path="(MISSING)"} 1`) {
+		t.Errorf("dangling label key not surfaced:\n%s", b.String())
 	}
 }
 

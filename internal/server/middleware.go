@@ -68,6 +68,21 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// Flush forwards to the underlying writer so streaming handlers (notably
+// /debug/pprof/profile and /debug/pprof/trace) keep working through the
+// middleware. Flushing commits the headers, so it pins the status.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		if w.status == 0 {
+			w.status = http.StatusOK
+		}
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // requestSeq numbers requests process-wide for X-Request-ID generation.
 var requestSeq atomic.Uint64
 

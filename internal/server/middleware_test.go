@@ -172,6 +172,37 @@ func TestPprofGated(t *testing.T) {
 	}
 }
 
+func TestStatusWriterFlushAndUnwrap(t *testing.T) {
+	s := New(nil, nil, 0)
+	flushed := false
+	s.mux.HandleFunc("GET /stream", func(w http.ResponseWriter, r *http.Request) {
+		f, ok := w.(http.Flusher)
+		if !ok {
+			t.Error("middleware-wrapped writer does not implement http.Flusher")
+			return
+		}
+		io.WriteString(w, "chunk")
+		f.Flush()
+		flushed = true
+		u, ok := w.(interface{ Unwrap() http.ResponseWriter })
+		if !ok || u.Unwrap() == nil {
+			t.Error("middleware-wrapped writer does not Unwrap to the underlying writer")
+		}
+	})
+
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/stream", nil))
+	if !flushed {
+		t.Fatal("handler never reached Flush")
+	}
+	if !rec.Flushed {
+		t.Error("Flush did not reach the underlying ResponseWriter")
+	}
+	if rec.Code != http.StatusOK {
+		t.Errorf("status = %d, want 200", rec.Code)
+	}
+}
+
 func TestUninstrumentedServerStillWorks(t *testing.T) {
 	res, err := core.RunPipeline(core.DefaultPipelineConfig(92, 60))
 	if err != nil {
