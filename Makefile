@@ -4,7 +4,28 @@
 GO ?= go
 BENCH_OUT ?= .
 
-.PHONY: all build test vet fmt-check race bench bench-smoke paper trace serve-debug clean
+# Coverage may only ratchet upward: raise this floor when coverage
+# improves, never lower it to make a failing build pass.
+COVER_FLOOR ?= 90.0
+
+FUZZTIME ?= 10s
+
+# Only test binaries that link internal/testkit define the -update flag,
+# so the regeneration sweep is scoped to these packages.
+TESTKIT_PKGS = ./internal/testkit ./internal/ml/bayes ./internal/ml/forest \
+	./internal/ml/svm ./internal/ml/eval ./internal/core ./internal/experiments
+
+# package:FuzzTarget pairs for the CI fuzz smoke.
+FUZZ_TARGETS = \
+	./internal/taccstats:FuzzDecode \
+	./internal/pcp:FuzzImport \
+	./internal/lariat:FuzzMatch \
+	./internal/warehouse:FuzzIngest \
+	./internal/dataset:FuzzReadCSV \
+	./internal/core:FuzzLoadJobClassifier
+
+.PHONY: all build test vet fmt-check race bench bench-smoke paper trace serve-debug clean \
+	testkit testkit-update test-shuffle cover fuzz-smoke
 
 all: build test
 
@@ -30,6 +51,39 @@ race:
 	$(GO) test -race ./internal/parallel ./internal/ml/... ./internal/core \
 		./internal/experiments ./internal/obs ./internal/server
 
+# The full correctness harness: golden corpus, metamorphic invariants,
+# edge-case/equivalence suites, and fuzz seed-corpus replay. -count=1
+# defeats the test cache so the goldens are genuinely recompared.
+testkit:
+	$(GO) test -count=1 ./internal/...
+
+# Regenerate the golden corpus under internal/*/testdata/golden/. On an
+# unchanged tree this is byte-identical (check with git diff); see
+# EXPERIMENTS.md "Regenerating the golden corpus" before committing a diff.
+testkit-update:
+	$(GO) test -count=1 $(TESTKIT_PKGS) -update
+
+# Shake out inter-test ordering dependencies.
+test-shuffle:
+	$(GO) test -shuffle=on ./...
+
+# Coverage profile plus the ratchet gate: fails when total statement
+# coverage drops below COVER_FLOOR percent.
+cover:
+	$(GO) test -coverprofile=coverage.out -covermode=atomic ./internal/...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	echo "total statement coverage: $$total% (floor: $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit !(t+0 >= f+0) }' || \
+		{ echo "coverage $$total% is below the $(COVER_FLOOR)% ratchet"; exit 1; }
+
+# Run every fuzz target for a short budget; any crasher fails the build.
+fuzz-smoke:
+	@set -e; for t in $(FUZZ_TARGETS); do \
+		pkg=$${t%%:*}; fn=$${t##*:}; \
+		echo "==> $$fn ($$pkg, $(FUZZTIME))"; \
+		$(GO) test -run '^$$' -fuzz "^$$fn$$" -fuzztime $(FUZZTIME) $$pkg; \
+	done
+
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
@@ -54,4 +108,4 @@ serve-debug:
 	$(GO) run ./cmd/supremm-serve -pprof -log-level debug
 
 clean:
-	rm -f BENCH_*.json trace.json
+	rm -f BENCH_*.json trace.json coverage.out

@@ -1,0 +1,55 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/testkit"
+)
+
+// fuzzSeedModel builds one small valid serialized classifier so the fuzz
+// corpus starts from a structurally correct gob stream.
+func fuzzSeedModel() []byte {
+	d := testkit.SynthClassification(testkit.SynthConfig{Seed: 3, Classes: 2, RowsPerCls: 8, Features: 3})
+	train, _ := d.Split(rng.New(3), 0.7)
+	c, err := core.TrainJobClassifier(train, core.ClassifierConfig{Algo: core.AlgoBayes})
+	if err != nil {
+		panic(err)
+	}
+	blob, err := c.SaveBytes()
+	if err != nil {
+		panic(err)
+	}
+	return blob
+}
+
+// FuzzLoadJobClassifier feeds arbitrary bytes to the model loader. A
+// hostile or truncated snapshot must produce an error, never a panic —
+// the serving path loads models from disk at startup. Valid models must
+// round-trip: saving a loaded model and loading it again must work.
+func FuzzLoadJobClassifier(f *testing.F) {
+	seed := fuzzSeedModel()
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])
+	f.Add([]byte{})
+	f.Add([]byte("not a gob stream"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := core.LoadJobClassifier(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if c == nil {
+			t.Fatal("nil classifier with nil error")
+		}
+		blob, err := c.SaveBytes()
+		if err != nil {
+			// A decoded-but-unsaveable model is tolerable; crashing is not.
+			return
+		}
+		if _, err := core.LoadJobClassifier(bytes.NewReader(blob)); err != nil {
+			t.Fatalf("re-saved model failed to load: %v", err)
+		}
+	})
+}

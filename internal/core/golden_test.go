@@ -1,0 +1,101 @@
+package core_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/rng"
+	"repro/internal/testkit"
+)
+
+func synthCoreData(t *testing.T) (train, test *dataset.Dataset) {
+	t.Helper()
+	d := testkit.SynthClassification(testkit.SynthConfig{Seed: 83, Classes: 3, RowsPerCls: 30})
+	return d.Split(rng.New(83), 0.7)
+}
+
+// TestGoldenJobClassifier pins the production classifier artifact across
+// all three algorithm families: accuracies, thresholded Classify outcomes,
+// the forest importance ranking feeding Table 3 / Figure 5, the Figure 6
+// predictor sweep, and the serialized model bytes. Every algorithm also
+// round-trips through Save/Load and must predict identically restored.
+func TestGoldenJobClassifier(t *testing.T) {
+	train, test := synthCoreData(t)
+	rfCfg := core.PaperForest(83)
+	rfCfg.Forest.Trees = 40 // keep the corpus fast
+	configs := map[string]core.ClassifierConfig{
+		"nb":  {Algo: core.AlgoBayes},
+		"rf":  rfCfg,
+		"svm": core.PaperSVM(83),
+	}
+
+	var b strings.Builder
+	testkit.Section(&b, "core.JobClassifier / synth seed 83")
+	for _, algo := range []string{"nb", "rf", "svm"} {
+		c, err := core.TrainJobClassifier(train, configs[algo])
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		classes := make([]int, test.Len())
+		var below int
+		for i, row := range test.X {
+			classes[i] = c.Predict(row)
+			if _, _, ok := c.Classify(row, 0.8); !ok {
+				below++
+			}
+		}
+		blob, err := c.SaveBytes()
+		if err != nil {
+			t.Fatalf("%s: save: %v", algo, err)
+		}
+		back, err := core.LoadJobClassifier(bytes.NewReader(blob))
+		if err != nil {
+			t.Fatalf("%s: load: %v", algo, err)
+		}
+		// The serialized parameters are pinned through the restored
+		// model's full-precision posteriors, not a hash of the gob bytes:
+		// gob wire type IDs come from a process-global counter, so the
+		// raw stream varies with test execution order.
+		var restored []float64
+		for i, row := range test.X {
+			pred, probs := back.PredictProb(row)
+			if pred != classes[i] {
+				t.Fatalf("%s: restored model disagrees at row %d", algo, i)
+			}
+			restored = append(restored, probs...)
+		}
+		testkit.Section(&b, algo)
+		b.WriteString(testkit.KeyVals(map[string]float64{
+			"test_accuracy": c.Accuracy(test),
+			"below_0.80":    float64(below),
+		}))
+		fmt.Fprintf(&b, "predictions    = %s\n", testkit.HashInts(classes))
+		fmt.Fprintf(&b, "restored_probs = %s\n", testkit.HashFloats(restored))
+
+		if algo == "rf" {
+			imp, err := c.Importance()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ranked := core.RankFeatures(c.Features, imp)
+			testkit.Section(&b, "rf importance ranking")
+			for _, r := range ranked {
+				fmt.Fprintf(&b, "%s = %s\n", r.Name, testkit.Float(r.Importance))
+			}
+			sweep, err := core.PredictorSweep(train, test, ranked, configs["rf"], []int{3, 2, 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			testkit.Section(&b, "rf predictor sweep")
+			for _, p := range sweep {
+				fmt.Fprintf(&b, "k=%d accuracy=%s features=%s\n",
+					p.NumFeatures, testkit.Float(p.Accuracy), strings.Join(p.Features, ","))
+			}
+		}
+	}
+	testkit.GoldenString(t, "job_classifier.golden", b.String())
+}

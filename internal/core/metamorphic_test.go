@@ -1,0 +1,81 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/testkit"
+)
+
+// TestSweepAccuracyMonotone checks the Figure-6 property on a separable
+// synthetic dataset: retraining on more top-ranked predictors never costs
+// accuracy beyond float-level slack, and the full feature set beats the
+// single best predictor outright.
+func TestSweepAccuracyMonotone(t *testing.T) {
+	train, test := synthCoreData(t)
+	cfg := core.PaperForest(7)
+	cfg.Forest.Trees = 40
+	c, err := core.TrainJobClassifier(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp, err := c.Importance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked := core.RankFeatures(c.Features, imp)
+	sweep, err := core.PredictorSweep(train, test, ranked, cfg, nil) // full descending grid
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != train.NumFeatures() {
+		t.Fatalf("sweep has %d points, want %d", len(sweep), train.NumFeatures())
+	}
+	// Points come sorted by descending feature count.
+	full, single := sweep[0], sweep[len(sweep)-1]
+	if full.Accuracy < single.Accuracy {
+		t.Errorf("full feature set (%v) underperforms single predictor (%v)",
+			full.Accuracy, single.Accuracy)
+	}
+	const slack = 0.05 // small-sample retraining noise, far below any real regression
+	for i := 1; i < len(sweep); i++ {
+		if sweep[i].Accuracy > sweep[i-1].Accuracy+slack {
+			t.Errorf("accuracy rose from %v to %v when dropping from %d to %d predictors",
+				sweep[i-1].Accuracy, sweep[i].Accuracy, sweep[i-1].NumFeatures, sweep[i].NumFeatures)
+		}
+	}
+}
+
+// TestClassifyThresholdConsistency checks the threshold semantics used by
+// the Figure 1-4 analyses: threshold 0 accepts everything, a threshold
+// above 1 accepts nothing, and the accept decision equals prob >= t.
+func TestClassifyThresholdConsistency(t *testing.T) {
+	train, test := synthCoreData(t)
+	c, err := core.TrainJobClassifier(train, core.ClassifierConfig{Algo: core.AlgoBayes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range test.X {
+		label0, prob, ok := c.Classify(row, 0)
+		if !ok {
+			t.Fatalf("row %d: threshold 0 rejected a prediction", i)
+		}
+		if _, _, ok := c.Classify(row, 1.0000001); ok {
+			t.Fatalf("row %d: threshold >1 accepted a prediction", i)
+		}
+		labelT, probT, okT := c.Classify(row, 0.8)
+		if labelT != label0 || probT != prob {
+			t.Fatalf("row %d: threshold changed the predicted label or probability", i)
+		}
+		if okT != (prob >= 0.8) {
+			t.Fatalf("row %d: ok=%v but prob=%v vs threshold 0.8", i, okT, prob)
+		}
+		testkit.CheckProbRow(t, probsOf(c, row), 1e-6, fmt.Sprintf("core row %d", i))
+	}
+}
+
+func probsOf(c *core.JobClassifier, row []float64) []float64 {
+	_, probs := c.PredictProb(row)
+	return probs
+}

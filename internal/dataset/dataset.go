@@ -134,6 +134,11 @@ func (d *Dataset) SelectFeatures(names []string) (*Dataset, error) {
 
 // Split partitions the dataset into train and test sets with the given
 // train fraction, stratified by class so every class keeps its proportion.
+// Every class with at least one row contributes at least one training row
+// when trainFrac > 0: a vocabulary class with zero training rows degrades
+// the classifiers silently (naive Bayes marks it untrained, the SVM gives
+// it no votes), so when a 1-row class cannot appear on both sides the
+// training side wins.
 func (d *Dataset) Split(r *rng.Rand, trainFrac float64) (train, test *Dataset) {
 	byClass := make([][]int, len(d.ClassNames))
 	for i, y := range d.Y {
@@ -142,7 +147,7 @@ func (d *Dataset) Split(r *rng.Rand, trainFrac float64) (train, test *Dataset) {
 	var trainIdx, testIdx []int
 	for _, idx := range byClass {
 		perm := r.Perm(len(idx))
-		cut := int(float64(len(idx)) * trainFrac)
+		cut := splitCut(len(idx), trainFrac)
 		for i, p := range perm {
 			if i < cut {
 				trainIdx = append(trainIdx, idx[p])
@@ -154,6 +159,25 @@ func (d *Dataset) Split(r *rng.Rand, trainFrac float64) (train, test *Dataset) {
 	r.Shuffle(len(trainIdx), func(i, j int) { trainIdx[i], trainIdx[j] = trainIdx[j], trainIdx[i] })
 	r.Shuffle(len(testIdx), func(i, j int) { testIdx[i], testIdx[j] = testIdx[j], testIdx[i] })
 	return d.Subset(trainIdx), d.Subset(testIdx)
+}
+
+// splitCut returns how many of an n-row class's rows go to the training
+// side for trainFrac. The 1e-9 nudge keeps float dust from truncating an
+// exactly-integral product (3 * 0.7 evaluates to 2.0999999999999996, but
+// some n*frac products land epsilon BELOW their true integer value and
+// would lose a row to plain truncation).
+func splitCut(n int, trainFrac float64) int {
+	if n == 0 || trainFrac <= 0 {
+		return 0
+	}
+	cut := int(float64(n)*trainFrac + 1e-9)
+	if cut > n {
+		cut = n
+	}
+	if cut == 0 {
+		cut = 1 // non-empty class: at least one training row
+	}
+	return cut
 }
 
 // Balanced returns a class-balanced sample with perClass rows per class,

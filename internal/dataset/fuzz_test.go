@@ -1,0 +1,45 @@
+package dataset_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// FuzzReadCSV feeds arbitrary text through the dataset CSV reader. It
+// must never panic; accepted inputs must write back out, and one
+// write/read pass must canonicalize the data (WriteCSV becomes a fixed
+// point), so the on-disk format round-trips losslessly.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("label,f1,f2\na,1,2\nb,3.5,-4e2\n")
+	f.Add("label,x\nweird\"quote,NaN\n")
+	f.Add("label,only\n")
+	f.Add("not a header\n1,2\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		d, err := dataset.ReadCSV(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var w1 strings.Builder
+		if err := d.WriteCSV(&w1); err != nil {
+			t.Fatalf("accepted dataset failed to write: %v", err)
+		}
+		d2, err := dataset.ReadCSV(strings.NewReader(w1.String()))
+		if err != nil {
+			t.Fatalf("written CSV failed to read back: %v\n%q", err, w1.String())
+		}
+		if d2.Len() != d.Len() || d2.NumFeatures() != d.NumFeatures() || d2.NumClasses() != d.NumClasses() {
+			t.Fatalf("round trip changed shape: %dx%d/%d vs %dx%d/%d",
+				d.Len(), d.NumFeatures(), d.NumClasses(), d2.Len(), d2.NumFeatures(), d2.NumClasses())
+		}
+		var w2 strings.Builder
+		if err := d2.WriteCSV(&w2); err != nil {
+			t.Fatalf("re-write failed: %v", err)
+		}
+		if w1.String() != w2.String() {
+			t.Fatalf("WriteCSV is not a fixed point:\nfirst:  %q\nsecond: %q", w1.String(), w2.String())
+		}
+	})
+}

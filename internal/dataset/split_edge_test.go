@@ -1,0 +1,212 @@
+package dataset
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// build constructs a dataset with the given per-label row counts; extra
+// vocabulary-only classes can be injected by listing them with count 0
+// via emptyClasses (rows never reference them, but Subset-derived
+// datasets carry such classes routinely).
+func build(t *testing.T, counts map[string]int) *Dataset {
+	t.Helper()
+	var rows [][]float64
+	var labels []string
+	i := 0
+	for _, name := range sortedKeys(counts) {
+		for k := 0; k < counts[name]; k++ {
+			rows = append(rows, []float64{float64(i), float64(i % 3)})
+			labels = append(labels, name)
+			i++
+		}
+	}
+	d, err := New([]string{"f1", "f2"}, rows, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// withEmptyClass returns a copy of d whose vocabulary contains one extra
+// class that no row belongs to, as produced by Subset after filtering.
+func withEmptyClass(d *Dataset, name string) *Dataset {
+	classes := append(append([]string(nil), d.ClassNames...), name)
+	return &Dataset{FeatureNames: d.FeatureNames, ClassNames: classes, X: d.X, Y: d.Y}
+}
+
+func TestSplitEdgeCases(t *testing.T) {
+	cases := []struct {
+		name      string
+		counts    map[string]int
+		emptyCls  bool
+		frac      float64
+		wantTrain map[string]int // expected per-class training counts
+	}{
+		{
+			name:      "single-row class goes to train",
+			counts:    map[string]int{"solo": 1, "big": 10},
+			frac:      0.7,
+			wantTrain: map[string]int{"solo": 1, "big": 7},
+		},
+		{
+			name:      "two-row class keeps one per side",
+			counts:    map[string]int{"duo": 2, "big": 10},
+			frac:      0.7,
+			wantTrain: map[string]int{"duo": 1, "big": 7},
+		},
+		{
+			name:      "empty class in vocabulary is harmless",
+			counts:    map[string]int{"a": 4, "b": 6},
+			emptyCls:  true,
+			frac:      0.5,
+			wantTrain: map[string]int{"a": 2, "b": 3},
+		},
+		{
+			name:      "remainder truncates per class",
+			counts:    map[string]int{"a": 3, "b": 3, "c": 3},
+			frac:      0.5,
+			wantTrain: map[string]int{"a": 1, "b": 1, "c": 1},
+		},
+		{
+			name:      "exact integral products survive float dust",
+			counts:    map[string]int{"a": 10, "b": 20, "c": 30},
+			frac:      0.7,
+			wantTrain: map[string]int{"a": 7, "b": 14, "c": 21},
+		},
+		{
+			name:      "frac 1 sends everything to train",
+			counts:    map[string]int{"a": 3, "b": 1},
+			frac:      1.0,
+			wantTrain: map[string]int{"a": 3, "b": 1},
+		},
+		{
+			name:      "frac 0 sends everything to test",
+			counts:    map[string]int{"a": 3, "b": 1},
+			frac:      0.0,
+			wantTrain: map[string]int{"a": 0, "b": 0},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := build(t, tc.counts)
+			if tc.emptyCls {
+				d = withEmptyClass(d, "zz-empty")
+			}
+			train, test := d.Split(rng.New(17), tc.frac)
+			if train.Len()+test.Len() != d.Len() {
+				t.Fatalf("partition lost rows: %d + %d != %d", train.Len(), test.Len(), d.Len())
+			}
+			for name, want := range tc.wantTrain {
+				ci := d.ClassIndex(name)
+				if got := train.ClassCounts()[ci]; got != want {
+					t.Errorf("class %s: %d training rows, want %d", name, got, want)
+				}
+				total := tc.counts[name]
+				if got := test.ClassCounts()[ci]; got != total-want {
+					t.Errorf("class %s: %d test rows, want %d", name, got, total-want)
+				}
+			}
+			if tc.emptyCls {
+				ci := d.ClassIndex("zz-empty")
+				if ci < 0 {
+					t.Fatal("empty class dropped from vocabulary")
+				}
+				if train.ClassCounts()[ci] != 0 || test.ClassCounts()[ci] != 0 {
+					t.Error("empty class gained rows")
+				}
+				if train.NumClasses() != d.NumClasses() || test.NumClasses() != d.NumClasses() {
+					t.Error("split changed the class vocabulary")
+				}
+			}
+			// No duplicated rows across the two sides (values are unique).
+			seen := map[float64]bool{}
+			for _, row := range train.X {
+				seen[row[0]] = true
+			}
+			for _, row := range test.X {
+				if seen[row[0]] {
+					t.Fatal("row appears on both sides of the split")
+				}
+			}
+		})
+	}
+}
+
+func TestSplitCutTable(t *testing.T) {
+	cases := []struct {
+		n    int
+		frac float64
+		want int
+	}{
+		{0, 0.7, 0},
+		{1, 0.7, 1},  // the off-by-one this PR fixes: was 0
+		{1, 0.01, 1}, // any positive fraction keeps the class trainable
+		{2, 0.7, 1},
+		{3, 0.7, 2},
+		{10, 0.7, 7},
+		{10, 0.3, 3},
+		{30, 0.7, 21},
+		{5, 1.0, 5},
+		{5, 0.0, 0},
+		{7, 0.5, 3},
+	}
+	for _, tc := range cases {
+		if got := splitCut(tc.n, tc.frac); got != tc.want {
+			t.Errorf("splitCut(%d, %v) = %d, want %d", tc.n, tc.frac, got, tc.want)
+		}
+	}
+}
+
+func TestBalancedEdgeCases(t *testing.T) {
+	// Oversampling a single-row class replicates it; empty vocabulary
+	// classes stay empty rather than being invented.
+	d := withEmptyClass(build(t, map[string]int{"solo": 1, "big": 8}), "ghost")
+	b := d.Balanced(rng.New(5), 4)
+	counts := b.ClassCounts()
+	if counts[d.ClassIndex("solo")] != 4 {
+		t.Errorf("solo oversampled to %d, want 4", counts[d.ClassIndex("solo")])
+	}
+	if counts[d.ClassIndex("big")] != 4 {
+		t.Errorf("big sampled to %d, want 4", counts[d.ClassIndex("big")])
+	}
+	if counts[d.ClassIndex("ghost")] != 0 {
+		t.Errorf("ghost class gained %d rows", counts[d.ClassIndex("ghost")])
+	}
+	soloSrc := -1
+	for i := range d.X {
+		if d.Label(i) == "solo" {
+			soloSrc = i
+			break
+		}
+	}
+	for i := range b.X {
+		if b.Label(i) == "solo" && b.X[i][0] != d.X[soloSrc][0] {
+			t.Error("oversampled solo row is not a replica of its source")
+		}
+	}
+}
+
+func TestSplitDeterministicForSeed(t *testing.T) {
+	d := build(t, map[string]int{"a": 9, "b": 5, "c": 1})
+	tr1, te1 := d.Split(rng.New(99), 0.6)
+	tr2, te2 := d.Split(rng.New(99), 0.6)
+	if fmt.Sprint(tr1.X) != fmt.Sprint(tr2.X) || fmt.Sprint(te1.X) != fmt.Sprint(te2.X) {
+		t.Fatal("same seed produced different splits")
+	}
+}

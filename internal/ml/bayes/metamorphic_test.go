@@ -1,0 +1,100 @@
+package bayes_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ml/bayes"
+	"repro/internal/testkit"
+)
+
+// Naive Bayes training is a per-class moment computation, so it must be
+// invariant (to float tolerance: summation order moves) under every data
+// presentation that does not change the data itself.
+
+const nbTol = 1e-9
+
+func TestBayesRowPermutationInvariance(t *testing.T) {
+	d := testkit.SynthClassification(testkit.SynthConfig{Seed: 11})
+	m, err := bayes.Train(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd := testkit.PermuteRows(d, testkit.RandPerm(5, d.Len()))
+	pm, err := bayes.Train(pd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range d.X {
+		c1, p1 := m.PredictProb(row)
+		c2, p2 := pm.PredictProb(row)
+		if c1 != c2 {
+			t.Fatalf("row %d: prediction changed under training-row permutation (%d vs %d)", i, c1, c2)
+		}
+		if diff := testkit.MaxAbsDiff(p1, p2); diff > nbTol {
+			t.Fatalf("row %d: posterior moved %v under training-row permutation", i, diff)
+		}
+	}
+}
+
+func TestBayesFeatureOrderInvariance(t *testing.T) {
+	d := testkit.SynthClassification(testkit.SynthConfig{Seed: 13})
+	m, err := bayes.Train(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := testkit.RandPerm(7, d.NumFeatures())
+	pm, err := bayes.Train(testkit.PermuteFeatures(d, perm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range d.X {
+		c1, p1 := m.PredictProb(row)
+		c2, p2 := pm.PredictProb(testkit.PermuteRow(row, perm))
+		if c1 != c2 {
+			t.Fatalf("row %d: prediction changed under feature permutation", i)
+		}
+		if diff := testkit.MaxAbsDiff(p1, p2); diff > nbTol {
+			t.Fatalf("row %d: posterior moved %v under feature permutation", i, diff)
+		}
+	}
+}
+
+func TestBayesLabelPermutationConsistency(t *testing.T) {
+	d := testkit.SynthClassification(testkit.SynthConfig{Seed: 17, Classes: 3})
+	m, err := bayes.Train(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Renaming reverses the vocabulary sort order, so class indices move.
+	rename := map[string]string{"class00": "zz", "class01": "mm", "class02": "aa"}
+	rd, oldToNew := testkit.RelabelClasses(d, rename)
+	rm, err := bayes.Train(rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range d.X {
+		c1, p1 := m.PredictProb(row)
+		c2, p2 := rm.PredictProb(row)
+		if c2 != oldToNew[c1] {
+			t.Fatalf("row %d: predicted class %d, want mapped %d", i, c2, oldToNew[c1])
+		}
+		for c := range p1 {
+			if diff := p1[c] - p2[oldToNew[c]]; diff > nbTol || diff < -nbTol {
+				t.Fatalf("row %d class %d: posterior moved %v under relabeling", i, c, diff)
+			}
+		}
+	}
+}
+
+func TestBayesPosteriorSimplex(t *testing.T) {
+	d := testkit.SynthClassification(testkit.SynthConfig{Seed: 19})
+	m, err := bayes.Train(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range d.X {
+		_, probs := m.PredictProb(row)
+		testkit.CheckProbRow(t, probs, 1e-9, fmt.Sprintf("bayes row %d", i))
+	}
+}

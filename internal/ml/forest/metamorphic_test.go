@@ -1,0 +1,104 @@
+package forest_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/ml/forest"
+	"repro/internal/testkit"
+)
+
+// TestForestPredictionPurity checks that prediction carries no hidden
+// mutable state: scoring rows twice, in reverse, and from many goroutines
+// at once must produce bit-identical posteriors.
+func TestForestPredictionPurity(t *testing.T) {
+	d := testkit.SynthClassification(testkit.SynthConfig{Seed: 23})
+	m, err := forest.TrainClassifier(d, forest.Config{Trees: 30, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]float64, d.Len())
+	wantCls := make([]int, d.Len())
+	for i, row := range d.X {
+		wantCls[i], want[i] = m.PredictProb(row)
+	}
+	// Reverse order.
+	for i := d.Len() - 1; i >= 0; i-- {
+		cls, probs := m.PredictProb(d.X[i])
+		if cls != wantCls[i] || testkit.MaxAbsDiff(probs, want[i]) != 0 {
+			t.Fatalf("row %d: reverse-order prediction differs", i)
+		}
+	}
+	// Concurrent.
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i, row := range d.X {
+				cls, probs := m.PredictProb(row)
+				if cls != wantCls[i] || testkit.MaxAbsDiff(probs, want[i]) != 0 {
+					errs[g] = fmt.Errorf("goroutine %d row %d: concurrent prediction differs", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestForestLabelPermutationConsistency retrains on a relabeled dataset;
+// the forest's split criterion and votes are symmetric in class identity,
+// so every prediction must map through the relabeling.
+func TestForestLabelPermutationConsistency(t *testing.T) {
+	d := testkit.SynthClassification(testkit.SynthConfig{Seed: 29, Classes: 3, RowsPerCls: 30})
+	m, err := forest.TrainClassifier(d, forest.Config{Trees: 30, Seed: 29})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rename := map[string]string{"class00": "zz", "class01": "mm", "class02": "aa"}
+	rd, oldToNew := testkit.RelabelClasses(d, rename)
+	rm, err := forest.TrainClassifier(rd, forest.Config{Trees: 30, Seed: 29})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range d.X {
+		if got, want := rm.Predict(row), oldToNew[m.Predict(row)]; got != want {
+			t.Fatalf("row %d: relabeled forest predicts %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestForestVoteSimplex checks the vote-share posterior is a probability
+// distribution and agrees with the raw vote counts.
+func TestForestVoteSimplex(t *testing.T) {
+	d := testkit.SynthClassification(testkit.SynthConfig{Seed: 31})
+	m, err := forest.TrainClassifier(d, forest.Config{Trees: 30, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range d.X {
+		_, probs := m.PredictProb(row)
+		testkit.CheckProbRow(t, probs, 1e-12, fmt.Sprintf("forest row %d", i))
+		votes := m.Votes(row)
+		total := 0
+		for _, v := range votes {
+			total += v
+		}
+		if total != 30 {
+			t.Fatalf("row %d: %d votes from 30 trees", i, total)
+		}
+		for c, v := range votes {
+			if want := float64(v) / 30; probs[c] != want {
+				t.Fatalf("row %d class %d: prob %v != vote share %v", i, c, probs[c], want)
+			}
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package svm_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/ml/svm"
+	"repro/internal/rng"
+	"repro/internal/testkit"
+)
+
+// TestSVMPredictionPurity checks the trained SVM for hidden prediction
+// state (the kernel row cache is the obvious hazard): scoring in reverse
+// order and from many goroutines must match the sequential posteriors
+// bit for bit.
+func TestSVMPredictionPurity(t *testing.T) {
+	d := testkit.SynthClassification(testkit.SynthConfig{Seed: 37, Classes: 3, RowsPerCls: 25})
+	train, test := d.Split(rng.New(37), 0.7)
+	test.Apply(train.Standardize())
+	cfg := svm.PaperConfig()
+	cfg.Seed = 37
+	m, err := svm.Train(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]float64, test.Len())
+	wantCls := make([]int, test.Len())
+	for i, row := range test.X {
+		wantCls[i], want[i] = m.PredictProb(row)
+	}
+	for i := test.Len() - 1; i >= 0; i-- {
+		cls, probs := m.PredictProb(test.X[i])
+		if cls != wantCls[i] || testkit.MaxAbsDiff(probs, want[i]) != 0 {
+			t.Fatalf("row %d: reverse-order prediction differs", i)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i, row := range test.X {
+				cls, probs := m.PredictProb(row)
+				if cls != wantCls[i] || testkit.MaxAbsDiff(probs, want[i]) != 0 {
+					errs[g] = fmt.Errorf("goroutine %d row %d: concurrent prediction differs", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSVMPosteriorSimplex checks the Platt/pairwise-coupled posterior is
+// a probability distribution on every row, including rows far from the
+// training distribution.
+func TestSVMPosteriorSimplex(t *testing.T) {
+	d := testkit.SynthClassification(testkit.SynthConfig{Seed: 43, Classes: 3, RowsPerCls: 25})
+	train, test := d.Split(rng.New(43), 0.7)
+	test.Apply(train.Standardize())
+	cfg := svm.PaperConfig()
+	cfg.Seed = 43
+	m, err := svm.Train(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range test.X {
+		_, probs := m.PredictProb(row)
+		testkit.CheckProbRow(t, probs, 1e-6, fmt.Sprintf("svm row %d", i))
+	}
+	// An outlier row (far outside the standardized cloud) still yields a
+	// valid distribution.
+	outlier := make([]float64, test.NumFeatures())
+	for j := range outlier {
+		outlier[j] = 50
+	}
+	_, probs := m.PredictProb(outlier)
+	testkit.CheckProbRow(t, probs, 1e-6, "svm outlier row")
+}

@@ -1,0 +1,165 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The satellite property this file pins down: the pool's observable
+// error-path behavior is identical at worker count 1 (the serial fast
+// path), NumCPU, and a count larger than the task list. Whatever the
+// schedule, callers must see the same error identity and the same
+// "no task beyond a failure's index was dispatched needlessly" bound.
+
+// failPlan runs a ForEachCtx fan-out where the tasks listed in failAt
+// fail, and reports the returned error plus which tasks actually ran.
+func failPlan(ctx context.Context, workers, n int, failAt map[int]error, slow time.Duration) (error, []bool) {
+	ran := make([]bool, n)
+	var mu atomic.Int64 // count of started tasks, for sanity only
+	err := ForEachCtx(ctx, workers, n, func(_ context.Context, i int) error {
+		ran[i] = true
+		mu.Add(1)
+		if slow > 0 {
+			time.Sleep(slow)
+		}
+		if e, ok := failAt[i]; ok {
+			return e
+		}
+		return nil
+	})
+	return err, ran
+}
+
+func TestErrorEquivalenceAcrossWorkerCounts(t *testing.T) {
+	const n = 40
+	errA := errors.New("task 7 failed")
+	errB := errors.New("task 23 failed")
+	cases := []struct {
+		name   string
+		failAt map[int]error
+		want   error
+	}{
+		{"single failure", map[int]error{7: errA}, errA},
+		{"two failures return smallest index", map[int]error{7: errA, 23: errB}, errA},
+		{"failure at index 0", map[int]error{0: errA}, errA},
+		{"failure at last index", map[int]error{n - 1: errB}, errB},
+		{"no failures", nil, nil},
+	}
+	counts := []int{1, runtime.NumCPU(), n + 17}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, w := range counts {
+				err, ran := failPlan(context.Background(), w, n, tc.failAt, 0)
+				if !errors.Is(err, tc.want) && err != tc.want {
+					t.Errorf("workers=%d: error %v, want %v", w, err, tc.want)
+				}
+				if tc.want == nil {
+					for i, r := range ran {
+						if !r {
+							t.Errorf("workers=%d: task %d never ran on the success path", w, i)
+						}
+					}
+					continue
+				}
+				// Every task below the smallest failing index must have
+				// been dispatched (in-order dispatch guarantee).
+				first := n
+				for i := range tc.failAt {
+					if i < first {
+						first = i
+					}
+				}
+				for i := 0; i < first; i++ {
+					if !ran[i] {
+						t.Errorf("workers=%d: task %d below failing index %d never ran", w, i, first)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMapDropsPartialResultsAtAnyWorkerCount checks the Map contract on
+// the error path: callers never see a half-filled slice.
+func TestMapDropsPartialResultsAtAnyWorkerCount(t *testing.T) {
+	boom := errors.New("boom")
+	for _, w := range []int{1, runtime.NumCPU(), 64} {
+		out, err := Map(w, 16, func(i int) (int, error) {
+			if i == 5 {
+				return 0, boom
+			}
+			return i * i, nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: error %v, want boom", w, err)
+		}
+		if out != nil {
+			t.Fatalf("workers=%d: partial results returned alongside the error", w)
+		}
+	}
+}
+
+// TestCancellationEquivalenceAcrossWorkerCounts checks that cancelling
+// mid-run yields ctx.Err() at every worker count when no task itself
+// failed, and that a genuine task failure wins over cancellation noise.
+func TestCancellationEquivalenceAcrossWorkerCounts(t *testing.T) {
+	for _, w := range []int{1, runtime.NumCPU(), 64} {
+		t.Run(fmt.Sprintf("workers=%d", w), func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			started := make(chan struct{}, 1)
+			var cancelled atomic.Bool
+			err := ForEachCtx(ctx, w, 32, func(tctx context.Context, i int) error {
+				if i == 0 {
+					select {
+					case started <- struct{}{}:
+					default:
+					}
+					cancel()
+					cancelled.Store(true)
+					// The task context must observe the cancellation.
+					select {
+					case <-tctx.Done():
+					case <-time.After(5 * time.Second):
+						return errors.New("task context never cancelled")
+					}
+				}
+				return nil
+			})
+			<-started
+			if !cancelled.Load() {
+				t.Fatal("cancel never ran")
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("error %v, want context.Canceled", err)
+			}
+		})
+	}
+}
+
+// TestSmallestIndexErrorUnderCancellation pins the subtle interaction:
+// when a task fails AND the parent context is cancelled, the task's
+// error — not ctx.Err() — is what callers receive, at every worker
+// count (a failure cancels the shared context internally, so the two
+// signals always race on the parallel path).
+func TestSmallestIndexErrorUnderCancellation(t *testing.T) {
+	boom := errors.New("boom")
+	for _, w := range []int{1, runtime.NumCPU(), 48} {
+		ctx, cancel := context.WithCancel(context.Background())
+		err := ForEachCtx(ctx, w, 24, func(_ context.Context, i int) error {
+			if i == 3 {
+				cancel() // external cancellation lands with the failure
+				return boom
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: error %v, want task failure to beat cancellation", w, err)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package pcp_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/pcp"
+)
+
+// FuzzImport feeds arbitrary JSON-lines input through the PCP importer.
+// It must never panic; accepted inputs must export, and the exported form
+// must re-import to the identical canonical export (the lossless
+// conversion property the package promises).
+func FuzzImport(f *testing.F) {
+	f.Add([]byte(`{"host":"c1","jobid":"7","ts":100,"marker":"begin","metrics":{"supremm.cpu.user":5}}` + "\n"))
+	f.Add([]byte(`{"host":"c1","jobid":"7","ts":100,"metrics":{"unknown.metric":1}}` + "\n"))
+	f.Add([]byte(`{"host":"","jobid":"7","ts":1,"metrics":{}}` + "\n"))
+	f.Add([]byte("not json\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := pcp.Import(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var exp1 strings.Builder
+		if err := pcp.Export(a, &exp1); err != nil {
+			t.Fatalf("imported archive failed to export: %v", err)
+		}
+		b, err := pcp.Import(strings.NewReader(exp1.String()))
+		if err != nil {
+			t.Fatalf("exported form failed to re-import: %v\n%q", err, exp1.String())
+		}
+		var exp2 strings.Builder
+		if err := pcp.Export(b, &exp2); err != nil {
+			t.Fatalf("re-export failed: %v", err)
+		}
+		if exp1.String() != exp2.String() {
+			t.Fatalf("export is not a fixed point:\nfirst:  %q\nsecond: %q", exp1.String(), exp2.String())
+		}
+	})
+}

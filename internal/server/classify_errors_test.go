@@ -1,0 +1,128 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// postClassify sends a body to /api/classify and returns status plus the
+// decoded error message (empty when the response carries none).
+func postClassify(t *testing.T, url, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url+"/api/classify", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var payload map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&payload)
+	msg, _ := payload["error"].(string)
+	return resp.StatusCode, msg
+}
+
+func TestClassifyMalformedJSON(t *testing.T) {
+	srv, reg := obsServer(t)
+	for _, body := range []string{
+		"",                        // empty body
+		"garbage",                 // not JSON
+		`{"features":`,            // truncated JSON
+		`{"features":"a-string"}`, // wrong type for the features field
+		`[1,2,3]`,                 // wrong top-level type
+	} {
+		status, msg := postClassify(t, srv.URL, body)
+		if status != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", body, status)
+		}
+		if !strings.Contains(msg, "bad request body") {
+			t.Errorf("body %q: error message %q", body, msg)
+		}
+	}
+	if got := reg.Counter("classify_outcomes_total", "outcome", "bad_request").Value(); got != 5 {
+		t.Errorf("bad_request counter = %d, want 5", got)
+	}
+}
+
+func TestClassifyUnknownFeatures(t *testing.T) {
+	srv, reg := obsServer(t)
+	status, msg := postClassify(t, srv.URL, `{"features":{"NOT_A_FEATURE":1,"ALSO_BOGUS":2},"threshold":0.5}`)
+	if status != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", status)
+	}
+	if !strings.Contains(msg, "unknown features") ||
+		!strings.Contains(msg, "NOT_A_FEATURE") || !strings.Contains(msg, "ALSO_BOGUS") {
+		t.Fatalf("error message %q does not name the unknown features", msg)
+	}
+	if got := reg.Counter("classify_outcomes_total", "outcome", "bad_request").Value(); got != 1 {
+		t.Errorf("bad_request counter = %d, want 1", got)
+	}
+	// A mix of known and unknown features is still rejected — silently
+	// dropping unknown attributes would misclassify.
+	status, _ = postClassify(t, srv.URL, `{"features":{"CPU_USER":0.5,"NOT_A_FEATURE":1},"threshold":0.5}`)
+	if status != http.StatusBadRequest {
+		t.Fatalf("mixed known/unknown: status %d, want 400", status)
+	}
+}
+
+func TestClassifyThresholdOutOfRange(t *testing.T) {
+	srv, reg := obsServer(t)
+	for _, body := range []string{
+		`{"features":{},"threshold":-0.1}`,
+		`{"features":{},"threshold":1.5}`,
+	} {
+		status, msg := postClassify(t, srv.URL, body)
+		if status != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", body, status)
+		}
+		if !strings.Contains(msg, "threshold") {
+			t.Errorf("body %q: error message %q", body, msg)
+		}
+	}
+	if got := reg.Counter("classify_outcomes_total", "outcome", "bad_request").Value(); got != 2 {
+		t.Errorf("bad_request counter = %d, want 2", got)
+	}
+}
+
+func TestClassifyOversizedBody(t *testing.T) {
+	srv, reg := obsServer(t)
+	// A syntactically valid request whose padding pushes it past the cap:
+	// the body limit must trigger, not the JSON parser.
+	big := `{"features":{"` + strings.Repeat("x", maxClassifyBody) + `":1},"threshold":0.5}`
+	status, msg := postClassify(t, srv.URL, big)
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", status)
+	}
+	if !strings.Contains(msg, "exceeds") {
+		t.Fatalf("error message %q", msg)
+	}
+	if got := reg.Counter("classify_outcomes_total", "outcome", "oversized").Value(); got != 1 {
+		t.Errorf("oversized counter = %d, want 1", got)
+	}
+	if got := reg.Counter("classify_outcomes_total", "outcome", "bad_request").Value(); got != 0 {
+		t.Errorf("bad_request counter = %d, want 0 (oversized must not double-count)", got)
+	}
+
+	// A body just under the cap is parsed normally (and rejected for its
+	// unknown feature, not its size).
+	under := `{"features":{"` + strings.Repeat("y", 1024) + `":1},"threshold":0.5}`
+	status, msg = postClassify(t, srv.URL, under)
+	if status != http.StatusBadRequest || !strings.Contains(msg, "unknown features") {
+		t.Fatalf("under-cap body: status %d msg %q, want 400 unknown-features", status, msg)
+	}
+}
+
+func TestClassifySuccessAfterErrors(t *testing.T) {
+	// Error handling must not wedge the endpoint: a valid request after a
+	// burst of bad ones still classifies.
+	srv, reg := obsServer(t)
+	postClassify(t, srv.URL, "garbage")
+	postClassify(t, srv.URL, `{"features":{"BOGUS":1}}`)
+	status, _ := postClassify(t, srv.URL, `{"features":{},"threshold":0}`)
+	if status != http.StatusOK {
+		t.Fatalf("valid request after errors: status %d, want 200", status)
+	}
+	if got := reg.Counter("classify_outcomes_total", "outcome", "classified").Value(); got != 1 {
+		t.Errorf("classified counter = %d, want 1", got)
+	}
+}

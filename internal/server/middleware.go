@@ -142,7 +142,7 @@ func (s *Server) wrap(next http.Handler) http.Handler {
 }
 
 // classifyOutcome counts classification endpoint outcomes: classified,
-// below_threshold, bad_request, no_model.
+// below_threshold, bad_request, oversized, no_model.
 func (s *Server) classifyOutcome(outcome string) {
 	s.metrics.Counter("classify_outcomes_total", "outcome", outcome).Inc()
 }

@@ -9,6 +9,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -183,14 +184,26 @@ type classifyRequest struct {
 	Threshold float64            `json:"threshold"`
 }
 
+// maxClassifyBody caps the classification request body. A legitimate
+// request is a small feature map; anything beyond this is hostile or
+// misrouted and is rejected before the JSON decoder buffers it.
+const maxClassifyBody = 1 << 20
+
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	if s.model == nil {
 		s.classifyOutcome("no_model")
 		writeError(w, http.StatusServiceUnavailable, "no classifier loaded")
 		return
 	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxClassifyBody)
 	var req classifyRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.classifyOutcome("oversized")
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
 		s.classifyOutcome("bad_request")
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return

@@ -93,11 +93,13 @@ func Decode(r io.Reader) (*Archive, error) {
 			continue
 		}
 		switch {
-		case strings.HasPrefix(line, "%jobid "):
-			a.JobID = strings.TrimPrefix(line, "%jobid ")
-		case strings.HasPrefix(line, "%host "):
+		// An empty id/host encodes as "%jobid \n", which arrives here
+		// trimmed to the bare directive; accept both forms.
+		case line == "%jobid" || strings.HasPrefix(line, "%jobid "):
+			a.JobID = strings.TrimPrefix(strings.TrimPrefix(line, "%jobid"), " ")
+		case line == "%host" || strings.HasPrefix(line, "%host "):
 			a.Nodes = append(a.Nodes, NodeArchive{
-				Host:  strings.TrimPrefix(line, "%host "),
+				Host:  strings.TrimPrefix(strings.TrimPrefix(line, "%host"), " "),
 				JobID: a.JobID,
 			})
 			node = &a.Nodes[len(a.Nodes)-1]

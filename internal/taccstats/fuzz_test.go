@@ -1,0 +1,43 @@
+package taccstats_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/taccstats"
+)
+
+// FuzzDecode feeds arbitrary bytes through the TACC_Stats text decoder.
+// The decoder must never panic; when it accepts an input, the archive
+// must re-encode, and the canonical encoding must be a fixed point
+// (Encode∘Decode∘Encode == Encode).
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte("%jobid 123\n%host c123-456\n1000 begin\ncpu 1 2 3\nmem 4 5\n1030\ncpu 2 3 4\n"))
+	f.Add([]byte("%jobid j\n%host h\n1 end\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("%jobid only\n"))
+	f.Add([]byte("9 early-sample-without-host\n"))
+	f.Add([]byte("%host h\ndevice-before-sample 1\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := taccstats.Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var enc1 strings.Builder
+		if err := a.Encode(&enc1); err != nil {
+			t.Fatalf("decoded archive failed to encode: %v", err)
+		}
+		b, err := taccstats.Decode(strings.NewReader(enc1.String()))
+		if err != nil {
+			t.Fatalf("canonical encoding failed to decode: %v\n%q", err, enc1.String())
+		}
+		var enc2 strings.Builder
+		if err := b.Encode(&enc2); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if enc1.String() != enc2.String() {
+			t.Fatalf("encoding is not a fixed point:\nfirst:  %q\nsecond: %q", enc1.String(), enc2.String())
+		}
+	})
+}

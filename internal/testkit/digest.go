@@ -1,0 +1,86 @@
+package testkit
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Float renders a float64 canonically and losslessly ('g', -1 round
+// trips every bit pattern), so golden files assert results to full
+// precision — in particular well past the 1e-9 the acceptance bar asks
+// of accuracies — while staying byte-stable across runs.
+func Float(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Floats renders a float slice as a single space-joined line.
+func Floats(vs []float64) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = Float(v)
+	}
+	return strings.Join(parts, " ")
+}
+
+// KeyVals renders a map sorted by key, one "k = v" line each — the
+// canonical form for an experiment's Metrics in a golden file.
+func KeyVals(m map[string]float64) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s = %s\n", k, Float(m[k]))
+	}
+	return b.String()
+}
+
+// HashFloats digests a float64 sequence bit-exactly (NaN payloads and
+// signed zeros included) into a short hex string for golden files where
+// the full vector would be noise.
+func HashFloats(vs ...[]float64) string {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, row := range vs {
+		for _, v := range row {
+			bits := math.Float64bits(v)
+			for k := 0; k < 8; k++ {
+				b[k] = byte(bits >> (8 * k))
+			}
+			h.Write(b[:])
+		}
+		h.Write([]byte{0xff}) // row separator
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// HashBytes digests a byte blob (e.g. a serialized model) into a short
+// hex string.
+func HashBytes(p []byte) string {
+	h := fnv.New64a()
+	h.Write(p)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// HashInts digests integer matrices (confusion counts, votes).
+func HashInts(rows ...[]int) string {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, row := range rows {
+		for _, v := range row {
+			u := uint64(v)
+			for k := 0; k < 8; k++ {
+				b[k] = byte(u >> (8 * k))
+			}
+			h.Write(b[:])
+		}
+		h.Write([]byte{0xff})
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -1,0 +1,82 @@
+package testkit
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Golden asserts that got matches the committed golden file at
+// testdata/golden/<name>, relative to the package under test. With
+// -update the file is (re)written instead and the test passes; an
+// unchanged tree therefore regenerates byte-identical files.
+//
+// On mismatch the failure message pinpoints the first differing line, so
+// a digest change reads as "which experiment moved", not a wall of hex.
+func Golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if Update() {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatalf("testkit: mkdir for golden %s: %v", name, err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatalf("testkit: write golden %s: %v", name, err)
+		}
+		t.Logf("testkit: wrote golden %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("testkit: read golden %s: %v (run with -update to create it)", path, err)
+	}
+	if string(want) == string(got) {
+		return
+	}
+	line, wantLine, gotLine := firstDiffLine(string(want), string(got))
+	t.Fatalf("testkit: golden mismatch for %s at line %d:\n  golden: %q\n  got:    %q\n"+
+		"If this change is intentional (see EXPERIMENTS.md \"Regenerating the golden corpus\"), "+
+		"rerun with -update and commit the new file.",
+		path, line, wantLine, gotLine)
+}
+
+// GoldenString is Golden for string artifacts.
+func GoldenString(t *testing.T, name, got string) {
+	t.Helper()
+	Golden(t, name, []byte(got))
+}
+
+// firstDiffLine locates the first line where two renderings diverge.
+func firstDiffLine(want, got string) (line int, wantLine, gotLine string) {
+	wl := strings.Split(want, "\n")
+	gl := strings.Split(got, "\n")
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		if wl[i] != gl[i] {
+			return i + 1, wl[i], gl[i]
+		}
+	}
+	if len(wl) != len(gl) {
+		w, g := "<EOF>", "<EOF>"
+		if n < len(wl) {
+			w = wl[n]
+		}
+		if n < len(gl) {
+			g = gl[n]
+		}
+		return n + 1, w, g
+	}
+	return 0, "", ""
+}
+
+// Section renders one titled block of a golden artifact. Keeping the
+// layout in one place means every golden file in the corpus reads the
+// same way.
+func Section(b *strings.Builder, title string) {
+	fmt.Fprintf(b, "== %s ==\n", title)
+}

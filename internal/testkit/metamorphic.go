@@ -1,0 +1,117 @@
+package testkit
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+// PermuteRows returns a copy of d with rows reordered by perm (new row i
+// is old row perm[i]) — the row-order metamorphic transform: training on
+// it may move floating-point sums, but semantics must not change.
+func PermuteRows(d *dataset.Dataset, perm []int) *dataset.Dataset {
+	return d.Subset(perm)
+}
+
+// PermuteFeatures returns a copy of d with feature columns reordered by
+// perm (new column j is old column perm[j]), names included. A
+// classifier trained on the permuted dataset must predict identically on
+// correspondingly permuted rows.
+func PermuteFeatures(d *dataset.Dataset, perm []int) *dataset.Dataset {
+	names := make([]string, len(perm))
+	for j, p := range perm {
+		names[j] = d.FeatureNames[p]
+	}
+	x := make([][]float64, d.Len())
+	for i, row := range d.X {
+		nr := make([]float64, len(perm))
+		for j, p := range perm {
+			nr[j] = row[p]
+		}
+		x[i] = nr
+	}
+	return &dataset.Dataset{
+		FeatureNames: names,
+		ClassNames:   append([]string(nil), d.ClassNames...),
+		X:            x,
+		Y:            append([]int(nil), d.Y...),
+	}
+}
+
+// PermuteRow applies the same column permutation to a single feature row.
+func PermuteRow(row []float64, perm []int) []float64 {
+	out := make([]float64, len(perm))
+	for j, p := range perm {
+		out[j] = row[p]
+	}
+	return out
+}
+
+// RelabelClasses rebuilds d with every class name mapped through rename.
+// Because dataset.New re-sorts the vocabulary, the class indices change;
+// the returned oldToNew maps an old class index to its new one. A
+// classifier trained on the relabeled data must make the mapped
+// prediction on every row (label-permutation consistency).
+func RelabelClasses(d *dataset.Dataset, rename map[string]string) (out *dataset.Dataset, oldToNew []int) {
+	labels := make([]string, d.Len())
+	for i := range d.Y {
+		labels[i] = rename[d.Label(i)]
+	}
+	nd, err := dataset.New(d.FeatureNames, d.X, labels)
+	if err != nil {
+		panic("testkit: relabel: " + err.Error())
+	}
+	oldToNew = make([]int, len(d.ClassNames))
+	for i, name := range d.ClassNames {
+		oldToNew[i] = nd.ClassIndex(rename[name])
+	}
+	return nd, oldToNew
+}
+
+// RandPerm returns a deterministic permutation of [0, n) that is
+// guaranteed not to be the identity for n >= 2, so a permutation test
+// cannot silently pass by permuting nothing.
+func RandPerm(seed uint64, n int) []int {
+	r := rng.New(seed)
+	for {
+		p := r.Perm(n)
+		if n < 2 {
+			return p
+		}
+		for i, v := range p {
+			if i != v {
+				return p
+			}
+		}
+	}
+}
+
+// CheckProbRow asserts a posterior vector is a probability distribution:
+// entries in [0, 1] and summing to 1 within tol.
+func CheckProbRow(t *testing.T, probs []float64, tol float64, context string) {
+	t.Helper()
+	sum := 0.0
+	for c, p := range probs {
+		if p < -tol || p > 1+tol || math.IsNaN(p) {
+			t.Fatalf("%s: probs[%d] = %v out of [0,1]", context, c, p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > tol {
+		t.Fatalf("%s: probabilities sum to %v, want 1 (tol %v)", context, sum, tol)
+	}
+}
+
+// MaxAbsDiff returns the largest absolute element-wise difference
+// between two equal-length vectors.
+func MaxAbsDiff(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}

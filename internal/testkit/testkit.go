@@ -1,0 +1,28 @@
+// Package testkit is the repo's correctness-harness toolkit, used only
+// from _test files. It provides the three ingredients the golden-result
+// corpus and the metamorphic test suites share:
+//
+//   - golden-file assertion with a -update regeneration flag
+//     (go test ./... -run Golden -update rewrites testdata/golden/),
+//   - canonical, byte-stable rendering and FNV digesting of
+//     floating-point results, so any numeric drift in an experiment,
+//     model, or pipeline shows up as a one-line diff,
+//   - deterministic synthetic classification datasets and permutation
+//     helpers for metamorphic invariants (row-order, feature-order and
+//     label-permutation consistency).
+//
+// Everything here is deterministic: no wall clock, no global math/rand,
+// no map-iteration-order dependence ever reaches an assertion.
+package testkit
+
+import "flag"
+
+// update is registered once per test binary; go test passes -update
+// through to the package under test.
+var update = flag.Bool("update", false, "rewrite golden files under testdata/golden instead of asserting against them")
+
+// Update reports whether the test run was started with -update.
+// Golden() consults it automatically; it is exported for tests that
+// regenerate auxiliary artifacts (e.g. fuzz seed corpora) alongside
+// their golden files.
+func Update() bool { return *update }

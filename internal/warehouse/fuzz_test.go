@@ -1,0 +1,78 @@
+package warehouse_test
+
+import (
+	"testing"
+
+	"repro/internal/warehouse"
+)
+
+// FuzzIngest drives the warehouse with arbitrary record fields, including
+// duplicate job ids and hostile numeric ranges. Ingest must reject only
+// empty job ids; every grouping, drill-down, and total must run without
+// panicking, and aggregate job counts must equal the store size.
+func FuzzIngest(f *testing.F) {
+	f.Add("j1", "u1", "VASP", "QC,ES", 4, 64, int64(100), int64(200), 3600.0, 0, "j2")
+	f.Add("", "u", "a", "c", 0, 0, int64(0), int64(0), 0.0, 1, "")
+	f.Add("dup", "u", "a", "c", -5, -9, int64(-1), int64(-2), -3.5, 255, "dup")
+	f.Fuzz(func(t *testing.T, jobID, user, app, category string,
+		nodes, cores int, submit, start int64, wall float64, exit int, jobID2 string) {
+		s := warehouse.NewStore()
+		mk := func(id string) *warehouse.Record {
+			return &warehouse.Record{
+				JobID: id, User: user, AppLabel: app, Category: category,
+				Nodes: nodes, Cores: cores, Submit: submit, Start: start,
+				WallSeconds: wall, ExitCode: exit,
+			}
+		}
+		want := 0
+		for _, id := range []string{jobID, jobID2, jobID} {
+			err := s.Ingest(mk(id))
+			if (id == "") != (err != nil) {
+				t.Fatalf("Ingest(%q) error = %v", id, err)
+			}
+		}
+		seen := map[string]bool{}
+		for _, id := range []string{jobID, jobID2} {
+			if id != "" && !seen[id] {
+				seen[id] = true
+				want++
+			}
+		}
+		if s.Len() != want {
+			t.Fatalf("store holds %d jobs, want %d (re-ingest must replace)", s.Len(), want)
+		}
+		for _, id := range []string{jobID, jobID2} {
+			if id == "" {
+				continue
+			}
+			if _, ok := s.Lookup(id); !ok {
+				t.Fatalf("ingested job %q not found", id)
+			}
+		}
+		for _, dim := range []warehouse.Dimension{
+			warehouse.ByApplication, warehouse.ByCategory, warehouse.ByUser,
+			warehouse.ByPopulation, warehouse.ByJobSize, warehouse.ByMonth,
+		} {
+			groups := s.GroupBy(dim)
+			total := 0
+			for _, g := range groups {
+				total += g.Jobs
+			}
+			if total != s.Len() {
+				t.Fatalf("GroupBy(%s) covers %d jobs, store has %d", dim, total, s.Len())
+			}
+		}
+		if tot := s.Totals(); tot.Jobs != s.Len() {
+			t.Fatalf("Totals covers %d jobs, store has %d", tot.Jobs, s.Len())
+		}
+		for _, g := range s.DrillDown(warehouse.ByApplication, warehouse.ByUser) {
+			inner := 0
+			for _, a := range g.Inner {
+				inner += a.Jobs
+			}
+			if inner != g.Jobs {
+				t.Fatalf("drill-down under %q covers %d jobs, outer has %d", g.Key, inner, g.Jobs)
+			}
+		}
+	})
+}
