@@ -25,7 +25,7 @@ FUZZ_TARGETS = \
 	./internal/core:FuzzLoadJobClassifier
 
 .PHONY: all build test vet fmt-check race bench bench-smoke paper trace serve-debug clean \
-	testkit testkit-update test-shuffle cover fuzz-smoke
+	testkit testkit-update test-shuffle cover fuzz-smoke serve-batch-smoke
 
 all: build test
 
@@ -106,6 +106,14 @@ trace:
 # Serve the API with /metrics, /debug/pprof and debug logging enabled.
 serve-debug:
 	$(GO) run ./cmd/supremm-serve -pprof -log-level debug
+
+# End-to-end serving smoke: boots the real supremm-serve binary,
+# checks batch/single classify parity on live responses, and hot-swaps
+# the model via /admin/model/reload and SIGHUP. Fails on any non-2xx
+# response or parity divergence. Gated behind the servesmoke build tag
+# so plain `go test ./...` stays fast.
+serve-batch-smoke:
+	$(GO) test -count=1 -tags servesmoke -run TestServeBatchSmoke -v .
 
 clean:
 	rm -f BENCH_*.json trace.json coverage.out

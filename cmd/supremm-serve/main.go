@@ -1,11 +1,13 @@
 // Command supremm-serve runs the XDMoD-style metrics and classification
 // API over a freshly generated workload: warehouse queries (overview,
-// group-by, drill-down, monthly utilization) plus an online job
-// classification endpoint backed by a trained (or loaded) model.
+// group-by, drill-down, monthly utilization) plus online job
+// classification endpoints (single-row and batch) backed by a trained
+// (or loaded) model that can be hot-swapped without a restart.
 //
 // Usage:
 //
 //	supremm-serve [-addr :8080] [-jobs N] [-seed N] [-model saved.bin]
+//	              [-model-snapshot out.bin] [-batch-workers N]
 //	              [-pprof] [-log-level debug|info|warn|error]
 //
 // Endpoints:
@@ -15,12 +17,18 @@
 //	GET  /api/drilldown?outer=DIM&inner=DIM
 //	GET  /api/utilization[?nodes=N]
 //	GET  /api/features
-//	POST /api/classify   {"features": {"MEM_USED": ..., ...}, "threshold": 0.8}
-//	GET  /metrics        Prometheus text exposition
-//	GET  /debug/pprof/*  (with -pprof)
+//	POST /api/classify        {"features": {"MEM_USED": ..., ...}, "threshold": 0.8}
+//	POST /api/classify/batch  {"rows": [{...}, ...], "threshold": 0.8}
+//	                          or {"columns": {"CPU_USER": [...], ...}, "threshold": 0.8}
+//	POST /admin/model/reload  {"path": "saved.bin"} (path optional once configured)
+//	GET  /metrics             Prometheus text exposition
+//	GET  /debug/pprof/*       (with -pprof)
 //
-// The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests for up to -shutdown-timeout.
+// SIGHUP atomically reloads the model from the configured path (the
+// -model flag, -model-snapshot, or the last successful reload) without
+// dropping a request. The server shuts down gracefully on
+// SIGINT/SIGTERM, draining in-flight requests for up to
+// -shutdown-timeout.
 package main
 
 import (
@@ -45,6 +53,8 @@ func main() {
 	jobs := flag.Int("jobs", 2000, "workload size to generate and serve")
 	seed := flag.Uint64("seed", 2014, "random seed")
 	modelPath := flag.String("model", "", "load a saved classifier (default: train a category RF on the workload)")
+	snapshotPath := flag.String("model-snapshot", "", "write the boot model to this file (becomes the SIGHUP reload path when -model is unset)")
+	batchWorkers := flag.Int("batch-workers", 0, "worker goroutines per batch classify request (0 = GOMAXPROCS)")
 	pprofOn := flag.Bool("pprof", false, "expose /debug/pprof endpoints")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
@@ -66,35 +76,66 @@ func main() {
 		fatal(err)
 	}
 
-	var model *core.JobClassifier
+	models := core.NewModelManager(reg)
 	if *modelPath != "" {
-		f, err := os.Open(*modelPath)
-		if err != nil {
+		if _, err := models.ReloadFromFile(*modelPath); err != nil {
 			fatal(err)
 		}
-		model, err = core.LoadJobClassifier(f)
-		f.Close()
-		if err != nil {
-			fatal(err)
-		}
-		log.Info("loaded classifier", "algo", model.Algo, "path", *modelPath)
+		log.Info("loaded classifier", "algo", models.View().Model.Algo, "path", *modelPath)
 	} else {
 		ds, err := core.BuildDataset(res.Records, core.LabelByCategory, core.DefaultFeatures())
 		if err != nil {
 			fatal(err)
 		}
-		model, err = core.TrainJobClassifier(ds, core.PaperForest(*seed))
+		model, err := core.TrainJobClassifier(ds, core.PaperForest(*seed))
 		if err != nil {
+			fatal(err)
+		}
+		if _, err := models.Swap(model); err != nil {
 			fatal(err)
 		}
 		log.Info("trained category random forest on the generated workload")
 	}
+	if *snapshotPath != "" {
+		f, err := os.Create(*snapshotPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := models.View().Model.Save(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		if models.Path() == "" {
+			models.SetPath(*snapshotPath)
+		}
+		log.Info("wrote model snapshot", "path", *snapshotPath)
+	}
 
-	opts := []server.Option{server.WithMetrics(reg), server.WithLogger(log)}
+	opts := []server.Option{
+		server.WithMetrics(reg), server.WithLogger(log),
+		server.WithModelManager(models), server.WithBatchWorkers(*batchWorkers),
+	}
 	if *pprofOn {
 		opts = append(opts, server.WithPprof())
 	}
-	api := server.New(res.Store, model, cfg.Machine.TotalNodes(), opts...)
+	api := server.New(res.Store, nil, cfg.Machine.TotalNodes(), opts...)
+
+	// SIGHUP hot-swaps the model from the configured path; a failed
+	// reload logs and keeps the old model serving.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			gen, err := models.ReloadFromFile("")
+			if err != nil {
+				log.Warn("SIGHUP model reload failed", "err", err)
+				continue
+			}
+			log.Info("SIGHUP model reload complete", "generation", gen, "path", models.Path())
+		}
+	}()
 
 	srv := &http.Server{Addr: *addr, Handler: api}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// ErrSchemaMismatch reports a model swap rejected because the incoming
+// model's feature schema is incompatible with the one currently serving.
+// Callers (e.g. the admin reload endpoint) can map it to a conflict
+// status while other load failures stay bad-request errors.
+var ErrSchemaMismatch = errors.New("core: model feature schema mismatch")
+
+// ModelView is one immutable generation of the serving model: the
+// classifier, its generation number, and a precomputed feature name ->
+// index map so request feature resolution is O(1) per attribute instead
+// of a linear scan over Features. Views are never mutated after
+// publication, so a request that captures a view once observes a single
+// self-consistent model no matter how many swaps land mid-flight.
+type ModelView struct {
+	Model      *JobClassifier
+	Generation uint64
+
+	index map[string]int
+}
+
+// FeatureIndex resolves a feature name to its position in the model's
+// feature vector.
+func (v *ModelView) FeatureIndex(name string) (int, bool) {
+	i, ok := v.index[name]
+	return i, ok
+}
+
+// NumFeatures returns the model's feature vector width.
+func (v *ModelView) NumFeatures() int { return len(v.Model.Features) }
+
+// ModelManager publishes a JobClassifier to concurrent readers behind an
+// atomic pointer and swaps it without blocking them: readers load the
+// current ModelView with one atomic load, writers validate and install a
+// fully-built replacement view. The zero manager is not ready; use
+// NewModelManager.
+type ModelManager struct {
+	cur atomic.Pointer[ModelView]
+
+	mu   sync.Mutex // serializes swaps and the default reload path
+	gen  uint64     // generation of the last installed view (under mu)
+	path string     // default file for ReloadFromFile("") (under mu)
+
+	generation *obs.Gauge
+	swapOK     *obs.Counter
+	swapRej    *obs.Counter
+	swapErr    *obs.Counter
+}
+
+// NewModelManager returns an empty manager (View returns nil until the
+// first Swap). reg may be nil; when set, the manager exports
+// model_generation and model_swap_total{outcome} metrics.
+func NewModelManager(reg *obs.Registry) *ModelManager {
+	reg.Help("model_generation", "Generation number of the serving classifier (0 = none loaded).")
+	reg.Help("model_swap_total", "Model hot-swap attempts by outcome.")
+	return &ModelManager{
+		generation: reg.Gauge("model_generation"),
+		swapOK:     reg.Counter("model_swap_total", "outcome", "ok"),
+		swapRej:    reg.Counter("model_swap_total", "outcome", "rejected"),
+		swapErr:    reg.Counter("model_swap_total", "outcome", "error"),
+	}
+}
+
+// View returns the current model view, or nil when no model is loaded.
+// The returned view is immutable; hold it for the duration of a request
+// to see one consistent generation.
+func (m *ModelManager) View() *ModelView {
+	if m == nil {
+		return nil
+	}
+	return m.cur.Load()
+}
+
+// Generation returns the generation of the serving model (0 before the
+// first successful swap).
+func (m *ModelManager) Generation() uint64 {
+	v := m.View()
+	if v == nil {
+		return 0
+	}
+	return v.Generation
+}
+
+// buildIndex precomputes the feature name -> index map, rejecting
+// duplicate names (which would make name-keyed requests ambiguous).
+func buildIndex(features []string) (map[string]int, error) {
+	idx := make(map[string]int, len(features))
+	for i, f := range features {
+		if f == "" {
+			return nil, fmt.Errorf("core: model has an empty feature name at index %d", i)
+		}
+		if j, dup := idx[f]; dup {
+			return nil, fmt.Errorf("core: model declares feature %q twice (indexes %d and %d)", f, j, i)
+		}
+		idx[f] = i
+	}
+	return idx, nil
+}
+
+// validateSwap checks an incoming model intrinsically and, when a model
+// is already serving, structurally against it: the feature name sets
+// must match (order may differ -- clients address features by name, and
+// the prebuilt index absorbs any reordering).
+func validateSwap(next *JobClassifier, cur *ModelView) (map[string]int, error) {
+	if next == nil {
+		return nil, errors.New("core: cannot swap in a nil model")
+	}
+	if len(next.Features) == 0 {
+		return nil, errors.New("core: cannot swap in a model with no features")
+	}
+	idx, err := buildIndex(next.Features)
+	if err != nil {
+		return nil, err
+	}
+	if cur == nil {
+		return idx, nil
+	}
+	if len(cur.Model.Features) != len(next.Features) {
+		return nil, fmt.Errorf("%w: serving %d features, incoming %d",
+			ErrSchemaMismatch, len(cur.Model.Features), len(next.Features))
+	}
+	var missing []string
+	for _, f := range cur.Model.Features {
+		if _, ok := idx[f]; !ok {
+			missing = append(missing, f)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return nil, fmt.Errorf("%w: incoming model lacks %v", ErrSchemaMismatch, missing)
+	}
+	return idx, nil
+}
+
+// Swap validates next and atomically installs it as the serving model,
+// returning the new generation. On any error the previous model keeps
+// serving untouched. In-flight requests holding the old view finish on
+// it; new requests observe the new view.
+func (m *ModelManager) Swap(next *JobClassifier) (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	idx, err := validateSwap(next, m.cur.Load())
+	if err != nil {
+		if errors.Is(err, ErrSchemaMismatch) {
+			m.swapRej.Inc()
+		} else {
+			m.swapErr.Inc()
+		}
+		return m.gen, err
+	}
+	m.gen++
+	m.cur.Store(&ModelView{Model: next, Generation: m.gen, index: idx})
+	m.generation.Set(float64(m.gen))
+	m.swapOK.Inc()
+	return m.gen, nil
+}
+
+// SwapFromReader loads a serialized classifier (as written by Save) and
+// swaps it in.
+func (m *ModelManager) SwapFromReader(r io.Reader) (uint64, error) {
+	next, err := LoadJobClassifier(r)
+	if err != nil {
+		m.swapErr.Inc()
+		return m.Generation(), err
+	}
+	return m.Swap(next)
+}
+
+// SetPath sets the default model file for ReloadFromFile("").
+func (m *ModelManager) SetPath(path string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.path = path
+}
+
+// Path returns the default model file, if any.
+func (m *ModelManager) Path() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.path
+}
+
+// ReloadFromFile loads a saved classifier from path (or, when path is
+// empty, from the configured default) and swaps it in. On success the
+// path becomes the new default, so a later SIGHUP or bare reload repeats
+// it.
+func (m *ModelManager) ReloadFromFile(path string) (uint64, error) {
+	if path == "" {
+		path = m.Path()
+	}
+	if path == "" {
+		return m.Generation(), errors.New("core: no model path configured for reload")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		m.swapErr.Inc()
+		return m.Generation(), err
+	}
+	defer f.Close()
+	gen, err := m.SwapFromReader(f)
+	if err != nil {
+		return gen, err
+	}
+	m.SetPath(path)
+	return gen, nil
+}

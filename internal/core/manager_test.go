@@ -1,0 +1,218 @@
+package core
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/testkit"
+)
+
+// synthModel trains a fast NB classifier on a synthetic dataset.
+func synthModel(t *testing.T, seed uint64, features int) *JobClassifier {
+	t.Helper()
+	ds := testkit.SynthClassification(testkit.SynthConfig{Seed: seed, Features: features, RowsPerCls: 20})
+	m, err := TrainJobClassifier(ds, ClassifierConfig{Algo: AlgoBayes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestModelManagerEmpty(t *testing.T) {
+	mm := NewModelManager(nil)
+	if mm.View() != nil {
+		t.Fatal("empty manager has a view")
+	}
+	if mm.Generation() != 0 {
+		t.Fatalf("empty generation = %d", mm.Generation())
+	}
+	if _, err := mm.ReloadFromFile(""); err == nil {
+		t.Fatal("reload with no path configured succeeded")
+	}
+}
+
+func TestModelManagerSwapAndIndex(t *testing.T) {
+	reg := obs.NewRegistry()
+	mm := NewModelManager(reg)
+	m := synthModel(t, 1, 6)
+	gen, err := mm.Swap(m)
+	if err != nil || gen != 1 {
+		t.Fatalf("first swap: gen=%d err=%v", gen, err)
+	}
+	v := mm.View()
+	if v.Model != m || v.Generation != 1 {
+		t.Fatalf("view = {%p gen %d}, want {%p gen 1}", v.Model, v.Generation, m)
+	}
+	if v.NumFeatures() != len(m.Features) {
+		t.Fatalf("NumFeatures = %d", v.NumFeatures())
+	}
+	for i, name := range m.Features {
+		got, ok := v.FeatureIndex(name)
+		if !ok || got != i {
+			t.Fatalf("FeatureIndex(%q) = (%d,%v), want (%d,true)", name, got, ok, i)
+		}
+	}
+	if _, ok := v.FeatureIndex("NOPE"); ok {
+		t.Fatal("unknown feature resolved")
+	}
+	if got := reg.Gauge("model_generation").Value(); got != 1 {
+		t.Errorf("model_generation = %v", got)
+	}
+	if got := reg.Counter("model_swap_total", "outcome", "ok").Value(); got != 1 {
+		t.Errorf("swap ok counter = %d", got)
+	}
+
+	// A compatible retrain bumps the generation; old view stays usable.
+	if gen, err = mm.Swap(synthModel(t, 2, 6)); err != nil || gen != 2 {
+		t.Fatalf("second swap: gen=%d err=%v", gen, err)
+	}
+	if v.Generation != 1 || mm.View().Generation != 2 {
+		t.Fatalf("old view gen %d / new view gen %d", v.Generation, mm.View().Generation)
+	}
+}
+
+func TestModelManagerSchemaMismatchKeepsOldModel(t *testing.T) {
+	reg := obs.NewRegistry()
+	mm := NewModelManager(reg)
+	if _, err := mm.Swap(synthModel(t, 1, 6)); err != nil {
+		t.Fatal(err)
+	}
+	old := mm.View()
+	gen, err := mm.Swap(synthModel(t, 2, 4)) // different feature width
+	if !errors.Is(err, ErrSchemaMismatch) {
+		t.Fatalf("mismatched swap err = %v, want ErrSchemaMismatch", err)
+	}
+	if gen != 1 || mm.View() != old {
+		t.Fatalf("rejected swap disturbed the serving model (gen %d)", gen)
+	}
+	if got := reg.Counter("model_swap_total", "outcome", "rejected").Value(); got != 1 {
+		t.Errorf("rejected counter = %d", got)
+	}
+	if got := reg.Gauge("model_generation").Value(); got != 1 {
+		t.Errorf("model_generation = %v after rejection", got)
+	}
+}
+
+func TestModelManagerSwapValidation(t *testing.T) {
+	mm := NewModelManager(nil)
+	if _, err := mm.Swap(nil); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := mm.Swap(&JobClassifier{}); err == nil {
+		t.Error("featureless model accepted")
+	}
+	if _, err := mm.Swap(&JobClassifier{Features: []string{"A", "B", "A"}}); err == nil {
+		t.Error("duplicate feature names accepted")
+	}
+	if _, err := mm.Swap(&JobClassifier{Features: []string{"A", ""}}); err == nil {
+		t.Error("empty feature name accepted")
+	}
+	if mm.View() != nil || mm.Generation() != 0 {
+		t.Error("failed swaps left state behind")
+	}
+}
+
+func TestModelManagerReloadFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.bin")
+	m := synthModel(t, 3, 6)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	mm := NewModelManager(nil)
+	gen, err := mm.ReloadFromFile(path)
+	if err != nil || gen != 1 {
+		t.Fatalf("reload: gen=%d err=%v", gen, err)
+	}
+	if mm.Path() != path {
+		t.Fatalf("path not remembered: %q", mm.Path())
+	}
+	// A bare reload repeats the remembered path.
+	if gen, err = mm.ReloadFromFile(""); err != nil || gen != 2 {
+		t.Fatalf("bare reload: gen=%d err=%v", gen, err)
+	}
+	// A missing file fails without disturbing the serving model or path.
+	if _, err := mm.ReloadFromFile(filepath.Join(dir, "nope.bin")); err == nil {
+		t.Fatal("reload from missing file succeeded")
+	}
+	if mm.Generation() != 2 || mm.Path() != path {
+		t.Fatalf("failed reload disturbed state: gen=%d path=%q", mm.Generation(), mm.Path())
+	}
+	// Garbage on disk is a load error, not a crash.
+	bad := filepath.Join(dir, "garbage.bin")
+	if err := os.WriteFile(bad, []byte("not a model"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mm.ReloadFromFile(bad); err == nil {
+		t.Fatal("garbage model accepted")
+	}
+	if mm.Path() != path {
+		t.Fatalf("failed reload replaced the default path: %q", mm.Path())
+	}
+}
+
+// TestModelManagerConcurrentSwap hammers View from many goroutines while
+// models swap underneath: run under -race, every observed view must be
+// internally consistent (generation matches the installed model).
+func TestModelManagerConcurrentSwap(t *testing.T) {
+	mm := NewModelManager(nil)
+	a, b := synthModel(t, 1, 6), synthModel(t, 2, 6)
+	if _, err := mm.Swap(a); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			row := make([]float64, 6)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := mm.View()
+				if v == nil {
+					t.Error("view went nil mid-swap")
+					return
+				}
+				want := a
+				if v.Generation%2 == 0 {
+					want = b
+				}
+				if v.Model != want {
+					t.Errorf("torn view: generation %d paired with wrong model", v.Generation)
+					return
+				}
+				v.Model.Classify(row, 0.5)
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		next := b
+		if i%2 == 1 {
+			next = a
+		}
+		if _, err := mm.Swap(next); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if mm.Generation() != 51 {
+		t.Fatalf("generation = %d, want 51", mm.Generation())
+	}
+}

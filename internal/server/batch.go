@@ -1,0 +1,252 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/parallel"
+)
+
+// maxBatchRows caps how many feature rows one batch request may carry.
+// Larger workloads should be chunked client-side; the cap keeps a single
+// request from monopolizing the worker pool or the response buffer.
+const maxBatchRows = 4096
+
+// maxBatchBody caps the batch request body (a full 4096x~40-feature
+// request is a few MB of JSON).
+const maxBatchBody = 16 << 20
+
+// rowLatencyBuckets spans per-row inference latency, which sits in the
+// microsecond-to-millisecond range -- far below the default HTTP
+// request buckets.
+func rowLatencyBuckets() []float64 {
+	return []float64{
+		1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5,
+		1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 0.1,
+	}
+}
+
+// batchSizeBuckets spans request batch sizes from single rows to the
+// maxBatchRows cap.
+func batchSizeBuckets() []float64 {
+	return []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, float64(maxBatchRows)}
+}
+
+// batchRequest is the batch classification body. Exactly one of Rows
+// (array-of-maps, one feature map per job) or Columns (column-major, one
+// equal-length value array per feature) must be set.
+type batchRequest struct {
+	Rows      []map[string]float64 `json:"rows"`
+	Columns   map[string][]float64 `json:"columns"`
+	Threshold float64              `json:"threshold"`
+}
+
+// batchSummary aggregates a batch response: row counts by outcome and,
+// for classified rows, by predicted label.
+type batchSummary struct {
+	Rows           int            `json:"rows"`
+	Classified     int            `json:"classified"`
+	BelowThreshold int            `json:"belowThreshold"`
+	ByLabel        map[string]int `json:"byLabel"`
+}
+
+// batchResponse is the batch classification reply. Results are in
+// request row order and each element is byte-identical to the single
+// /api/classify response for that row.
+type batchResponse struct {
+	Results    []classifyResult `json:"results"`
+	Summary    batchSummary     `json:"summary"`
+	Generation uint64           `json:"generation"`
+}
+
+// batchBadRequest counts and writes a batch-level validation failure.
+func (s *Server) batchBadRequest(w http.ResponseWriter, format string, args ...any) {
+	s.classifyOutcome("bad_request")
+	s.writeError(w, http.StatusBadRequest, format, args...)
+}
+
+// resolveColumns validates a column-major batch and materializes it into
+// per-row feature vectors. All columns must be known features and share
+// one length; features without a column default to zero for every row.
+func resolveColumns(v *core.ModelView, cols map[string][]float64) (rows [][]float64, defaulted []string, err error) {
+	n := -1
+	var unknown []string
+	for name, col := range cols {
+		if _, ok := v.FeatureIndex(name); !ok {
+			unknown = append(unknown, name)
+			continue
+		}
+		if n == -1 {
+			n = len(col)
+		} else if len(col) != n {
+			return nil, nil, fmt.Errorf("column %q has %d values, others have %d", name, len(col), n)
+		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		return nil, nil, fmt.Errorf("unknown features: %v", unknown)
+	}
+	if n <= 0 {
+		return nil, nil, errors.New("columns form carries no rows")
+	}
+	rows = make([][]float64, n)
+	flat := make([]float64, n*v.NumFeatures())
+	for i := range rows {
+		rows[i] = flat[i*v.NumFeatures() : (i+1)*v.NumFeatures()]
+	}
+	for name, col := range cols {
+		idx, _ := v.FeatureIndex(name)
+		for i, val := range col {
+			rows[i][idx] = val
+		}
+	}
+	defaulted = []string{}
+	for _, name := range v.Model.Features {
+		if _, ok := cols[name]; !ok {
+			defaulted = append(defaulted, name)
+		}
+	}
+	return rows, defaulted, nil
+}
+
+// handleClassifyBatch classifies up to maxBatchRows feature rows in one
+// request, fanning inference across the worker pool. The model view is
+// captured once, so every row in a batch is classified by the same model
+// generation even if a hot-swap lands mid-request.
+func (s *Server) handleClassifyBatch(w http.ResponseWriter, r *http.Request) {
+	v := s.models.View()
+	if v == nil {
+		s.classifyOutcome("no_model")
+		s.writeError(w, http.StatusServiceUnavailable, "no classifier loaded")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBody)
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.classifyOutcome("oversized")
+			s.writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		s.batchBadRequest(w, "bad request body: %v", err)
+		return
+	}
+	if req.Threshold < 0 || req.Threshold > 1 {
+		s.batchBadRequest(w, "threshold must be in [0,1]")
+		return
+	}
+	if len(req.Rows) > 0 && len(req.Columns) > 0 {
+		s.batchBadRequest(w, "request sets both rows and columns; pick one form")
+		return
+	}
+
+	// Materialize both forms into per-row vectors plus per-row defaulted
+	// lists before inference, so validation errors reject the whole batch
+	// up front.
+	var rows [][]float64
+	var defaulted [][]string
+	switch {
+	case len(req.Rows) > 0:
+		if len(req.Rows) > maxBatchRows {
+			s.batchBadRequest(w, "batch carries %d rows, limit is %d", len(req.Rows), maxBatchRows)
+			return
+		}
+		rows = make([][]float64, len(req.Rows))
+		defaulted = make([][]string, len(req.Rows))
+		for i, features := range req.Rows {
+			if len(features) == 0 {
+				s.batchBadRequest(w, "row %d: empty or missing features map", i)
+				return
+			}
+			row, def, unknown := resolveRow(v, features)
+			if len(unknown) > 0 {
+				sort.Strings(unknown)
+				s.batchBadRequest(w, "row %d: unknown features: %v", i, unknown)
+				return
+			}
+			rows[i], defaulted[i] = row, def
+		}
+	case len(req.Columns) > 0:
+		cols, def, err := resolveColumns(v, req.Columns)
+		if err != nil {
+			s.batchBadRequest(w, "%v", err)
+			return
+		}
+		if len(cols) > maxBatchRows {
+			s.batchBadRequest(w, "batch carries %d rows, limit is %d", len(cols), maxBatchRows)
+			return
+		}
+		rows = cols
+		defaulted = make([][]string, len(cols))
+		for i := range defaulted {
+			defaulted[i] = def
+		}
+	default:
+		s.batchBadRequest(w, "empty batch: set rows or columns")
+		return
+	}
+
+	s.metrics.Histogram("classify_batch_rows", batchSizeBuckets()).Observe(float64(len(rows)))
+
+	results := make([]classifyResult, len(rows))
+	_ = parallel.ForEach(s.batchWorkers, len(rows), func(i int) error {
+		results[i] = s.classifyRow(v, rows[i], defaulted[i], req.Threshold)
+		return nil
+	})
+
+	sum := batchSummary{Rows: len(results), ByLabel: map[string]int{}}
+	for _, res := range results {
+		if res.Classified {
+			sum.Classified++
+			sum.ByLabel[res.Label]++
+		} else {
+			sum.BelowThreshold++
+		}
+	}
+	s.writeJSON(w, http.StatusOK, batchResponse{
+		Results:    results,
+		Summary:    sum,
+		Generation: v.Generation,
+	})
+}
+
+// reloadRequest is the admin reload body; path may be empty when the
+// manager has a configured default (e.g. the -model flag).
+type reloadRequest struct {
+	Path string `json:"path"`
+}
+
+// handleModelReload atomically swaps the serving model for one loaded
+// from disk. Schema mismatches are rejected with 409 and the old model
+// keeps serving; in-flight requests are never disturbed either way.
+func (s *Server) handleModelReload(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxClassifyBody)
+	var req reloadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	gen, err := s.models.ReloadFromFile(req.Path)
+	if err != nil {
+		s.log.Warn("model reload failed", "path", req.Path, "err", err)
+		if errors.Is(err, core.ErrSchemaMismatch) {
+			s.writeError(w, http.StatusConflict, "model rejected: %v", err)
+			return
+		}
+		s.writeError(w, http.StatusBadRequest, "model reload failed: %v", err)
+		return
+	}
+	v := s.models.View()
+	s.log.Info("model swapped", "generation", gen, "algo", v.Model.Algo, "path", s.models.Path())
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"generation": gen,
+		"algorithm":  v.Model.Algo,
+		"features":   len(v.Model.Features),
+	})
+}

@@ -118,7 +118,7 @@ func TestClassifySuccessAfterErrors(t *testing.T) {
 	srv, reg := obsServer(t)
 	postClassify(t, srv.URL, "garbage")
 	postClassify(t, srv.URL, `{"features":{"BOGUS":1}}`)
-	status, _ := postClassify(t, srv.URL, `{"features":{},"threshold":0}`)
+	status, _ := postClassify(t, srv.URL, `{"features":{"CPU_USER":0.5},"threshold":0}`)
 	if status != http.StatusOK {
 		t.Fatalf("valid request after errors: status %d, want 200", status)
 	}

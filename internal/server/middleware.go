@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/obs"
 )
 
@@ -32,11 +33,26 @@ func WithPprof() Option {
 	return func(s *Server) { s.pprof = true }
 }
 
+// WithModelManager supplies an externally-owned model manager (for
+// boot-time loading and SIGHUP-driven reloads); the model argument to
+// New is then ignored. The caller should build it with the same registry
+// passed to WithMetrics so swap metrics land in one exposition.
+func WithModelManager(mm *core.ModelManager) Option {
+	return func(s *Server) { s.models = mm }
+}
+
+// WithBatchWorkers bounds the goroutines one batch classify request fans
+// out over (<= 0 means GOMAXPROCS).
+func WithBatchWorkers(n int) Option {
+	return func(s *Server) { s.batchWorkers = n }
+}
+
 // knownPaths bounds the cardinality of the path label: anything not
 // registered on the API is reported as "other".
 var knownPaths = map[string]bool{
 	"/api/overview": true, "/api/groupby": true, "/api/drilldown": true,
 	"/api/utilization": true, "/api/features": true, "/api/classify": true,
+	"/api/classify/batch": true, "/admin/model/reload": true,
 	"/metrics": true,
 }
 
@@ -119,7 +135,7 @@ func (s *Server) wrap(next http.Handler) http.Handler {
 				s.metrics.Counter("http_panics_total").Inc()
 				s.log.Error("handler panic", "id", id, "path", r.URL.Path, "panic", rec)
 				if sw.status == 0 {
-					writeError(sw, http.StatusInternalServerError, "internal error (request %s)", id)
+					s.writeError(sw, http.StatusInternalServerError, "internal error (request %s)", id)
 				}
 			}
 			if sw.status == 0 {
@@ -156,7 +172,10 @@ func (s *Server) mountDebug() {
 		s.metrics.Help("http_request_seconds", "HTTP request latency in seconds by path.")
 		s.metrics.Help("http_in_flight_requests", "Requests currently being served.")
 		s.metrics.Help("http_panics_total", "Requests that panicked in a handler.")
-		s.metrics.Help("classify_outcomes_total", "Classification endpoint outcomes.")
+		s.metrics.Help("classify_outcomes_total", "Classification outcomes, counted per row for batch requests.")
+		s.metrics.Help("classify_batch_rows", "Rows per batch classification request.")
+		s.metrics.Help("classify_row_seconds", "Per-row model inference latency in seconds.")
+		s.metrics.Help("http_encode_errors_total", "JSON response bodies that failed to encode after the status was committed.")
 		s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 			_ = s.metrics.WritePrometheus(w)

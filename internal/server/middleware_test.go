@@ -100,8 +100,8 @@ func TestClassifyOutcomeCounters(t *testing.T) {
 	}
 	post("garbage")
 	post(`{"features":{"NOPE":1},"threshold":0.5}`)
-	post(`{"features":{},"threshold":0.0}`)  // classifies (threshold 0 accepts anything)
-	post(`{"features":{},"threshold":0.99}`) // almost surely below threshold on zeros
+	post(`{"features":{"CPU_USER":0.9},"threshold":0.0}`)  // classifies (threshold 0 accepts anything)
+	post(`{"features":{"CPU_USER":0.9},"threshold":0.99}`) // almost surely below threshold
 
 	if got := reg.Counter("classify_outcomes_total", "outcome", "bad_request").Value(); got != 2 {
 		t.Errorf("bad_request = %d, want 2", got)

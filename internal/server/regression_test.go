@@ -1,0 +1,158 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/warehouse"
+)
+
+func mustUnmarshal(t *testing.T, data []byte, v any) {
+	t.Helper()
+	if err := json.Unmarshal(data, v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// emptyStoreServer serves an empty warehouse with no model loaded.
+func emptyStoreServer(t *testing.T) (*httptest.Server, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	srv := httptest.NewServer(New(warehouse.NewStore(), nil, 8, WithMetrics(reg)))
+	t.Cleanup(srv.Close)
+	return srv, reg
+}
+
+// TestEmptyResultsEncodeAsArrays pins the nil-slice regression: an empty
+// warehouse must answer group-by and drill-down with JSON [] (a nil Go
+// slice encodes as null, which breaks array-iterating clients).
+func TestEmptyResultsEncodeAsArrays(t *testing.T) {
+	srv, _ := emptyStoreServer(t)
+	for _, path := range []string{
+		"/api/groupby?dim=application",
+		"/api/drilldown?outer=population&inner=jobsize",
+		"/api/utilization?nodes=5",
+	} {
+		resp, body := get(t, srv.URL+path)
+		if resp.StatusCode != 200 {
+			t.Errorf("%s: status %d", path, resp.StatusCode)
+			continue
+		}
+		if got := strings.TrimSpace(body); got != "[]" {
+			t.Errorf("%s: body %q, want []", path, got)
+		}
+	}
+}
+
+// TestDrillDownInnerNeverNull checks the nested slice on a populated
+// store: no group may carry "inner": null.
+func TestDrillDownInnerNeverNull(t *testing.T) {
+	srv, _ := obsServer(t)
+	resp, body := get(t, srv.URL+"/api/drilldown?outer=population&inner=jobsize")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if strings.Contains(body, "null") {
+		t.Errorf("drilldown body contains null:\n%s", body)
+	}
+}
+
+// TestClassifyEmptyFeaturesRejected pins the silent-all-zero-row bug: a
+// missing or empty features map must be a 400, not a confident label.
+func TestClassifyEmptyFeaturesRejected(t *testing.T) {
+	srv, reg := obsServer(t)
+	for _, body := range []string{
+		`{}`,
+		`{"threshold":0.5}`,
+		`{"features":{},"threshold":0.5}`,
+		`{"features":null,"threshold":0.5}`,
+	} {
+		status, msg := postClassify(t, srv.URL, body)
+		if status != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", body, status)
+		}
+		if !strings.Contains(msg, "features") {
+			t.Errorf("body %q: error %q does not mention features", body, msg)
+		}
+	}
+	if got := reg.Counter("classify_outcomes_total", "outcome", "bad_request").Value(); got != 4 {
+		t.Errorf("bad_request counter = %d, want 4", got)
+	}
+}
+
+// TestClassifyReportsDefaulted checks the schema-drift signal: features
+// the model knows but the request omits come back in "defaulted" (model
+// feature order), and a complete request reports an empty array, not
+// null.
+func TestClassifyReportsDefaulted(t *testing.T) {
+	srv, _ := obsServer(t)
+	names := featureNames(t, srv.URL)
+
+	partial := map[string]float64{names[0]: 0.5, names[2]: 1}
+	code, body := postJSON(t, srv.URL+"/api/classify", map[string]any{"features": partial, "threshold": 0})
+	if code != 200 {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var out struct {
+		Defaulted []string `json:"defaulted"`
+	}
+	mustUnmarshal(t, body, &out)
+	want := []string{}
+	for i, n := range names {
+		if i != 0 && i != 2 {
+			want = append(want, n)
+		}
+	}
+	if len(out.Defaulted) != len(want) {
+		t.Fatalf("defaulted = %v, want %v", out.Defaulted, want)
+	}
+	for i := range want {
+		if out.Defaulted[i] != want[i] {
+			t.Fatalf("defaulted[%d] = %q, want %q (model feature order)", i, out.Defaulted[i], want[i])
+		}
+	}
+
+	full := map[string]float64{}
+	for _, n := range names {
+		full[n] = 0.5
+	}
+	code, body = postJSON(t, srv.URL+"/api/classify", map[string]any{"features": full, "threshold": 0})
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if !strings.Contains(string(body), `"defaulted":[]`) {
+		t.Errorf(`complete request must carry "defaulted":[], got %s`, body)
+	}
+}
+
+// TestWriteJSONEncodeErrorsObservable pins the writeJSON bugfix: encode
+// failures after the status is committed are logged and counted instead
+// of discarded.
+func TestWriteJSONEncodeErrorsObservable(t *testing.T) {
+	reg := obs.NewRegistry()
+	var buf strings.Builder
+	s := New(warehouse.NewStore(), nil, 0, WithMetrics(reg), WithLogger(obs.NewLogger(&buf, obs.LevelWarn)))
+
+	rec := httptest.NewRecorder()
+	s.writeJSON(rec, http.StatusOK, make(chan int)) // channels cannot marshal
+
+	if got := reg.Counter("http_encode_errors_total").Value(); got != 1 {
+		t.Errorf("http_encode_errors_total = %d, want 1", got)
+	}
+	if !strings.Contains(buf.String(), "encode") {
+		t.Errorf("encode failure not logged: %q", buf.String())
+	}
+	if rec.Code != http.StatusOK {
+		t.Errorf("status %d (already committed before the encode)", rec.Code)
+	}
+
+	// A healthy write touches neither the counter nor the log.
+	s.writeJSON(httptest.NewRecorder(), http.StatusOK, map[string]int{"ok": 1})
+	if got := reg.Counter("http_encode_errors_total").Value(); got != 1 {
+		t.Errorf("healthy write bumped the counter to %d", got)
+	}
+}

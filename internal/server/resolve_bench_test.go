@@ -1,0 +1,78 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// benchView builds a model view over f synthetic feature names plus a
+// full request map touching every feature -- the worst case for the old
+// linear scan.
+func benchView(b *testing.B, f int) (*core.ModelView, map[string]float64) {
+	b.Helper()
+	names := make([]string, f)
+	features := make(map[string]float64, f)
+	for i := range names {
+		names[i] = fmt.Sprintf("FEATURE_%03d", i)
+		features[names[i]] = float64(i)
+	}
+	mm := core.NewModelManager(nil)
+	if _, err := mm.Swap(&core.JobClassifier{Features: names}); err != nil {
+		b.Fatal(err)
+	}
+	return mm.View(), features
+}
+
+// linearResolveRow is the pre-manager implementation (server.go:218-231
+// before the fix): each request feature scanned Features front to back,
+// O(F) per attribute and O(F^2) for a full request. Kept here so the
+// benchmark proves the win.
+func linearResolveRow(features []string, req map[string]float64) ([]float64, []string) {
+	row := make([]float64, len(features))
+	unknown := []string{}
+	for name, v := range req {
+		idx := -1
+		for i, f := range features {
+			if f == name {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			unknown = append(unknown, name)
+			continue
+		}
+		row[idx] = v
+	}
+	return row, unknown
+}
+
+// BenchmarkFeatureResolution compares the prebuilt-index path against
+// the old linear scan at F=32 (the acceptance case) and F=128 (where
+// quadratic growth is unmistakable: indexed cost grows ~4x, linear
+// ~16x).
+func BenchmarkFeatureResolution(b *testing.B) {
+	for _, f := range []int{32, 128} {
+		view, req := benchView(b, f)
+		b.Run(fmt.Sprintf("indexed-F%d", f), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				row, _, unknown := resolveRow(view, req)
+				if len(unknown) != 0 || len(row) != f {
+					b.Fatal("bad resolution")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("linear-F%d", f), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				row, unknown := linearResolveRow(view.Model.Features, req)
+				if len(unknown) != 0 || len(row) != f {
+					b.Fatal("bad resolution")
+				}
+			}
+		})
+	}
+}

@@ -3,8 +3,10 @@
 // develop the machine learning technology that was explored in this work
 // into production tools for use in XDMoD". The API mirrors the XDMoD
 // views: overview totals, dimensional group-bys, drill-downs, monthly
-// utilization, and an online classification endpoint that labels a
-// SUPReMM summary with a probability threshold.
+// utilization, and online classification endpoints (single-row and
+// batch) that label SUPReMM summaries with a probability threshold. The
+// serving model lives behind a core.ModelManager, so operators can
+// retrain and hot-swap it without restarting the server.
 package server
 
 import (
@@ -12,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"time"
 
@@ -24,28 +27,39 @@ import (
 // classifier.
 type Server struct {
 	store        *warehouse.Store
-	model        *core.JobClassifier
+	models       *core.ModelManager
 	machineNodes int
 	mux          *http.ServeMux
 	handler      http.Handler
 
-	metrics   *obs.Registry
-	log       *obs.Logger
-	pprof     bool
-	bootStamp int64
+	metrics      *obs.Registry
+	log          *obs.Logger
+	pprof        bool
+	batchWorkers int
+	bootStamp    int64
 }
 
-// New builds a server. model may be nil (the classify endpoint then
-// returns 503). machineNodes sizes the utilization report. Options add
-// metrics (/metrics), structured logging, and pprof endpoints.
+// New builds a server. model may be nil (the classify endpoints then
+// return 503 until a model is swapped in); it seeds the server's model
+// manager unless WithModelManager supplies one. machineNodes sizes the
+// utilization report. Options add metrics (/metrics), structured
+// logging, and pprof endpoints.
 func New(store *warehouse.Store, model *core.JobClassifier, machineNodes int, opts ...Option) *Server {
 	s := &Server{
-		store: store, model: model, machineNodes: machineNodes,
+		store: store, machineNodes: machineNodes,
 		mux:       http.NewServeMux(),
 		bootStamp: time.Now().UnixNano(),
 	}
 	for _, opt := range opts {
 		opt(s)
+	}
+	if s.models == nil {
+		s.models = core.NewModelManager(s.metrics)
+		if model != nil {
+			if _, err := s.models.Swap(model); err != nil {
+				s.log.Error("initial model rejected", "err", err)
+			}
+		}
 	}
 	s.mux.HandleFunc("GET /api/overview", s.handleOverview)
 	s.mux.HandleFunc("GET /api/groupby", s.handleGroupBy)
@@ -53,27 +67,40 @@ func New(store *warehouse.Store, model *core.JobClassifier, machineNodes int, op
 	s.mux.HandleFunc("GET /api/utilization", s.handleUtilization)
 	s.mux.HandleFunc("GET /api/features", s.handleFeatures)
 	s.mux.HandleFunc("POST /api/classify", s.handleClassify)
+	s.mux.HandleFunc("POST /api/classify/batch", s.handleClassifyBatch)
+	s.mux.HandleFunc("POST /admin/model/reload", s.handleModelReload)
 	s.mountDebug()
 	s.handler = s.wrap(s.mux)
 	return s
 }
 
+// Models exposes the server's model manager (for boot-time loading and
+// signal-driven reloads).
+func (s *Server) Models() *core.ModelManager { return s.models }
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON encodes v after committing status. Encode failures past that
+// point cannot change the response code, so they are logged and counted
+// in http_encode_errors_total instead of silently dropped: a truncated
+// response body is observable, not invisible.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.metrics.Counter("http_encode_errors_total").Inc()
+		s.log.Warn("response encode failed", "status", status, "err", err)
+	}
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
 func (s *Server) handleOverview(w http.ResponseWriter, r *http.Request) {
 	t := s.store.Totals()
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"jobs":      t.Jobs,
 		"cpuHours":  t.CPUHours,
 		"wallHours": t.WallHours,
@@ -98,7 +125,7 @@ func parseDim(r *http.Request, param string) (warehouse.Dimension, error) {
 func (s *Server) handleGroupBy(w http.ResponseWriter, r *http.Request) {
 	dim, err := parseDim(r, "dim")
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	type row struct {
@@ -109,22 +136,24 @@ func (s *Server) handleGroupBy(w http.ResponseWriter, r *http.Request) {
 		AvgNodes   float64 `json:"avgNodes"`
 		AvgWaitHrs float64 `json:"avgWaitHours"`
 	}
-	var out []row
+	// Initialized (not declared nil) so an empty warehouse encodes as [],
+	// never null.
+	out := []row{}
 	for _, g := range s.store.GroupBy(dim) {
 		out = append(out, row{g.Key, g.Jobs, g.MixPercent, g.CPUHours, g.AvgNodes, g.AvgWaitHrs})
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleDrillDown(w http.ResponseWriter, r *http.Request) {
 	outer, err := parseDim(r, "outer")
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	inner, err := parseDim(r, "inner")
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	type innerRow struct {
@@ -137,15 +166,15 @@ func (s *Server) handleDrillDown(w http.ResponseWriter, r *http.Request) {
 		Jobs  int        `json:"jobs"`
 		Inner []innerRow `json:"inner"`
 	}
-	var out []group
+	out := []group{}
 	for _, g := range s.store.DrillDown(outer, inner) {
-		gg := group{Key: g.Key, Jobs: g.Jobs}
+		gg := group{Key: g.Key, Jobs: g.Jobs, Inner: []innerRow{}}
 		for _, in := range g.Inner {
 			gg.Inner = append(gg.Inner, innerRow{in.Key, in.Jobs, in.MixPercent})
 		}
 		out = append(out, gg)
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleUtilization(w http.ResponseWriter, r *http.Request) {
@@ -153,35 +182,53 @@ func (s *Server) handleUtilization(w http.ResponseWriter, r *http.Request) {
 	if q := r.URL.Query().Get("nodes"); q != "" {
 		n, err := strconv.Atoi(q)
 		if err != nil || n <= 0 {
-			writeError(w, http.StatusBadRequest, "bad nodes parameter %q", q)
+			s.writeError(w, http.StatusBadRequest, "bad nodes parameter %q", q)
 			return
 		}
 		nodes = n
 	}
 	if nodes <= 0 {
-		writeError(w, http.StatusBadRequest, "machine node count not configured; pass ?nodes=N")
+		s.writeError(w, http.StatusBadRequest, "machine node count not configured; pass ?nodes=N")
 		return
 	}
-	writeJSON(w, http.StatusOK, s.store.Utilization(nodes))
+	pts := s.store.Utilization(nodes)
+	if pts == nil {
+		pts = []warehouse.UtilizationPoint{}
+	}
+	s.writeJSON(w, http.StatusOK, pts)
 }
 
 func (s *Server) handleFeatures(w http.ResponseWriter, r *http.Request) {
-	if s.model == nil {
-		writeError(w, http.StatusServiceUnavailable, "no classifier loaded")
+	v := s.models.View()
+	if v == nil {
+		s.writeError(w, http.StatusServiceUnavailable, "no classifier loaded")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"algorithm": s.model.Algo,
-		"features":  s.model.Features,
-		"classes":   s.model.Classes(),
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"algorithm":  v.Model.Algo,
+		"features":   v.Model.Features,
+		"classes":    v.Model.Classes(),
+		"generation": v.Generation,
 	})
 }
 
 // classifyRequest is the classification endpoint's body: a feature map
-// keyed by attribute name (missing attributes default to 0).
+// keyed by attribute name. Attributes the model knows but the request
+// omits default to 0 and are reported back in the response's "defaulted"
+// field; an entirely empty map is rejected.
 type classifyRequest struct {
 	Features  map[string]float64 `json:"features"`
 	Threshold float64            `json:"threshold"`
+}
+
+// classifyResult is one row's classification. The single and batch
+// endpoints share it, so a batch element is byte-identical to the
+// corresponding single-row response.
+type classifyResult struct {
+	Label       string   `json:"label"`
+	Probability float64  `json:"probability"`
+	Classified  bool     `json:"classified"`
+	Defaulted   []string `json:"defaulted"`
 }
 
 // maxClassifyBody caps the classification request body. A legitimate
@@ -189,10 +236,50 @@ type classifyRequest struct {
 // misrouted and is rejected before the JSON decoder buffers it.
 const maxClassifyBody = 1 << 20
 
+// resolveRow maps a name-keyed feature map onto the model's feature
+// vector using the view's prebuilt index: O(F + len(features)) total,
+// replacing the old per-attribute linear scan over Features (O(F^2) for
+// a full request). defaulted lists model features absent from the
+// request (in model feature order); unknown lists request keys the model
+// does not recognize.
+func resolveRow(v *core.ModelView, features map[string]float64) (row []float64, defaulted, unknown []string) {
+	row = make([]float64, v.NumFeatures())
+	defaulted = []string{}
+	for name, val := range features {
+		idx, ok := v.FeatureIndex(name)
+		if !ok {
+			unknown = append(unknown, name)
+			continue
+		}
+		row[idx] = val
+	}
+	for _, name := range v.Model.Features {
+		if _, ok := features[name]; !ok {
+			defaulted = append(defaulted, name)
+		}
+	}
+	return row, defaulted, unknown
+}
+
+// classifyRow runs one resolved row through the model, recording the
+// per-row outcome counter and latency histogram.
+func (s *Server) classifyRow(v *core.ModelView, row []float64, defaulted []string, threshold float64) classifyResult {
+	start := time.Now()
+	label, prob, ok := v.Model.Classify(row, threshold)
+	s.metrics.Histogram("classify_row_seconds", rowLatencyBuckets()).ObserveDuration(start)
+	if ok {
+		s.classifyOutcome("classified")
+	} else {
+		s.classifyOutcome("below_threshold")
+	}
+	return classifyResult{Label: label, Probability: prob, Classified: ok, Defaulted: defaulted}
+}
+
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
-	if s.model == nil {
+	v := s.models.View()
+	if v == nil {
 		s.classifyOutcome("no_model")
-		writeError(w, http.StatusServiceUnavailable, "no classifier loaded")
+		s.writeError(w, http.StatusServiceUnavailable, "no classifier loaded")
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, maxClassifyBody)
@@ -201,48 +288,32 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			s.classifyOutcome("oversized")
-			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+			s.writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
 			return
 		}
 		s.classifyOutcome("bad_request")
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
 	if req.Threshold < 0 || req.Threshold > 1 {
 		s.classifyOutcome("bad_request")
-		writeError(w, http.StatusBadRequest, "threshold must be in [0,1]")
+		s.writeError(w, http.StatusBadRequest, "threshold must be in [0,1]")
 		return
 	}
-	row := make([]float64, len(s.model.Features))
-	unknown := []string{}
-	for name, v := range req.Features {
-		idx := -1
-		for i, f := range s.model.Features {
-			if f == name {
-				idx = i
-				break
-			}
-		}
-		if idx < 0 {
-			unknown = append(unknown, name)
-			continue
-		}
-		row[idx] = v
-	}
-	if len(unknown) > 0 {
+	if len(req.Features) == 0 {
+		// An empty map would silently classify an all-zero row; reject it
+		// so schema drift on the client shows up as an error, not as a
+		// confident nonsense label.
 		s.classifyOutcome("bad_request")
-		writeError(w, http.StatusBadRequest, "unknown features: %v", unknown)
+		s.writeError(w, http.StatusBadRequest, "empty or missing features map")
 		return
 	}
-	label, prob, ok := s.model.Classify(row, req.Threshold)
-	if ok {
-		s.classifyOutcome("classified")
-	} else {
-		s.classifyOutcome("below_threshold")
+	row, defaulted, unknown := resolveRow(v, req.Features)
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		s.classifyOutcome("bad_request")
+		s.writeError(w, http.StatusBadRequest, "unknown features: %v", unknown)
+		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"label":       label,
-		"probability": prob,
-		"classified":  ok,
-	})
+	s.writeJSON(w, http.StatusOK, s.classifyRow(v, row, defaulted, req.Threshold))
 }

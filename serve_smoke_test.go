@@ -1,0 +1,204 @@
+//go:build servesmoke
+
+// End-to-end smoke for the serving path, run by `make serve-batch-smoke`
+// (and the serve-smoke CI job): builds and boots the real supremm-serve
+// binary, exercises single + batch classification, checks batch/single
+// parity on live HTTP responses, hot-swaps the model through the admin
+// endpoint and SIGHUP, and fails on any non-2xx or divergence.
+package repro
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestServeBatchSmoke(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "supremm-serve")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/supremm-serve")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building supremm-serve: %v", err)
+	}
+
+	// Reserve a port, then hand it to the server. The tiny window between
+	// Close and the server's bind is harmless in CI.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	base := "http://" + addr
+
+	snapshot := filepath.Join(dir, "model.bin")
+	srv := exec.Command(bin, "-addr", addr, "-jobs", "400", "-seed", "7",
+		"-model-snapshot", snapshot, "-batch-workers", "4", "-log-level", "warn")
+	srv.Stdout, srv.Stderr = os.Stderr, os.Stderr
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv.Process.Signal(syscall.SIGTERM)
+		done := make(chan struct{})
+		go func() { srv.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(15 * time.Second):
+			srv.Process.Kill()
+		}
+	}()
+
+	// Wait for the pipeline to generate and the listener to come up.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(base + "/api/overview")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == 200 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server not ready: %v", err)
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+
+	getJSON := func(path string, out any) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode/100 != 2 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+	}
+	post := func(path string, v any) (int, []byte) {
+		t.Helper()
+		body, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(base+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp.StatusCode, buf.Bytes()
+	}
+
+	var meta struct {
+		Features   []string `json:"features"`
+		Generation uint64   `json:"generation"`
+	}
+	getJSON("/api/features", &meta)
+	if len(meta.Features) == 0 || meta.Generation != 1 {
+		t.Fatalf("features meta = %+v", meta)
+	}
+
+	// Three distinct full-coverage rows.
+	rows := make([]map[string]float64, 3)
+	for i := range rows {
+		m := map[string]float64{}
+		for j, name := range meta.Features {
+			m[name] = float64((i*5+j)%7) / 6
+		}
+		rows[i] = m
+	}
+
+	singles := make([][]byte, len(rows))
+	for i, features := range rows {
+		code, body := post("/api/classify", map[string]any{"features": features, "threshold": 0.5})
+		if code != 200 {
+			t.Fatalf("single classify %d: status %d: %s", i, code, body)
+		}
+		singles[i] = bytes.TrimSpace(body)
+	}
+
+	code, body := post("/api/classify/batch", map[string]any{"rows": rows, "threshold": 0.5})
+	if code != 200 {
+		t.Fatalf("batch classify: status %d: %s", code, body)
+	}
+	var batch struct {
+		Results    []json.RawMessage `json:"results"`
+		Generation uint64            `json:"generation"`
+	}
+	if err := json.Unmarshal(body, &batch); err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Results) != len(rows) || batch.Generation != 1 {
+		t.Fatalf("batch reply: %d results, generation %d", len(batch.Results), batch.Generation)
+	}
+	for i, raw := range batch.Results {
+		if !bytes.Equal(bytes.TrimSpace(raw), singles[i]) {
+			t.Fatalf("batch/single parity divergence at row %d:\n batch:  %s\n single: %s", i, raw, singles[i])
+		}
+	}
+
+	// Admin hot-swap from the boot snapshot: the restored model must
+	// classify byte-identically to the original.
+	code, body = post("/admin/model/reload", map[string]string{"path": snapshot})
+	if code != 200 {
+		t.Fatalf("admin reload: status %d: %s", code, body)
+	}
+	getJSON("/api/features", &meta)
+	if meta.Generation != 2 {
+		t.Fatalf("post-reload generation = %d, want 2", meta.Generation)
+	}
+	code, body = post("/api/classify", map[string]any{"features": rows[0], "threshold": 0.5})
+	if code != 200 || !bytes.Equal(bytes.TrimSpace(body), singles[0]) {
+		t.Fatalf("reloaded snapshot diverges (status %d):\n before: %s\n after:  %s", code, singles[0], body)
+	}
+
+	// SIGHUP drives the same swap path from the configured snapshot.
+	if err := srv.Process.Signal(syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(15 * time.Second)
+	for meta.Generation != 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("SIGHUP reload never landed (generation %d)", meta.Generation)
+		}
+		time.Sleep(100 * time.Millisecond)
+		getJSON("/api/features", &meta)
+	}
+
+	// The swap and batch metrics made it to the exposition.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	text := buf.String()
+	for _, want := range []string{
+		"model_generation 3",
+		`model_swap_total{outcome="ok"} 3`,
+		"classify_batch_rows_count 1",
+		"classify_batch_rows_sum 3",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	fmt.Println("serve-batch-smoke: batch parity, admin reload, and SIGHUP swap all verified")
+}
