@@ -22,10 +22,16 @@ FUZZ_TARGETS = \
 	./internal/lariat:FuzzMatch \
 	./internal/warehouse:FuzzIngest \
 	./internal/dataset:FuzzReadCSV \
-	./internal/core:FuzzLoadJobClassifier
+	./internal/core:FuzzLoadJobClassifier \
+	./internal/loadgen:FuzzLoadConfig
+
+# Knobs for the soak harness (see soak_test.go).
+SOAK_DUR ?= 30s
+SOAK_RPS ?= 200
+SOAK_OUT ?= soak-report.json
 
 .PHONY: all build test vet fmt-check race bench bench-smoke paper trace serve-debug clean \
-	testkit testkit-update test-shuffle cover fuzz-smoke serve-batch-smoke
+	testkit testkit-update test-shuffle cover fuzz-smoke serve-batch-smoke chaos soak
 
 all: build test
 
@@ -45,11 +51,12 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# Race-detect the packages the parallel harness and the observability
-# layer touch.
+# Race-detect the packages the parallel harness, the observability
+# layer, and the resilience layer touch.
 race:
 	$(GO) test -race ./internal/parallel ./internal/ml/... ./internal/core \
-		./internal/experiments ./internal/obs ./internal/server
+		./internal/experiments ./internal/obs ./internal/server \
+		./internal/resilience ./internal/loadgen
 
 # The full correctness harness: golden corpus, metamorphic invariants,
 # edge-case/equivalence suites, and fuzz seed-corpus replay. -count=1
@@ -115,5 +122,21 @@ serve-debug:
 serve-batch-smoke:
 	$(GO) test -count=1 -tags servesmoke -run TestServeBatchSmoke -v .
 
+# The in-process chaos suite under the race detector: fault-injected
+# reloads under live traffic (no torn models), breaker open/recover,
+# deadline all-or-nothing, panic isolation, shed parity at batch
+# workers 1 vs 4, and exact shed/timeout counter reconciliation.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos|TestShedTimeout' -v ./internal/server
+
+# The out-of-process soak: builds supremm-serve WITH -race, boots it
+# with fault injection armed, drives it with the seeded open-loop
+# generator (cmd/supremm-load's engine) for SOAK_DUR while SIGHUP
+# reloads hammer the breaker, then reconciles client-observed counts
+# against /metrics exactly. The JSON report lands at SOAK_OUT.
+soak:
+	SOAK_DUR=$(SOAK_DUR) SOAK_RPS=$(SOAK_RPS) SOAK_OUT=$(SOAK_OUT) \
+		$(GO) test -count=1 -tags soak -run TestSoakServeUnderFaults -v -timeout 10m .
+
 clean:
-	rm -f BENCH_*.json trace.json coverage.out
+	rm -f BENCH_*.json trace.json coverage.out soak-report.json

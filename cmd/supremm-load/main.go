@@ -1,0 +1,111 @@
+// Command supremm-load is a seeded open-loop load generator for
+// supremm-serve: it fires classification traffic (a configurable
+// batch/single mix) at a target rate with an optional linear ramp,
+// classifies every response against the serving status-code contract
+// (200 OK / 429 shed / 504 deadline / 503 unavailable), and writes a
+// JSON report with latency percentiles and shed/timeout counts. The
+// soak CI job and `make soak` drive it against the real binary; it is
+// equally usable for manual capacity runs.
+//
+// Usage:
+//
+//	supremm-load -url http://127.0.0.1:8080 -rps 200 -dur 30s
+//	             [-ramp 5s] [-mix 0.25] [-batch 64] [-threshold 0.5]
+//	             [-seed 7] [-timeout 10s] [-inflight 512]
+//	             [-spec k=v,...] [-out report.json]
+//
+// -spec takes a full load spec (see internal/loadgen.ParseSpec) and
+// overrides the individual flags; the report embeds the canonical spec
+// either way, so any run can be reproduced from its artifact.
+//
+// Exit status: 0 when the run completed and the serving contract held
+// (every 429 carried Retry-After), 1 on configuration or target
+// errors, 2 on contract violations.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/loadgen"
+)
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8080", "target server base URL")
+	rps := flag.Float64("rps", 100, "steady-state arrival rate (requests/second)")
+	dur := flag.Duration("dur", 10*time.Second, "run length")
+	ramp := flag.Duration("ramp", 0, "linear ramp from 0 to -rps over this prefix of the run")
+	mix := flag.Float64("mix", 0.2, "fraction of arrivals sent as batch requests")
+	batch := flag.Int("batch", 32, "rows per batch request")
+	threshold := flag.Float64("threshold", 0.5, "classification threshold")
+	seed := flag.Uint64("seed", 1, "seed for request bodies and the batch/single dice")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request client timeout")
+	inflight := flag.Int("inflight", 512, "client-side cap on outstanding requests (arrivals beyond it are counted dropped)")
+	spec := flag.String("spec", "", "full load spec (k=v,... -- overrides the individual flags)")
+	out := flag.String("out", "", "write the JSON report here (default stdout)")
+	flag.Parse()
+
+	var cfg loadgen.Config
+	var err error
+	if *spec != "" {
+		cfg, err = loadgen.ParseSpec(*spec)
+	} else {
+		cfg, err = loadgen.ParseSpec(strings.Join([]string{
+			"url=" + *url,
+			fmt.Sprintf("rps=%g", *rps),
+			"dur=" + dur.String(),
+			"ramp=" + ramp.String(),
+			fmt.Sprintf("mix=%g", *mix),
+			fmt.Sprintf("batch=%d", *batch),
+			fmt.Sprintf("threshold=%g", *threshold),
+			fmt.Sprintf("seed=%d", *seed),
+			"timeout=" + timeout.String(),
+			fmt.Sprintf("inflight=%d", *inflight),
+		}, ","))
+	}
+	if err != nil {
+		fatal(1, err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "supremm-load: %s\n", cfg.Spec())
+	rep, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		fatal(1, err)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(1, err)
+	}
+	enc = append(enc, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fatal(1, err)
+		}
+		fmt.Fprintf(os.Stderr, "supremm-load: report written to %s\n", *out)
+	} else {
+		os.Stdout.Write(enc)
+	}
+
+	fmt.Fprintf(os.Stderr,
+		"supremm-load: sent=%d ok=%d shed=%d timeouts=%d unavailable=%d serverErrors=%d clientErrors=%d dropped=%d p99=%.1fms\n",
+		rep.Sent, rep.OK, rep.Shed, rep.Timeouts, rep.Unavailable,
+		rep.ServerErrors, rep.ClientErrors, rep.Dropped, rep.LatencyMS.P99)
+	if rep.ShedWithoutRetryAfter > 0 {
+		fatal(2, fmt.Errorf("contract violation: %d shed responses missing Retry-After", rep.ShedWithoutRetryAfter))
+	}
+}
+
+func fatal(code int, err error) {
+	fmt.Fprintln(os.Stderr, "supremm-load:", err)
+	os.Exit(code)
+}

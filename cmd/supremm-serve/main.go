@@ -8,6 +8,9 @@
 //
 //	supremm-serve [-addr :8080] [-jobs N] [-seed N] [-model saved.bin]
 //	              [-model-snapshot out.bin] [-batch-workers N]
+//	              [-request-timeout 30s] [-max-concurrent N] [-max-queue N]
+//	              [-breaker-threshold N] [-breaker-open-for 30s]
+//	              [-faults SPEC] [-fault-seed N]
 //	              [-pprof] [-log-level debug|info|warn|error]
 //
 // Endpoints:
@@ -24,6 +27,21 @@
 //	GET  /metrics             Prometheus text exposition
 //	GET  /debug/pprof/*       (with -pprof)
 //
+// Resilience: the classification endpoints carry a per-request deadline
+// (-request-timeout, 504 on overrun) and, when -max-concurrent is set, a
+// bounded admission queue that sheds overload with 429 + Retry-After
+// instead of queueing unboundedly. Model reloads (admin endpoint and
+// SIGHUP alike) run behind a circuit breaker: -breaker-threshold
+// consecutive failures open it, reloads then fail fast (503) until a
+// half-open probe succeeds after -breaker-open-for. -faults arms the
+// deterministic fault-injection registry (sites: reload, classify.row;
+// see internal/resilience) for chaos and soak runs -- never in default
+// builds.
+//
+// The listen address may end in :0 to pick a free port; the chosen
+// address is printed in the "serving api" log line (addr=...), which
+// test harnesses parse.
+//
 // SIGHUP atomically reloads the model from the configured path (the
 // -model flag, -model-snapshot, or the last successful reload) without
 // dropping a request. The server shuts down gracefully on
@@ -36,6 +54,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -45,16 +64,24 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/parallel"
+	"repro/internal/resilience"
 	"repro/internal/server"
 )
 
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
+	addr := flag.String("addr", ":8080", "listen address (port 0 picks a free port, logged as addr=...)")
 	jobs := flag.Int("jobs", 2000, "workload size to generate and serve")
 	seed := flag.Uint64("seed", 2014, "random seed")
 	modelPath := flag.String("model", "", "load a saved classifier (default: train a category RF on the workload)")
 	snapshotPath := flag.String("model-snapshot", "", "write the boot model to this file (becomes the SIGHUP reload path when -model is unset)")
 	batchWorkers := flag.Int("batch-workers", 0, "worker goroutines per batch classify request (0 = GOMAXPROCS)")
+	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline on classification endpoints (0 disables; overruns answer 504)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "classification requests allowed to execute at once (0 = unlimited, admission control off)")
+	maxQueue := flag.Int("max-queue", 64, "classification requests allowed to wait beyond -max-concurrent before shedding with 429")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive model reload failures that open the reload circuit breaker")
+	breakerOpenFor := flag.Duration("breaker-open-for", 30*time.Second, "how long the reload breaker stays open before a half-open probe")
+	faultSpec := flag.String("faults", "", "arm fault injection: site=kind:rate[:latency],... (sites: reload, classify.row; kinds: error, latency, panic)")
+	faultSeed := flag.Uint64("fault-seed", 1, "seed for the deterministic fault-injection dice")
 	pprofOn := flag.Bool("pprof", false, "expose /debug/pprof endpoints")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
@@ -67,6 +94,14 @@ func main() {
 	log := obs.NewLogger(os.Stderr, level)
 	reg := obs.NewRegistry()
 	parallel.Instrument(reg)
+
+	faults, err := resilience.ParseFaults(*faultSeed, *faultSpec)
+	if err != nil {
+		fatal(err)
+	}
+	if faults != nil {
+		log.Warn("fault injection armed", "sites", fmt.Sprint(faults.Sites()), "spec", faults.String(), "seed", *faultSeed)
+	}
 
 	log.Info("generating workload", "jobs", *jobs, "seed", *seed)
 	cfg := core.DefaultPipelineConfig(*seed, *jobs)
@@ -116,19 +151,32 @@ func main() {
 	opts := []server.Option{
 		server.WithMetrics(reg), server.WithLogger(log),
 		server.WithModelManager(models), server.WithBatchWorkers(*batchWorkers),
+		server.WithResilience(server.ResilienceConfig{
+			RequestTimeout: *requestTimeout,
+			MaxConcurrent:  *maxConcurrent,
+			MaxQueue:       *maxQueue,
+		}),
+		server.WithReloadBreaker(resilience.BreakerConfig{
+			FailureThreshold: *breakerThreshold,
+			OpenFor:          *breakerOpenFor,
+		}),
+	}
+	if faults != nil {
+		opts = append(opts, server.WithFaults(faults))
 	}
 	if *pprofOn {
 		opts = append(opts, server.WithPprof())
 	}
 	api := server.New(res.Store, nil, cfg.Machine.TotalNodes(), opts...)
 
-	// SIGHUP hot-swaps the model from the configured path; a failed
-	// reload logs and keeps the old model serving.
+	// SIGHUP hot-swaps the model from the configured path through the
+	// same breaker as the admin endpoint; a failed reload logs and keeps
+	// the old model serving.
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
 	go func() {
 		for range hup {
-			gen, err := models.ReloadFromFile("")
+			gen, err := api.ReloadModel("")
 			if err != nil {
 				log.Warn("SIGHUP model reload failed", "err", err)
 				continue
@@ -137,14 +185,21 @@ func main() {
 		}
 	}()
 
-	srv := &http.Server{Addr: *addr, Handler: api}
+	// Bind before announcing, so the logged addr is the real one even
+	// when -addr ends in :0 (test harnesses parse this line).
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	srv := &http.Server{Handler: api}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Info("serving api", "addr", *addr, "pprof", *pprofOn)
-		errCh <- srv.ListenAndServe()
+		log.Info("serving api", "addr", ln.Addr().String(), "pprof", *pprofOn,
+			"request-timeout", *requestTimeout, "max-concurrent", *maxConcurrent)
+		errCh <- srv.Serve(ln)
 	}()
 
 	select {

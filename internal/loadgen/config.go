@@ -1,0 +1,204 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Config parameterizes one open-loop load run. The canonical wire form
+// is the spec string (ParseSpec / Spec), which supremm-load's flags
+// compile down to and which the soak harness records verbatim in its
+// JSON report so a run is reproducible from the artifact alone.
+type Config struct {
+	// BaseURL is the target server root, e.g. http://127.0.0.1:8080.
+	BaseURL string
+	// RPS is the steady-state arrival rate (arrivals per second).
+	RPS float64
+	// Duration is the total run length.
+	Duration time.Duration
+	// Ramp linearly grows the arrival rate from 0 to RPS over this
+	// prefix of the run (0 = start at full rate).
+	Ramp time.Duration
+	// BatchMix is the fraction of arrivals sent to /api/classify/batch
+	// instead of /api/classify, decided per arrival by seeded dice.
+	BatchMix float64
+	// BatchSize is the row count of each batch request.
+	BatchSize int
+	// Threshold is the classification threshold sent with every request.
+	Threshold float64
+	// Seed drives every random decision (row values, batch/single mix),
+	// so two runs with one seed issue byte-identical request bodies in
+	// the same arrival order.
+	Seed uint64
+	// Timeout is the per-request client timeout.
+	Timeout time.Duration
+	// MaxInFlight caps concurrently outstanding requests client-side.
+	// Open-loop arrivals beyond the cap are counted as dropped, not
+	// silently serialized -- closed-loop backpressure would mask the
+	// very overload behaviour the generator exists to measure.
+	MaxInFlight int
+}
+
+// Defaults for spec keys the caller omits.
+const (
+	defBatchSize   = 32
+	defThreshold   = 0.5
+	defTimeout     = 10 * time.Second
+	defMaxInFlight = 512
+)
+
+// Validate checks a config for use by Run.
+func (c Config) Validate() error {
+	switch {
+	case c.BaseURL == "":
+		return fmt.Errorf("loadgen: url is required")
+	case !strings.HasPrefix(c.BaseURL, "http://") && !strings.HasPrefix(c.BaseURL, "https://"):
+		return fmt.Errorf("loadgen: url %q must be http(s)://", c.BaseURL)
+	case math.IsNaN(c.RPS) || c.RPS <= 0 || c.RPS > 1e6:
+		return fmt.Errorf("loadgen: rps %v outside (0, 1e6]", c.RPS)
+	case c.Duration <= 0:
+		return fmt.Errorf("loadgen: dur must be positive, got %v", c.Duration)
+	case c.Ramp < 0 || c.Ramp > c.Duration:
+		return fmt.Errorf("loadgen: ramp %v outside [0, dur=%v]", c.Ramp, c.Duration)
+	case math.IsNaN(c.BatchMix) || c.BatchMix < 0 || c.BatchMix > 1:
+		return fmt.Errorf("loadgen: mix %v outside [0,1]", c.BatchMix)
+	case c.BatchSize <= 0 || c.BatchSize > 4096:
+		return fmt.Errorf("loadgen: batch %d outside [1,4096]", c.BatchSize)
+	case math.IsNaN(c.Threshold) || c.Threshold < 0 || c.Threshold > 1:
+		return fmt.Errorf("loadgen: threshold %v outside [0,1]", c.Threshold)
+	case c.Timeout <= 0:
+		return fmt.Errorf("loadgen: timeout must be positive, got %v", c.Timeout)
+	case c.MaxInFlight <= 0:
+		return fmt.Errorf("loadgen: inflight must be positive, got %d", c.MaxInFlight)
+	}
+	return nil
+}
+
+// ParseSpec parses a load spec: comma- or whitespace-separated k=v
+// pairs, e.g.
+//
+//	url=http://127.0.0.1:8080,rps=200,dur=30s,ramp=5s,mix=0.25,batch=64,seed=7
+//
+// Keys: url, rps, dur, ramp, mix, batch, threshold, seed, timeout,
+// inflight. url, rps, and dur are required; the rest default sanely.
+// The returned config always passes Validate.
+func ParseSpec(s string) (Config, error) {
+	cfg := Config{
+		BatchSize:   defBatchSize,
+		Threshold:   defThreshold,
+		Timeout:     defTimeout,
+		MaxInFlight: defMaxInFlight,
+	}
+	fields := strings.FieldsFunc(s, func(r rune) bool {
+		return r == ',' || r == ' ' || r == '\t' || r == '\n'
+	})
+	if len(fields) == 0 {
+		return Config{}, fmt.Errorf("loadgen: empty spec")
+	}
+	seen := map[string]bool{}
+	for _, field := range fields {
+		key, val, ok := strings.Cut(field, "=")
+		if !ok || key == "" || val == "" {
+			return Config{}, fmt.Errorf("loadgen: spec entry %q is not key=value", field)
+		}
+		if seen[key] {
+			return Config{}, fmt.Errorf("loadgen: spec key %q given twice", key)
+		}
+		seen[key] = true
+		var err error
+		switch key {
+		case "url":
+			cfg.BaseURL = val
+		case "rps":
+			cfg.RPS, err = parseFloat(key, val)
+		case "dur":
+			cfg.Duration, err = parseDuration(key, val)
+		case "ramp":
+			cfg.Ramp, err = parseDuration(key, val)
+		case "mix":
+			cfg.BatchMix, err = parseFloat(key, val)
+		case "batch":
+			cfg.BatchSize, err = parseInt(key, val)
+		case "threshold":
+			cfg.Threshold, err = parseFloat(key, val)
+		case "seed":
+			cfg.Seed, err = parseUint(key, val)
+		case "timeout":
+			cfg.Timeout, err = parseDuration(key, val)
+		case "inflight":
+			cfg.MaxInFlight, err = parseInt(key, val)
+		default:
+			return Config{}, fmt.Errorf("loadgen: unknown spec key %q", key)
+		}
+		if err != nil {
+			return Config{}, err
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// Spec renders the config canonically; ParseSpec(c.Spec()) returns an
+// identical config (keys sorted, durations in Go syntax).
+func (c Config) Spec() string {
+	pairs := map[string]string{
+		"url":       c.BaseURL,
+		"rps":       strconv.FormatFloat(c.RPS, 'g', -1, 64),
+		"dur":       c.Duration.String(),
+		"ramp":      c.Ramp.String(),
+		"mix":       strconv.FormatFloat(c.BatchMix, 'g', -1, 64),
+		"batch":     strconv.Itoa(c.BatchSize),
+		"threshold": strconv.FormatFloat(c.Threshold, 'g', -1, 64),
+		"seed":      strconv.FormatUint(c.Seed, 10),
+		"timeout":   c.Timeout.String(),
+		"inflight":  strconv.Itoa(c.MaxInFlight),
+	}
+	keys := make([]string, 0, len(pairs))
+	for k := range pairs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, k+"="+pairs[k])
+	}
+	return strings.Join(parts, ",")
+}
+
+func parseFloat(key, val string) (float64, error) {
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, fmt.Errorf("loadgen: bad %s %q: %v", key, val, err)
+	}
+	return f, nil
+}
+
+func parseInt(key, val string) (int, error) {
+	n, err := strconv.Atoi(val)
+	if err != nil {
+		return 0, fmt.Errorf("loadgen: bad %s %q: %v", key, val, err)
+	}
+	return n, nil
+}
+
+func parseUint(key, val string) (uint64, error) {
+	n, err := strconv.ParseUint(val, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("loadgen: bad %s %q: %v", key, val, err)
+	}
+	return n, nil
+}
+
+func parseDuration(key, val string) (time.Duration, error) {
+	d, err := time.ParseDuration(val)
+	if err != nil {
+		return 0, fmt.Errorf("loadgen: bad %s %q: %v", key, val, err)
+	}
+	return d, nil
+}

@@ -1,0 +1,284 @@
+// Package loadgen is the seeded open-loop load generator behind
+// cmd/supremm-load, the soak CI job, and manual capacity runs against
+// supremm-serve. Open-loop means arrivals follow the configured
+// schedule regardless of how slowly the server answers -- the only
+// honest way to measure shedding and deadline behaviour, since a
+// closed loop slows down exactly when the server does and never
+// produces the overload it is supposed to study.
+//
+// Determinism: the arrival schedule is a closed-form function of
+// (RPS, Ramp, Duration), and request k's body -- row values, batch or
+// single, batch rows -- is derived from rng.Split(k) off the config
+// seed. Two runs with the same spec against the same server issue the
+// same requests in the same arrival order; only timing and the
+// server's admission decisions differ.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Report is the JSON artifact of one load run: what was sent, how the
+// server disposed of it, and the latency distribution of everything
+// that got an answer. The soak job uploads it; the chaos walkthrough
+// in EXPERIMENTS.md reads it.
+type Report struct {
+	Spec     string `json:"spec"`     // canonical config, reproduces the run
+	Features int    `json:"features"` // model feature count discovered at start
+	Sent     int64  `json:"sent"`     // requests actually issued
+	Dropped  int64  `json:"dropped"`  // arrivals skipped at the client in-flight cap
+
+	OK           int64 `json:"ok"`           // 200
+	Shed         int64 `json:"shed"`         // 429 (admission control)
+	Timeouts     int64 `json:"timeouts"`     // 504 (deadline exceeded)
+	Unavailable  int64 `json:"unavailable"`  // 503 (no model / breaker open)
+	ServerErrors int64 `json:"serverErrors"` // other 5xx (e.g. isolated panics)
+	BadRequests  int64 `json:"badRequests"`  // 4xx other than 429
+	ClientErrors int64 `json:"clientErrors"` // transport errors / client-side timeouts
+
+	// ShedWithoutRetryAfter counts 429s missing the Retry-After header
+	// -- a violation of the shedding contract, asserted zero by the
+	// soak and chaos harnesses.
+	ShedWithoutRetryAfter int64 `json:"shedWithoutRetryAfter"`
+
+	ByStatus map[string]int64 `json:"byStatus"`
+
+	DurationSeconds float64 `json:"durationSeconds"`
+	AchievedRPS     float64 `json:"achievedRPS"`
+
+	// Latency of answered requests, milliseconds.
+	LatencyMS LatencyStats `json:"latencyMS"`
+}
+
+// LatencyStats summarizes answered-request latency in milliseconds.
+type LatencyStats struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// Answered counts responses that carried any HTTP status.
+func (r *Report) Answered() int64 {
+	return r.OK + r.Shed + r.Timeouts + r.Unavailable + r.ServerErrors + r.BadRequests
+}
+
+// arrivalTime returns when (offset from run start) the k-th arrival
+// fires. The rate ramps linearly from 0 at t=0 to RPS at t=Ramp, then
+// holds; arrivals are the inverse of the cumulative-rate integral, so
+// the schedule is exact and deterministic rather than tick-quantized.
+func arrivalTime(cfg Config, k int64) time.Duration {
+	ramp := cfg.Ramp.Seconds()
+	n := float64(k)
+	if ramp > 0 {
+		inRamp := cfg.RPS * ramp / 2 // arrivals during the whole ramp
+		if n < inRamp {
+			return time.Duration(math.Sqrt(2*n*ramp/cfg.RPS) * float64(time.Second))
+		}
+		return time.Duration((ramp + (n-inRamp)/cfg.RPS) * float64(time.Second))
+	}
+	return time.Duration(n / cfg.RPS * float64(time.Second))
+}
+
+// buildBody renders arrival k's request body and path. Values are
+// derived from the per-arrival RNG stream, so bodies are reproducible
+// and distinct across arrivals.
+func buildBody(cfg Config, features []string, k int64) (path string, body []byte) {
+	r := rng.New(cfg.Seed).Split(uint64(k))
+	row := func() map[string]float64 {
+		m := make(map[string]float64, len(features))
+		for _, name := range features {
+			m[name] = math.Round(r.Float64()*1e6) / 1e6
+		}
+		return m
+	}
+	if r.Float64() < cfg.BatchMix {
+		rows := make([]map[string]float64, cfg.BatchSize)
+		for i := range rows {
+			rows[i] = row()
+		}
+		b, _ := json.Marshal(map[string]any{"rows": rows, "threshold": cfg.Threshold})
+		return "/api/classify/batch", b
+	}
+	b, _ := json.Marshal(map[string]any{"features": row(), "threshold": cfg.Threshold})
+	return "/api/classify", b
+}
+
+// discoverFeatures asks the target for its model schema.
+func discoverFeatures(ctx context.Context, client *http.Client, base string) ([]string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/api/features", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: cannot reach %s: %w", base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: %s/api/features answered %d (no model loaded?)", base, resp.StatusCode)
+	}
+	var meta struct {
+		Features []string `json:"features"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&meta); err != nil {
+		return nil, fmt.Errorf("loadgen: decoding features: %w", err)
+	}
+	if len(meta.Features) == 0 {
+		return nil, fmt.Errorf("loadgen: target reports an empty feature schema")
+	}
+	return meta.Features, nil
+}
+
+// Run executes the configured load against cfg.BaseURL and returns the
+// report. ctx cancellation stops scheduling new arrivals and waits for
+// in-flight requests (bounded by cfg.Timeout).
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	client := &http.Client{
+		Timeout: cfg.Timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.MaxInFlight,
+			MaxIdleConnsPerHost: cfg.MaxInFlight,
+		},
+	}
+	features, err := discoverFeatures(ctx, client, cfg.BaseURL)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{Spec: cfg.Spec(), Features: len(features), ByStatus: map[string]int64{}}
+	var mu sync.Mutex // guards ByStatus and latencies
+	var latencies []float64
+	var sent, dropped atomic.Int64
+	var ok, shed, timeouts, unavail, serverErrs, badReqs, clientErrs, shedNoRetry atomic.Int64
+
+	inFlight := make(chan struct{}, cfg.MaxInFlight)
+	var wg sync.WaitGroup
+	start := time.Now()
+
+	fire := func(k int64) {
+		defer wg.Done()
+		defer func() { <-inFlight }()
+		path, body := buildBody(cfg, features, k)
+		req, err := http.NewRequest(http.MethodPost, cfg.BaseURL+path, bytes.NewReader(body))
+		if err != nil {
+			clientErrs.Add(1)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		sent.Add(1)
+		reqStart := time.Now()
+		resp, err := client.Do(req)
+		if err != nil {
+			clientErrs.Add(1)
+			return
+		}
+		lat := time.Since(reqStart)
+		// Drain so the connection is reusable.
+		var sink [512]byte
+		for {
+			if _, err := resp.Body.Read(sink[:]); err != nil {
+				break
+			}
+		}
+		resp.Body.Close()
+
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			ok.Add(1)
+		case resp.StatusCode == http.StatusTooManyRequests:
+			shed.Add(1)
+			if resp.Header.Get("Retry-After") == "" {
+				shedNoRetry.Add(1)
+			}
+		case resp.StatusCode == http.StatusGatewayTimeout:
+			timeouts.Add(1)
+		case resp.StatusCode == http.StatusServiceUnavailable:
+			unavail.Add(1)
+		case resp.StatusCode >= 500:
+			serverErrs.Add(1)
+		default:
+			badReqs.Add(1)
+		}
+		mu.Lock()
+		rep.ByStatus[fmt.Sprint(resp.StatusCode)]++
+		latencies = append(latencies, lat.Seconds()*1e3)
+		mu.Unlock()
+	}
+
+	for k := int64(0); ; k++ {
+		at := arrivalTime(cfg, k)
+		if at >= cfg.Duration {
+			break
+		}
+		if d := time.Until(start.Add(at)); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+			}
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		select {
+		case inFlight <- struct{}{}:
+			wg.Add(1)
+			go fire(k)
+		default:
+			dropped.Add(1) // open loop: never block the schedule
+		}
+	}
+	wg.Wait()
+
+	rep.Sent, rep.Dropped = sent.Load(), dropped.Load()
+	rep.OK, rep.Shed, rep.Timeouts = ok.Load(), shed.Load(), timeouts.Load()
+	rep.Unavailable, rep.ServerErrors = unavail.Load(), serverErrs.Load()
+	rep.BadRequests, rep.ClientErrors = badReqs.Load(), clientErrs.Load()
+	rep.ShedWithoutRetryAfter = shedNoRetry.Load()
+	rep.DurationSeconds = time.Since(start).Seconds()
+	if rep.DurationSeconds > 0 {
+		rep.AchievedRPS = float64(rep.Sent) / rep.DurationSeconds
+	}
+	rep.LatencyMS = summarize(latencies)
+	return rep, nil
+}
+
+// summarize computes the latency stats from raw millisecond samples.
+func summarize(ms []float64) LatencyStats {
+	if len(ms) == 0 {
+		return LatencyStats{}
+	}
+	sort.Float64s(ms)
+	sum := 0.0
+	for _, v := range ms {
+		sum += v
+	}
+	pct := func(q float64) float64 {
+		i := int(q * float64(len(ms)-1))
+		return ms[i]
+	}
+	return LatencyStats{
+		Count: int64(len(ms)),
+		Mean:  sum / float64(len(ms)),
+		P50:   pct(0.50),
+		P90:   pct(0.90),
+		P99:   pct(0.99),
+		Max:   ms[len(ms)-1],
+	}
+}

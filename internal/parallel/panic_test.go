@@ -1,0 +1,123 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestPanicIsolation proves a panicking task surfaces as a *PanicError
+// instead of killing the process, at the serial fast path and at real
+// fan-out widths alike.
+func TestPanicIsolation(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			err := ForEach(workers, 16, func(i int) error {
+				if i == 5 {
+					panic("poisoned row")
+				}
+				return nil
+			})
+			var pe *PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("err = %v, want *PanicError", err)
+			}
+			if pe.Index != 5 || pe.Value != "poisoned row" {
+				t.Fatalf("PanicError = {Index:%d Value:%v}", pe.Index, pe.Value)
+			}
+			if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "panic_test.go") {
+				t.Fatal("PanicError carries no useful stack")
+			}
+			if !strings.Contains(pe.Error(), "task 5") {
+				t.Fatalf("Error() = %q", pe.Error())
+			}
+		})
+	}
+}
+
+// TestPanicSmallestIndexWins proves panics obey the same deterministic
+// smallest-index error rule as ordinary task errors.
+func TestPanicSmallestIndexWins(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ForEach(workers, 8, func(i int) error {
+			if i == 2 || i == 6 {
+				panic(i)
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) || pe.Index != 2 {
+			t.Fatalf("workers=%d: err = %v, want PanicError at index 2", workers, err)
+		}
+	}
+}
+
+// TestPanicBeatsLaterError mixes a panic and an ordinary error; the
+// smaller index must win regardless of failure kind.
+func TestPanicBeatsLaterError(t *testing.T) {
+	boom := errors.New("boom")
+	err := ForEach(4, 8, func(i int) error {
+		switch i {
+		case 1:
+			panic("early")
+		case 3:
+			return boom
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 1 {
+		t.Fatalf("err = %v, want PanicError at index 1", err)
+	}
+	// And the mirror image: the ordinary error sits first.
+	err = ForEach(4, 8, func(i int) error {
+		switch i {
+		case 1:
+			return boom
+		case 3:
+			panic("late")
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+// TestMapDropsResultsOnPanic proves Map's error contract (partial
+// results dropped) extends to panics.
+func TestMapDropsResultsOnPanic(t *testing.T) {
+	out, err := Map(4, 8, func(i int) (int, error) {
+		if i == 7 {
+			panic("no result for you")
+		}
+		return i * i, nil
+	})
+	if out != nil {
+		t.Fatalf("Map returned partial results %v alongside a panic", out)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+}
+
+// TestPanicCancelsRemainingTasks proves a panic stops dispatch like any
+// failure: with one worker, no task after the panicking index runs.
+func TestPanicCancelsRemainingTasks(t *testing.T) {
+	ran := make([]bool, 8)
+	_ = ForEachCtx(context.Background(), 1, 8, func(_ context.Context, i int) error {
+		ran[i] = true
+		if i == 3 {
+			panic("stop here")
+		}
+		return nil
+	})
+	for i, r := range ran {
+		if want := i <= 3; r != want {
+			t.Fatalf("task %d ran=%v, want %v (serial dispatch stops at the panic)", i, r, want)
+		}
+	}
+}

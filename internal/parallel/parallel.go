@@ -4,7 +4,7 @@
 // construction, pipeline collection/summarization, and the experiment
 // runner.
 //
-// Three properties hold at any worker count and any GOMAXPROCS:
+// Four properties hold at any worker count and any GOMAXPROCS:
 //
 //   - Ordered results: Map stores task i's output in slot i, so callers
 //     that reduce in index order get bit-identical floating-point sums
@@ -18,11 +18,16 @@
 //     index order and dispatch stops at the first observed failure, so
 //     every task below a failing index has started and is awaited; the
 //     minimum over completed failures cannot depend on scheduling.
+//   - Panic isolation: a panic inside a task is recovered into a
+//     *PanicError for that task instead of killing the process, so a
+//     poisoned row in a serving batch degrades to an errored request.
 package parallel
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,6 +35,34 @@ import (
 	"repro/internal/obs"
 	"repro/internal/rng"
 )
+
+// PanicError is a task panic recovered by the pool and surfaced as an
+// ordinary per-task error. Before this isolation a panicking task on a
+// pool goroutine killed the whole process (no HTTP middleware can catch
+// a panic on another goroutine); now the fan-out fails like any errored
+// task — smallest-index error semantics included — and the serving path
+// turns it into a 500 instead of dying.
+type PanicError struct {
+	Index int    // task index that panicked
+	Value any    // recovered panic value
+	Stack []byte // goroutine stack at the point of the panic
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: task %d panicked: %v", e.Index, e.Value)
+}
+
+// protect wraps a task function so panics become *PanicError returns.
+func protect(fn func(ctx context.Context, i int) error) func(ctx context.Context, i int) error {
+	return func(ctx context.Context, i int) (err error) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				err = &PanicError{Index: i, Value: rec, Stack: debug.Stack()}
+			}
+		}()
+		return fn(ctx, i)
+	}
+}
 
 // PoolMetrics instruments every pool fan-out in the process: gauges for
 // tasks queued and running, counters for completions and failures, and a
@@ -114,6 +147,7 @@ func ForEachCtx(ctx context.Context, workers, n int, fn func(ctx context.Context
 	if n <= 0 {
 		return ctx.Err()
 	}
+	fn = protect(fn)
 	w := Workers(workers)
 	if w > n {
 		w = n

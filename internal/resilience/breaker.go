@@ -1,0 +1,170 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position. The numeric values are
+// exported as the model_breaker_state gauge: 0 closed (healthy), 1
+// half-open (probing), 2 open (rejecting).
+type BreakerState int32
+
+const (
+	BreakerClosed   BreakerState = 0
+	BreakerHalfOpen BreakerState = 1
+	BreakerOpen     BreakerState = 2
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "open"
+	}
+}
+
+// BreakerConfig tunes a Breaker.
+type BreakerConfig struct {
+	// FailureThreshold is how many consecutive failures open the
+	// breaker. Values <= 0 default to 5.
+	FailureThreshold int
+	// OpenFor is how long the breaker stays open before allowing one
+	// half-open probe. Values <= 0 default to 30s.
+	OpenFor time.Duration
+	// OnStateChange, when set, observes every transition (e.g. to drive
+	// the model_breaker_state gauge). Called with the breaker's lock
+	// held; keep it cheap and non-reentrant.
+	OnStateChange func(BreakerState)
+	// Now is the clock, injectable for tests. Defaults to time.Now.
+	Now func() time.Time
+}
+
+// Breaker is a consecutive-failure circuit breaker guarding an operation
+// such as a model reload. Closed passes everything through; after
+// FailureThreshold consecutive recorded failures it opens and Allow
+// returns ErrBreakerOpen; after OpenFor it admits exactly one half-open
+// probe whose outcome closes or re-opens it. A nil *Breaker allows
+// everything and records nothing.
+type Breaker struct {
+	mu          sync.Mutex
+	cfg         BreakerConfig
+	state       BreakerState
+	consecutive int       // consecutive failures while closed
+	openedAt    time.Time // when the breaker last opened
+	probing     bool      // a half-open probe is in flight
+}
+
+// NewBreaker builds a breaker in the closed state.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.FailureThreshold <= 0 {
+		cfg.FailureThreshold = 5
+	}
+	if cfg.OpenFor <= 0 {
+		cfg.OpenFor = 30 * time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	b := &Breaker{cfg: cfg}
+	if cfg.OnStateChange != nil {
+		cfg.OnStateChange(BreakerClosed)
+	}
+	return b
+}
+
+// setState transitions and notifies. Caller holds b.mu.
+func (b *Breaker) setState(s BreakerState) {
+	if b.state == s {
+		return
+	}
+	b.state = s
+	if b.cfg.OnStateChange != nil {
+		b.cfg.OnStateChange(s)
+	}
+}
+
+// Allow reports whether the guarded operation may proceed now. It
+// returns nil when closed, nil exactly once per OpenFor window when
+// half-open (the probe), and ErrBreakerOpen otherwise. Every Allow that
+// returns nil must be paired with one Record call.
+func (b *Breaker) Allow() error {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return nil
+	case BreakerOpen:
+		if b.cfg.Now().Sub(b.openedAt) < b.cfg.OpenFor {
+			return ErrBreakerOpen
+		}
+		b.setState(BreakerHalfOpen)
+		b.probing = true
+		return nil
+	default: // half-open
+		if b.probing {
+			return ErrBreakerOpen // one probe at a time
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// Record reports the outcome of an operation admitted by Allow. A nil
+// err is success: it closes the breaker and zeroes the failure streak. A
+// non-nil err is a failure: it extends the streak and opens the breaker
+// at the threshold (a failed half-open probe re-opens immediately).
+func (b *Breaker) Record(err error) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	wasProbe := b.state == BreakerHalfOpen
+	b.probing = false
+	if err == nil {
+		b.consecutive = 0
+		b.setState(BreakerClosed)
+		return
+	}
+	b.consecutive++
+	if wasProbe || b.consecutive >= b.cfg.FailureThreshold {
+		b.openedAt = b.cfg.Now()
+		b.setState(BreakerOpen)
+	}
+}
+
+// State returns the current position, advancing open -> half-open
+// eligibility lazily (Allow performs the actual transition).
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// RetryAfter reports how long until an open breaker admits a probe (zero
+// when not open).
+func (b *Breaker) RetryAfter() time.Duration {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerOpen {
+		return 0
+	}
+	d := b.cfg.OpenFor - b.cfg.Now().Sub(b.openedAt)
+	if d < 0 {
+		d = 0
+	}
+	return d
+}

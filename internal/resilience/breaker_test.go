@@ -1,0 +1,158 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a breaker through time without sleeping.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+func newTestBreaker(threshold int, openFor time.Duration) (*Breaker, *fakeClock, *[]BreakerState) {
+	clock := &fakeClock{now: time.Unix(1000, 0)}
+	var transitions []BreakerState
+	b := NewBreaker(BreakerConfig{
+		FailureThreshold: threshold,
+		OpenFor:          openFor,
+		Now:              clock.Now,
+		OnStateChange:    func(s BreakerState) { transitions = append(transitions, s) },
+	})
+	return b, clock, &transitions
+}
+
+func TestNilBreakerAllowsEverything(t *testing.T) {
+	var b *Breaker
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(errors.New("boom"))
+	if b.State() != BreakerClosed || b.RetryAfter() != 0 {
+		t.Fatal("nil breaker should report closed")
+	}
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b, _, _ := newTestBreaker(3, time.Minute)
+	boom := errors.New("boom")
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("allow %d: %v", i, err)
+		}
+		b.Record(boom)
+		if b.State() != BreakerClosed {
+			t.Fatalf("opened after %d failures, threshold is 3", i+1)
+		}
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(boom) // third consecutive failure
+	if b.State() != BreakerOpen {
+		t.Fatal("breaker did not open at the threshold")
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker allowed an operation: %v", err)
+	}
+	if ra := b.RetryAfter(); ra <= 0 || ra > time.Minute {
+		t.Fatalf("RetryAfter = %v", ra)
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b, _, _ := newTestBreaker(3, time.Minute)
+	boom := errors.New("boom")
+	for i := 0; i < 10; i++ { // fail, fail, succeed forever: never opens
+		_ = b.Allow()
+		b.Record(boom)
+		_ = b.Allow()
+		b.Record(boom)
+		_ = b.Allow()
+		b.Record(nil)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatal("interleaved successes should keep the breaker closed")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clock, transitions := newTestBreaker(2, time.Minute)
+	boom := errors.New("boom")
+	for i := 0; i < 2; i++ {
+		_ = b.Allow()
+		b.Record(boom)
+	}
+	if b.State() != BreakerOpen {
+		t.Fatal("not open")
+	}
+
+	// Still open before OpenFor elapses.
+	clock.Advance(30 * time.Second)
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("allowed before OpenFor elapsed: %v", err)
+	}
+
+	// After OpenFor: exactly one probe; concurrent attempts stay rejected.
+	clock.Advance(31 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("half-open probe rejected: %v", err)
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("second concurrent probe admitted")
+	}
+
+	// Failed probe re-opens immediately (one failure, not threshold).
+	b.Record(boom)
+	if b.State() != BreakerOpen {
+		t.Fatal("failed probe did not re-open")
+	}
+
+	// Next window: successful probe closes.
+	clock.Advance(2 * time.Minute)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second probe rejected: %v", err)
+	}
+	b.Record(nil)
+	if b.State() != BreakerClosed {
+		t.Fatal("successful probe did not close the breaker")
+	}
+
+	want := []BreakerState{BreakerClosed, BreakerOpen, BreakerHalfOpen, BreakerOpen, BreakerHalfOpen, BreakerClosed}
+	if len(*transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", *transitions, want)
+	}
+	for i, s := range want {
+		if (*transitions)[i] != s {
+			t.Fatalf("transition %d = %v, want %v (%v)", i, (*transitions)[i], s, *transitions)
+		}
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	for s, want := range map[BreakerState]string{
+		BreakerClosed: "closed", BreakerHalfOpen: "half-open", BreakerOpen: "open",
+	} {
+		if s.String() != want {
+			t.Errorf("state %d renders %q, want %q", s, s.String(), want)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package resilience
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// FaultKind is what an armed fault site does when its dice come up.
+type FaultKind string
+
+const (
+	// FaultError makes Inject return an error wrapping ErrInjected.
+	FaultError FaultKind = "error"
+	// FaultLatency makes Inject sleep for the configured duration.
+	FaultLatency FaultKind = "latency"
+	// FaultPanic makes Inject panic. internal/parallel isolates task
+	// panics into per-task errors; the HTTP middleware isolates handler
+	// panics into 500s — both paths are pinned by the chaos suite.
+	FaultPanic FaultKind = "panic"
+)
+
+// FaultSpec arms one site.
+type FaultSpec struct {
+	Kind FaultKind
+	// Rate is the per-call injection probability in [0, 1].
+	Rate float64
+	// Latency is the injected delay (FaultLatency only).
+	Latency time.Duration
+}
+
+// faultSite is one armed site plus its call counter.
+type faultSite struct {
+	spec  FaultSpec
+	seed  uint64
+	calls atomic.Uint64
+}
+
+// Faults is a deterministic fault-injection registry. Sites are armed
+// from a spec string (the -faults flag) or by tests; production code
+// calls Inject at named sites, which is a nil-check no-op unless the
+// operator armed that site. The k-th call at a site injects iff
+// hash(seed, site, k) < rate, so a chaos run's fault sequence depends
+// only on the seed and per-site call order, never on cross-site
+// scheduling.
+type Faults struct {
+	seed  uint64
+	sites map[string]*faultSite
+}
+
+// splitmix64 finalizer: a bijective 64-bit mixer, the standard way to
+// turn a counter into decorrelated pseudo-random bits.
+func mix64(z uint64) uint64 {
+	z += 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// fnv64 hashes a site name (FNV-1a).
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// NewFaults returns an empty registry (no sites armed) with the given
+// seed; tests arm sites with Set.
+func NewFaults(seed uint64) *Faults {
+	return &Faults{seed: seed, sites: map[string]*faultSite{}}
+}
+
+// Set arms (or re-arms) a site. It validates like ParseFaults and is the
+// test hook for chaos suites that want faults without flag plumbing.
+func (f *Faults) Set(site string, spec FaultSpec) error {
+	if site == "" {
+		return fmt.Errorf("resilience: empty fault site name")
+	}
+	if spec.Rate < 0 || spec.Rate > 1 {
+		return fmt.Errorf("resilience: site %q rate %v outside [0,1]", site, spec.Rate)
+	}
+	switch spec.Kind {
+	case FaultError, FaultPanic:
+		if spec.Latency != 0 {
+			return fmt.Errorf("resilience: site %q: latency argument only valid for kind latency", site)
+		}
+	case FaultLatency:
+		if spec.Latency <= 0 {
+			return fmt.Errorf("resilience: site %q: latency fault needs a positive duration", site)
+		}
+	default:
+		return fmt.Errorf("resilience: site %q: unknown fault kind %q", site, spec.Kind)
+	}
+	f.sites[site] = &faultSite{spec: spec, seed: f.seed ^ fnv64(site)}
+	return nil
+}
+
+// ParseFaults builds a registry from a spec string: comma-separated
+// site=kind:rate[:latency] entries, e.g.
+//
+//	reload=error:1,classify.row=latency:0.25:20ms,classify.row2=panic:0.01
+//
+// Kinds are error, latency (requires a trailing Go duration), and panic;
+// rate is the per-call probability in [0,1]. An empty spec returns nil
+// (inject nothing), so the flag's default arms no sites.
+func ParseFaults(seed uint64, spec string) (*Faults, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	f := NewFaults(seed)
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			return nil, fmt.Errorf("resilience: empty fault entry in spec %q", spec)
+		}
+		site, rest, ok := strings.Cut(entry, "=")
+		if !ok {
+			return nil, fmt.Errorf("resilience: fault entry %q is not site=kind:rate[:latency]", entry)
+		}
+		site = strings.TrimSpace(site)
+		parts := strings.Split(rest, ":")
+		if len(parts) < 2 || len(parts) > 3 {
+			return nil, fmt.Errorf("resilience: fault entry %q is not site=kind:rate[:latency]", entry)
+		}
+		rate, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("resilience: fault entry %q: bad rate: %v", entry, err)
+		}
+		sp := FaultSpec{Kind: FaultKind(strings.TrimSpace(parts[0])), Rate: rate}
+		if len(parts) == 3 {
+			d, err := time.ParseDuration(strings.TrimSpace(parts[2]))
+			if err != nil {
+				return nil, fmt.Errorf("resilience: fault entry %q: bad latency: %v", entry, err)
+			}
+			sp.Latency = d
+		}
+		if _, dup := f.sites[site]; dup {
+			return nil, fmt.Errorf("resilience: site %q armed twice in spec %q", site, spec)
+		}
+		if err := f.Set(site, sp); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// String renders the armed sites as a canonical (sorted, re-parseable)
+// spec string.
+func (f *Faults) String() string {
+	if f == nil || len(f.sites) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(f.sites))
+	for name := range f.sites {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, name := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		s := f.sites[name]
+		fmt.Fprintf(&b, "%s=%s:%s", name, s.spec.Kind,
+			strconv.FormatFloat(s.spec.Rate, 'g', -1, 64))
+		if s.spec.Kind == FaultLatency {
+			b.WriteByte(':')
+			b.WriteString(s.spec.Latency.String())
+		}
+	}
+	return b.String()
+}
+
+// Sites lists the armed site names, sorted (for boot logging).
+func (f *Faults) Sites() []string {
+	if f == nil {
+		return nil
+	}
+	names := make([]string, 0, len(f.sites))
+	for name := range f.sites {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Inject evaluates the site's fault, if armed: it may sleep (latency),
+// return an error wrapping ErrInjected, or panic, per the armed spec and
+// the deterministic per-call dice. Unarmed sites (and a nil registry)
+// return nil at the cost of one map lookup, and registries are never
+// constructed in default builds, so the hot path stays clean.
+func (f *Faults) Inject(site string) error {
+	if f == nil {
+		return nil
+	}
+	s, ok := f.sites[site]
+	if !ok {
+		return nil
+	}
+	n := s.calls.Add(1) - 1
+	// 53 high bits -> uniform float in [0, 1).
+	u := float64(mix64(s.seed+n)>>11) / (1 << 53)
+	if u >= s.spec.Rate {
+		return nil
+	}
+	switch s.spec.Kind {
+	case FaultLatency:
+		time.Sleep(s.spec.Latency)
+		return nil
+	case FaultPanic:
+		panic(fmt.Sprintf("resilience: injected panic at site %q (call %d)", site, n))
+	default:
+		return fmt.Errorf("%w at site %q (call %d)", ErrInjected, site, n)
+	}
+}

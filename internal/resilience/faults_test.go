@@ -1,0 +1,168 @@
+package resilience
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilAndEmptyFaultsInjectNothing(t *testing.T) {
+	var f *Faults
+	for i := 0; i < 10; i++ {
+		if err := f.Inject("anything"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := ParseFaults(1, "   ")
+	if err != nil || g != nil {
+		t.Fatalf("empty spec: faults=%v err=%v, want nil/nil", g, err)
+	}
+	if f.String() != "" || f.Sites() != nil {
+		t.Fatal("nil faults should render empty")
+	}
+}
+
+func TestFaultsUnarmedSiteIsNoop(t *testing.T) {
+	f, err := ParseFaults(7, "reload=error:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Inject("classify.row"); err != nil {
+		t.Fatalf("unarmed site injected: %v", err)
+	}
+	if err := f.Inject("reload"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("rate-1 error site returned %v", err)
+	}
+}
+
+// TestFaultsDeterministic proves the per-site decision sequence is a
+// pure function of (seed, site, call index).
+func TestFaultsDeterministic(t *testing.T) {
+	sequence := func(seed uint64) []bool {
+		f, err := ParseFaults(seed, "s=error:0.5")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = f.Inject("s") != nil
+		}
+		return out
+	}
+	a, b := sequence(42), sequence(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+	}
+	c := sequence(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 200-call sequences")
+	}
+	// Rate 0.5 over 200 calls: the hit count should be unsurprising.
+	hits := 0
+	for _, h := range a {
+		if h {
+			hits++
+		}
+	}
+	if hits < 60 || hits > 140 {
+		t.Fatalf("rate-0.5 site hit %d/200 calls", hits)
+	}
+}
+
+func TestFaultsRateBoundaries(t *testing.T) {
+	f, err := ParseFaults(1, "never=error:0,always=error:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := f.Inject("never"); err != nil {
+			t.Fatalf("rate-0 site injected on call %d", i)
+		}
+		if err := f.Inject("always"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("rate-1 site skipped call %d", i)
+		}
+	}
+}
+
+func TestFaultsLatency(t *testing.T) {
+	f, err := ParseFaults(1, "slow=latency:1:20ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := f.Inject("slow"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("latency fault slept only %v", d)
+	}
+}
+
+func TestFaultsPanic(t *testing.T) {
+	f, err := ParseFaults(1, "boom=panic:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			t.Fatal("panic fault did not panic")
+		}
+		if !strings.Contains(rec.(string), `site "boom"`) {
+			t.Fatalf("panic value %v does not name the site", rec)
+		}
+	}()
+	_ = f.Inject("boom")
+}
+
+func TestParseFaultsRoundTrip(t *testing.T) {
+	spec := "a=error:0.25,b=latency:1:150ms,c=panic:0.01"
+	f, err := ParseFaults(9, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := f.String()
+	g, err := ParseFaults(9, rendered)
+	if err != nil {
+		t.Fatalf("canonical render %q does not re-parse: %v", rendered, err)
+	}
+	if g.String() != rendered {
+		t.Fatalf("round trip diverged: %q vs %q", g.String(), rendered)
+	}
+	if got := strings.Join(f.Sites(), ","); got != "a,b,c" {
+		t.Fatalf("Sites() = %q", got)
+	}
+}
+
+func TestParseFaultsErrors(t *testing.T) {
+	for _, spec := range []string{
+		"noequals",
+		"s=error",            // missing rate
+		"s=error:x",          // bad rate
+		"s=error:-0.1",       // rate below 0
+		"s=error:1.5",        // rate above 1
+		"s=latency:0.5",      // latency without duration
+		"s=latency:0.5:zz",   // bad duration
+		"s=latency:0.5:-5ms", // non-positive duration
+		"s=error:0.5:10ms",   // latency arg on error kind
+		"s=warp:0.5",         // unknown kind
+		"=error:0.5",         // empty site
+		"a=error:1,a=error:1",
+		"a=error:1,,b=error:1",
+		"s=error:0.1:2:3",
+	} {
+		if _, err := ParseFaults(1, spec); err == nil {
+			t.Errorf("spec %q parsed, want error", spec)
+		}
+	}
+}

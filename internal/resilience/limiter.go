@@ -1,0 +1,91 @@
+package resilience
+
+import (
+	"context"
+)
+
+// LimiterConfig sizes the admission queue.
+type LimiterConfig struct {
+	// MaxConcurrent is the number of requests allowed to execute
+	// simultaneously. Values <= 0 disable the limiter entirely
+	// (NewLimiter returns nil).
+	MaxConcurrent int
+	// MaxQueue is how many requests may wait for an execution slot
+	// beyond MaxConcurrent before new arrivals are shed. 0 means no
+	// waiting: the MaxConcurrent+1-th concurrent request is shed
+	// immediately.
+	MaxQueue int
+}
+
+// Limiter is a bounded admission queue: up to MaxConcurrent acquisitions
+// run at once, up to MaxQueue more wait, and everything beyond that is
+// shed immediately with ErrShed. A nil *Limiter admits everything at no
+// cost, so the unconfigured serving path pays nothing.
+type Limiter struct {
+	slots chan struct{} // capacity MaxConcurrent; holding a token = executing
+	queue chan struct{} // capacity MaxConcurrent+MaxQueue; holding a token = admitted
+}
+
+// NewLimiter builds a limiter, or returns nil (admit-all) when
+// cfg.MaxConcurrent <= 0.
+func NewLimiter(cfg LimiterConfig) *Limiter {
+	if cfg.MaxConcurrent <= 0 {
+		return nil
+	}
+	if cfg.MaxQueue < 0 {
+		cfg.MaxQueue = 0
+	}
+	return &Limiter{
+		slots: make(chan struct{}, cfg.MaxConcurrent),
+		queue: make(chan struct{}, cfg.MaxConcurrent+cfg.MaxQueue),
+	}
+}
+
+// Acquire admits the caller or rejects it. It returns a release function
+// that MUST be called exactly once when the request finishes. The error
+// is ErrShed when the queue is full (shed immediately, never blocks) or
+// the context's error when the deadline expires / the client disconnects
+// while waiting for an execution slot.
+func (l *Limiter) Acquire(ctx context.Context) (release func(), err error) {
+	if l == nil {
+		return func() {}, nil
+	}
+	// Admission: a token in l.queue bounds executing + waiting. Shedding
+	// is a non-blocking failure, so overload answers instantly.
+	select {
+	case l.queue <- struct{}{}:
+	default:
+		return nil, ErrShed
+	}
+	// Execution: wait for one of MaxConcurrent slots, but never past the
+	// caller's deadline.
+	select {
+	case l.slots <- struct{}{}:
+		return func() { <-l.slots; <-l.queue }, nil
+	case <-ctx.Done():
+		<-l.queue
+		return nil, ctx.Err()
+	}
+}
+
+// Executing reports how many acquisitions currently hold an execution
+// slot (for gauges and tests).
+func (l *Limiter) Executing() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.slots)
+}
+
+// Waiting reports how many acquisitions are admitted but waiting for an
+// execution slot.
+func (l *Limiter) Waiting() int {
+	if l == nil {
+		return 0
+	}
+	n := len(l.queue) - len(l.slots)
+	if n < 0 {
+		n = 0
+	}
+	return n
+}

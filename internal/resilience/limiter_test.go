@@ -1,0 +1,156 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNilLimiterAdmitsEverything(t *testing.T) {
+	var l *Limiter
+	for i := 0; i < 100; i++ {
+		release, err := l.Acquire(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		release()
+	}
+	if l.Executing() != 0 || l.Waiting() != 0 {
+		t.Fatal("nil limiter reports occupancy")
+	}
+	if NewLimiter(LimiterConfig{MaxConcurrent: 0}) != nil {
+		t.Fatal("MaxConcurrent<=0 should build a nil (admit-all) limiter")
+	}
+}
+
+// TestLimiterConcurrencyCap proves at most MaxConcurrent acquisitions
+// execute at once, at every instant of a concurrent storm.
+func TestLimiterConcurrencyCap(t *testing.T) {
+	const maxC, maxQ, n = 3, 64, 200
+	l := NewLimiter(LimiterConfig{MaxConcurrent: maxC, MaxQueue: maxQ})
+	var executing, peak atomic.Int64
+	var shed atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, err := l.Acquire(context.Background())
+			if err != nil {
+				if !errors.Is(err, ErrShed) {
+					t.Errorf("unexpected acquire error: %v", err)
+				}
+				shed.Add(1)
+				return
+			}
+			cur := executing.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			executing.Add(-1)
+			release()
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > maxC {
+		t.Fatalf("peak concurrency %d exceeds cap %d", p, maxC)
+	}
+	// 200 arrivals racing 3+64 capacity: some must have been shed.
+	if shed.Load() == 0 {
+		t.Fatal("expected at least one shed under a 200-goroutine burst")
+	}
+	if l.Executing() != 0 || l.Waiting() != 0 {
+		t.Fatalf("limiter not drained: executing=%d waiting=%d", l.Executing(), l.Waiting())
+	}
+}
+
+// TestLimiterShedsExactlyBeyondCapacity fills every slot and queue
+// position deterministically, then proves the next arrival sheds
+// immediately and a release re-admits.
+func TestLimiterShedsExactlyBeyondCapacity(t *testing.T) {
+	l := NewLimiter(LimiterConfig{MaxConcurrent: 2, MaxQueue: 1})
+	var releases []func()
+	for i := 0; i < 2; i++ {
+		release, err := l.Acquire(context.Background())
+		if err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+		releases = append(releases, release)
+	}
+	// Third acquisition waits in the queue.
+	queued := make(chan func(), 1)
+	go func() {
+		release, err := l.Acquire(context.Background())
+		if err != nil {
+			t.Errorf("queued acquire: %v", err)
+			return
+		}
+		queued <- release
+	}()
+	waitFor(t, func() bool { return l.Waiting() == 1 })
+
+	// Fourth arrival: queue full, shed without blocking.
+	start := time.Now()
+	if _, err := l.Acquire(context.Background()); !errors.Is(err, ErrShed) {
+		t.Fatalf("over-capacity acquire: err=%v, want ErrShed", err)
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("shed took %v; shedding must not block", d)
+	}
+
+	releases[0]() // frees a slot; the queued waiter takes it
+	select {
+	case release := <-queued:
+		release()
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued acquisition never got the freed slot")
+	}
+	releases[1]()
+	if l.Executing() != 0 || l.Waiting() != 0 {
+		t.Fatal("limiter not drained")
+	}
+}
+
+// TestLimiterDeadlineWhileQueued proves a waiter whose context expires
+// in the queue is released with the context error, not ErrShed, and
+// frees its queue token.
+func TestLimiterDeadlineWhileQueued(t *testing.T) {
+	l := NewLimiter(LimiterConfig{MaxConcurrent: 1, MaxQueue: 4})
+	release, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := l.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued-past-deadline acquire: err=%v, want DeadlineExceeded", err)
+	}
+	if l.Waiting() != 0 {
+		t.Fatalf("timed-out waiter leaked a queue token (waiting=%d)", l.Waiting())
+	}
+	release()
+	// Full capacity is restored.
+	r2, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2()
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,45 @@
+// Package resilience provides the dependency-free hardening primitives
+// behind the serving path's overload and failure behaviour: a bounded
+// admission queue with a concurrency limit and load shedding (Limiter),
+// a circuit breaker with half-open probes for guarded operations like
+// model reloads (Breaker), and a seeded deterministic fault-injection
+// registry (Faults) that chaos and soak tests use to script latency,
+// error, and panic storms without touching production code paths.
+//
+// The contracts these primitives pin down, and that the chaos suite in
+// internal/server asserts end to end:
+//
+//   - Overload sheds, it never hangs: a request that cannot be admitted
+//     is rejected immediately (ErrShed) instead of queueing unboundedly.
+//   - Deadlines propagate via context: a request that waits in the
+//     admission queue past its deadline is released with the context's
+//     error, so callers can answer 504 instead of serving stale work.
+//   - Repeatedly failing reloads trip the breaker (ErrBreakerOpen) so a
+//     wedged model file cannot be hammered forever; a half-open probe
+//     discovers recovery.
+//   - Fault injection is seeded and per-site: the k-th injection
+//     decision at a site depends only on (seed, site, k), never on
+//     scheduling, so chaos runs are reproducible.
+//
+// All types are nil-safe: a nil *Limiter admits everything, a nil
+// *Breaker allows everything, a nil *Faults injects nothing. Default
+// builds construct none of them, so the serving fast path is untouched
+// unless the operator opts in.
+package resilience
+
+import "errors"
+
+// ErrShed reports a request rejected by admission control because both
+// the concurrency limit and the wait queue are full. HTTP callers map it
+// to 429 with a Retry-After hint.
+var ErrShed = errors.New("resilience: request shed, admission queue full")
+
+// ErrBreakerOpen reports an operation rejected because its circuit
+// breaker is open after too many consecutive failures. HTTP callers map
+// it to 503 with a Retry-After hint.
+var ErrBreakerOpen = errors.New("resilience: circuit breaker open")
+
+// ErrInjected is the base error returned by fault sites configured to
+// fail: errors.Is(err, ErrInjected) identifies chaos-scripted failures
+// in test assertions.
+var ErrInjected = errors.New("resilience: injected fault")

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,7 +11,27 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/parallel"
+	"repro/internal/resilience"
 )
+
+// rowError maps a failed row classification (single or batch) to its
+// response: deadline overruns are 504s counted in http_timeouts_total,
+// isolated row panics and injected faults are 500s. Nothing has been
+// written yet in either caller, so the status always commits cleanly.
+func (s *Server) rowError(w http.ResponseWriter, err error) {
+	var pe *parallel.PanicError
+	switch {
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		s.timedOut(w, "handler")
+	case errors.As(err, &pe):
+		s.metrics.Counter("classify_row_panics_total").Inc()
+		s.log.Error("classify row panic isolated", "task", pe.Index, "panic", pe.Value)
+		s.writeError(w, http.StatusInternalServerError,
+			"internal error: row %d inference panicked (isolated)", pe.Index)
+	default:
+		s.writeError(w, http.StatusInternalServerError, "internal error: %v", err)
+	}
+}
 
 // maxBatchRows caps how many feature rows one batch request may carry.
 // Larger workloads should be chunked client-side; the cap keeps a single
@@ -194,11 +215,22 @@ func (s *Server) handleClassifyBatch(w http.ResponseWriter, r *http.Request) {
 
 	s.metrics.Histogram("classify_batch_rows", batchSizeBuckets()).Observe(float64(len(rows)))
 
+	// All-or-nothing fan-out: rows share the request context, so an
+	// expired deadline (or an isolated row panic) fails the whole batch
+	// with one error response -- a batch never returns partial results.
 	results := make([]classifyResult, len(rows))
-	_ = parallel.ForEach(s.batchWorkers, len(rows), func(i int) error {
-		results[i] = s.classifyRow(v, rows[i], defaulted[i], req.Threshold)
+	err := parallel.ForEachCtx(r.Context(), s.batchWorkers, len(rows), func(ctx context.Context, i int) error {
+		res, err := s.classifyRow(ctx, v, rows[i], defaulted[i], req.Threshold)
+		if err != nil {
+			return err
+		}
+		results[i] = res
 		return nil
 	})
+	if err != nil {
+		s.rowError(w, err)
+		return
+	}
 
 	sum := batchSummary{Rows: len(results), ByLabel: map[string]int{}}
 	for _, res := range results {
@@ -223,8 +255,11 @@ type reloadRequest struct {
 }
 
 // handleModelReload atomically swaps the serving model for one loaded
-// from disk. Schema mismatches are rejected with 409 and the old model
-// keeps serving; in-flight requests are never disturbed either way.
+// from disk, through the reload circuit breaker. Schema mismatches are
+// rejected with 409 and the old model keeps serving; while the breaker
+// is open (too many consecutive reload failures) attempts answer 503
+// with a Retry-After hint and never touch the manager; in-flight
+// requests are never disturbed either way.
 func (s *Server) handleModelReload(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxClassifyBody)
 	var req reloadRequest
@@ -232,14 +267,19 @@ func (s *Server) handleModelReload(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	gen, err := s.models.ReloadFromFile(req.Path)
+	gen, err := s.ReloadModel(req.Path)
 	if err != nil {
 		s.log.Warn("model reload failed", "path", req.Path, "err", err)
-		if errors.Is(err, core.ErrSchemaMismatch) {
+		switch {
+		case errors.Is(err, resilience.ErrBreakerOpen):
+			w.Header().Set("Retry-After", retryAfterSeconds(s.breaker.RetryAfter()))
+			s.writeError(w, http.StatusServiceUnavailable,
+				"model reload breaker open after repeated failures: %v", err)
+		case errors.Is(err, core.ErrSchemaMismatch):
 			s.writeError(w, http.StatusConflict, "model rejected: %v", err)
-			return
+		default:
+			s.writeError(w, http.StatusBadRequest, "model reload failed: %v", err)
 		}
-		s.writeError(w, http.StatusBadRequest, "model reload failed: %v", err)
 		return
 	}
 	v := s.models.View()

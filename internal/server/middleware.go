@@ -153,6 +153,14 @@ func (s *Server) wrap(next http.Handler) http.Handler {
 				"status", sw.status, "dur", time.Since(start).Round(time.Microsecond))
 		}()
 
+		// The resilience layer governs the classification endpoints:
+		// deadline via context, then bounded admission. Everything else
+		// (warehouse reads, /metrics, pprof) bypasses it, so operators
+		// can always observe an overloaded server.
+		if governed(r) && (s.limiter != nil || s.resilience.RequestTimeout > 0) {
+			s.govern(sw, r, func(r *http.Request) { next.ServeHTTP(sw, r) })
+			return
+		}
 		next.ServeHTTP(sw, r)
 	})
 }
@@ -176,6 +184,11 @@ func (s *Server) mountDebug() {
 		s.metrics.Help("classify_batch_rows", "Rows per batch classification request.")
 		s.metrics.Help("classify_row_seconds", "Per-row model inference latency in seconds.")
 		s.metrics.Help("http_encode_errors_total", "JSON response bodies that failed to encode after the status was committed.")
+		s.metrics.Help("http_shed_total", "Requests rejected by admission control (429), by reason.")
+		s.metrics.Help("http_timeouts_total", "Requests that exceeded their deadline (504), by stage (queue or handler).")
+		s.metrics.Help("model_breaker_state", "Model-reload circuit breaker position: 0 closed, 1 half-open, 2 open.")
+		s.metrics.Help("model_breaker_rejections_total", "Model reload attempts rejected because the breaker was open.")
+		s.metrics.Help("classify_row_panics_total", "Row inference panics isolated by the worker pool.")
 		s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 			_ = s.metrics.WritePrometheus(w)

@@ -1,0 +1,121 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/resilience"
+)
+
+// TestShedTimeoutCountersExactUnderStorm storms a tiny admission window
+// (1 slot + 2 queued) with requests whose injected inference latency
+// always overruns the deadline, then reconciles the server's resilience
+// counters against the client-observed outcomes EXACTLY: every 429 the
+// clients saw is one http_shed_total tick, every 504 one
+// http_timeouts_total tick, no more, no less. Run under -race by `make
+// race`, which is where counter increments that are merely "usually
+// atomic" die.
+func TestShedTimeoutCountersExactUnderStorm(t *testing.T) {
+	a := chaosFixture(t)
+	faults := resilience.NewFaults(21)
+	if err := faults.Set(FaultClassifyRow, resilience.FaultSpec{
+		Kind: resilience.FaultLatency, Rate: 1, Latency: 400 * time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c := newChaosServer(t, a,
+		WithBatchWorkers(1),
+		WithFaults(faults),
+		WithResilience(ResilienceConfig{
+			RequestTimeout: 150 * time.Millisecond,
+			MaxConcurrent:  1,
+			MaxQueue:       2,
+		}),
+	)
+
+	const storm = 24
+	body := a.singleBody(9)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	statuses := make(chan int, storm)
+	for i := 0; i < storm; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			client := &http.Client{Timeout: 10 * time.Second}
+			resp, err := client.Post(c.srv.URL+"/api/classify", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Errorf("storm request failed at the transport: %v", err)
+				return
+			}
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body)
+			resp.Body.Close()
+			statuses <- resp.StatusCode
+		}()
+	}
+	close(start)
+	wg.Wait()
+	close(statuses)
+
+	var ok, shed, timedOut, other int
+	for status := range statuses {
+		switch status {
+		case 200:
+			ok++
+		case http.StatusTooManyRequests:
+			shed++
+		case http.StatusGatewayTimeout:
+			timedOut++
+		default:
+			other++
+		}
+	}
+	if other != 0 {
+		t.Fatalf("storm produced %d responses outside the contract", other)
+	}
+	// Every admitted request sleeps 400ms against a 150ms deadline, so
+	// nothing can legitimately answer 200.
+	if ok != 0 {
+		t.Errorf("%d requests answered 200 despite a fault guaranteeing deadline overrun", ok)
+	}
+	if shed == 0 || timedOut == 0 {
+		t.Fatalf("storm saw shed=%d timeouts=%d; wanted both nonzero", shed, timedOut)
+	}
+
+	// Exact reconciliation, counter by counter.
+	if got := c.reg.Counter("http_shed_total", "reason", "queue_full").Value(); got != uint64(shed) {
+		t.Errorf("http_shed_total{queue_full} = %d, clients saw %d 429s", got, shed)
+	}
+	queueTO := c.reg.Counter("http_timeouts_total", "stage", "queue").Value()
+	handlerTO := c.reg.Counter("http_timeouts_total", "stage", "handler").Value()
+	if queueTO+handlerTO != uint64(timedOut) {
+		t.Errorf("http_timeouts_total queue=%d + handler=%d = %d, clients saw %d 504s",
+			queueTO, handlerTO, queueTO+handlerTO, timedOut)
+	}
+	// At least one request reached the handler before its deadline hit.
+	if handlerTO == 0 {
+		t.Error("no handler-stage timeout; the slot-holder's deadline never fired mid-inference")
+	}
+
+	// The same numbers must survive the Prometheus exposition path, which
+	// renders concurrently with any late counter writes.
+	resp, err := http.Get(c.srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(readAll(t, resp))
+	for _, want := range []string{
+		`http_shed_total{reason="queue_full"}`,
+		`http_timeouts_total{stage=`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

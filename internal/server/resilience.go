@@ -1,0 +1,170 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/resilience"
+)
+
+// Fault-injection site names the serving path consults when a
+// resilience.Faults registry is wired in (the -faults flag, or a test
+// hook). Default builds construct no registry, so these sites cost one
+// nil check.
+const (
+	// FaultReload fires inside the guarded model reload, before the
+	// manager touches the file: error faults fail the reload (driving
+	// the breaker), latency faults wedge it.
+	FaultReload = "reload"
+	// FaultClassifyRow fires once per classified row, single and batch
+	// alike: latency faults slow inference (driving deadlines), error
+	// faults fail the row, panic faults prove panic isolation.
+	FaultClassifyRow = "classify.row"
+)
+
+// ResilienceConfig tunes the serving path's overload behaviour. The
+// zero value disables everything, preserving the unguarded behaviour.
+type ResilienceConfig struct {
+	// RequestTimeout is the per-request deadline applied to governed
+	// endpoints via context; a request that exceeds it answers 504 and
+	// counts in http_timeouts_total. 0 disables deadlines.
+	RequestTimeout time.Duration
+	// MaxConcurrent bounds how many governed requests execute at once;
+	// <= 0 disables admission control.
+	MaxConcurrent int
+	// MaxQueue bounds how many governed requests may wait for a slot
+	// beyond MaxConcurrent; arrivals past that are shed with 429.
+	MaxQueue int
+	// RetryAfter is the hint returned in the Retry-After header of shed
+	// (429) responses. 0 defaults to 1s.
+	RetryAfter time.Duration
+}
+
+// WithResilience enables per-request deadlines and admission control on
+// the classification endpoints (the expensive serving paths; warehouse
+// reads are microsecond map lookups and stay ungoverned).
+func WithResilience(cfg ResilienceConfig) Option {
+	return func(s *Server) { s.resilience = cfg }
+}
+
+// WithFaults arms deterministic fault injection at the server's named
+// sites. Arm sites before the server starts taking traffic; the
+// registry is read-only afterwards.
+func WithFaults(f *resilience.Faults) Option {
+	return func(s *Server) { s.faults = f }
+}
+
+// WithReloadBreaker overrides the circuit breaker configuration guarding
+// model reloads (admin endpoint and SIGHUP alike). The server installs a
+// default breaker (threshold 5, open 30s) even without this option;
+// OnStateChange and Now are reserved for the server's own gauge wiring
+// and are overwritten.
+func WithReloadBreaker(cfg resilience.BreakerConfig) Option {
+	return func(s *Server) { s.breakerCfg = cfg }
+}
+
+// initResilience finishes resilience wiring after options ran: builds
+// the admission limiter and the reload breaker, and points the breaker's
+// transitions at the model_breaker_state gauge.
+func (s *Server) initResilience() {
+	s.limiter = resilience.NewLimiter(resilience.LimiterConfig{
+		MaxConcurrent: s.resilience.MaxConcurrent,
+		MaxQueue:      s.resilience.MaxQueue,
+	})
+	if s.resilience.RetryAfter <= 0 {
+		s.resilience.RetryAfter = time.Second
+	}
+	gauge := s.metrics.Gauge("model_breaker_state")
+	s.breakerCfg.OnStateChange = func(st resilience.BreakerState) {
+		gauge.Set(float64(st))
+	}
+	s.breakerCfg.Now = nil // the breaker defaults to the real clock
+	s.breaker = resilience.NewBreaker(s.breakerCfg)
+}
+
+// governed reports whether the admission queue and request deadline
+// apply to this request: the classification endpoints only.
+func governed(r *http.Request) bool {
+	p := r.URL.Path
+	return p == "/api/classify" || p == "/api/classify/batch"
+}
+
+// retryAfterSeconds renders a Retry-After header value, always >= 1.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int(d.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// shed answers a load-shed request: 429, a Retry-After hint, and the
+// http_shed_total{reason} counter. Shedding is immediate -- the contract
+// is "never hangs" -- so clients can back off instead of piling on.
+func (s *Server) shed(w http.ResponseWriter, reason string) {
+	s.metrics.Counter("http_shed_total", "reason", reason).Inc()
+	w.Header().Set("Retry-After", retryAfterSeconds(s.resilience.RetryAfter))
+	s.writeError(w, http.StatusTooManyRequests,
+		"server overloaded, request shed (%s); retry after backoff", reason)
+}
+
+// timedOut answers a deadline-exceeded request: 504 plus the
+// http_timeouts_total{stage} counter. stage is "queue" (deadline expired
+// while waiting for admission) or "handler" (expired mid-inference).
+func (s *Server) timedOut(w http.ResponseWriter, stage string) {
+	s.metrics.Counter("http_timeouts_total", "stage", stage).Inc()
+	s.writeError(w, http.StatusGatewayTimeout,
+		"request deadline exceeded (%s stage)", stage)
+}
+
+// govern applies the resilience layer around a governed request: attach
+// the deadline, pass admission control, run next with the deadline-bound
+// request, release. When admission sheds or the deadline expires in the
+// queue, govern answers the request itself and next never runs.
+func (s *Server) govern(w http.ResponseWriter, r *http.Request, next func(*http.Request)) {
+	if s.resilience.RequestTimeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), s.resilience.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
+	release, err := s.limiter.Acquire(r.Context())
+	switch {
+	case errors.Is(err, resilience.ErrShed):
+		s.shed(w, "queue_full")
+		return
+	case err != nil:
+		// The deadline expired (or the client vanished) while the
+		// request sat in the admission queue: it never executed, so the
+		// all-or-nothing contract holds trivially.
+		s.timedOut(w, "queue")
+		return
+	}
+	defer release()
+	next(r)
+}
+
+// ReloadModel swaps the serving model from path (empty = the remembered
+// default) through the reload circuit breaker and the FaultReload
+// injection site. Both the admin endpoint and SIGHUP use it, so repeated
+// failures from either source trip the same breaker; while open,
+// attempts fail fast with resilience.ErrBreakerOpen and never touch the
+// manager.
+func (s *Server) ReloadModel(path string) (uint64, error) {
+	if err := s.breaker.Allow(); err != nil {
+		s.metrics.Counter("model_breaker_rejections_total").Inc()
+		return s.models.Generation(), err
+	}
+	gen, err := s.reloadOnce(path)
+	s.breaker.Record(err)
+	return gen, err
+}
+
+func (s *Server) reloadOnce(path string) (uint64, error) {
+	if err := s.faults.Inject(FaultReload); err != nil {
+		return s.models.Generation(), err
+	}
+	return s.models.ReloadFromFile(path)
+}

@@ -10,6 +10,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -20,6 +21,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 	"repro/internal/warehouse"
 )
 
@@ -37,6 +39,12 @@ type Server struct {
 	pprof        bool
 	batchWorkers int
 	bootStamp    int64
+
+	resilience ResilienceConfig
+	limiter    *resilience.Limiter
+	breakerCfg resilience.BreakerConfig
+	breaker    *resilience.Breaker
+	faults     *resilience.Faults
 }
 
 // New builds a server. model may be nil (the classify endpoints then
@@ -53,6 +61,7 @@ func New(store *warehouse.Store, model *core.JobClassifier, machineNodes int, op
 	for _, opt := range opts {
 		opt(s)
 	}
+	s.initResilience()
 	if s.models == nil {
 		s.models = core.NewModelManager(s.metrics)
 		if model != nil {
@@ -262,8 +271,21 @@ func resolveRow(v *core.ModelView, features map[string]float64) (row []float64, 
 }
 
 // classifyRow runs one resolved row through the model, recording the
-// per-row outcome counter and latency histogram.
-func (s *Server) classifyRow(v *core.ModelView, row []float64, defaulted []string, threshold float64) classifyResult {
+// per-row outcome counter and latency histogram. It honours the request
+// deadline and the classify.row fault site: an expired context aborts
+// the row before inference (callers map it to 504), an injected error
+// fails it, and an injected panic propagates so the isolation layers
+// (pool PanicError for batch, middleware recovery for single) can prove
+// they contain it.
+func (s *Server) classifyRow(ctx context.Context, v *core.ModelView, row []float64, defaulted []string, threshold float64) (classifyResult, error) {
+	if err := s.faults.Inject(FaultClassifyRow); err != nil {
+		s.classifyOutcome("error")
+		return classifyResult{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		s.classifyOutcome("timeout")
+		return classifyResult{}, err
+	}
 	start := time.Now()
 	label, prob, ok := v.Model.Classify(row, threshold)
 	s.metrics.Histogram("classify_row_seconds", rowLatencyBuckets()).ObserveDuration(start)
@@ -272,7 +294,7 @@ func (s *Server) classifyRow(v *core.ModelView, row []float64, defaulted []strin
 	} else {
 		s.classifyOutcome("below_threshold")
 	}
-	return classifyResult{Label: label, Probability: prob, Classified: ok, Defaulted: defaulted}
+	return classifyResult{Label: label, Probability: prob, Classified: ok, Defaulted: defaulted}, nil
 }
 
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
@@ -315,5 +337,10 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "unknown features: %v", unknown)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, s.classifyRow(v, row, defaulted, req.Threshold))
+	res, err := s.classifyRow(r.Context(), v, row, defaulted, req.Threshold)
+	if err != nil {
+		s.rowError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, res)
 }

@@ -1,0 +1,115 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/resilience"
+	"repro/internal/testkit"
+)
+
+// TestChaosShedParityAcrossWorkers is the admission-parity acceptance
+// gate: under shed pressure, every ADMITTED request must return a
+// response byte-identical (testkit digest) to an ungoverned reference
+// server -- at batch workers 1 and 4 alike -- and every shed request
+// must carry 429 + Retry-After. Admission control may refuse work; it
+// must never change the answer.
+func TestChaosShedParityAcrossWorkers(t *testing.T) {
+	a := chaosFixture(t)
+
+	// The reference: same model, no governance, one worker. Its responses
+	// define correctness for every admitted request below.
+	ref := newChaosServer(t, a, WithBatchWorkers(1))
+	const requests = 24
+	bodies := make([][]byte, requests)
+	paths := make([]string, requests)
+	want := make([]string, requests) // testkit digest per request
+	for i := range bodies {
+		if i%3 == 0 {
+			paths[i], bodies[i] = "/api/classify/batch", a.batchBody(i, 8)
+		} else {
+			paths[i], bodies[i] = "/api/classify", a.singleBody(i)
+		}
+		resp := ref.post(t, paths[i], bodies[i])
+		body := readAll(t, resp)
+		if resp.StatusCode != 200 {
+			t.Fatalf("reference request %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		want[i] = testkit.HashBytes(body)
+	}
+
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		t.Run(map[int]string{1: "workers=1", 4: "workers=4"}[workers], func(t *testing.T) {
+			faults := resilience.NewFaults(12)
+			if err := faults.Set(FaultClassifyRow, resilience.FaultSpec{
+				Kind: resilience.FaultLatency, Rate: 1, Latency: 10 * time.Millisecond,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			governed := newChaosServer(t, a,
+				WithBatchWorkers(workers),
+				WithFaults(faults),
+				WithResilience(ResilienceConfig{
+					RequestTimeout: 10 * time.Second,
+					MaxConcurrent:  2,
+					MaxQueue:       2,
+				}),
+			)
+
+			start := make(chan struct{})
+			var wg sync.WaitGroup
+			var mu sync.Mutex
+			admitted, shed := 0, 0
+			for i := 0; i < requests; i++ {
+				i := i
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					<-start
+					client := &http.Client{Timeout: 30 * time.Second}
+					resp, err := client.Post(governed.srv.URL+paths[i], "application/json", bytes.NewReader(bodies[i]))
+					if err != nil {
+						t.Errorf("request %d transport error: %v", i, err)
+						return
+					}
+					var buf bytes.Buffer
+					buf.ReadFrom(resp.Body)
+					resp.Body.Close()
+					switch resp.StatusCode {
+					case 200:
+						if got := testkit.HashBytes(buf.Bytes()); got != want[i] {
+							t.Errorf("request %d admitted but diverged from the ungoverned reference:\n digest %s want %s\n body: %s",
+								i, got, want[i], buf.String())
+						}
+						mu.Lock()
+						admitted++
+						mu.Unlock()
+					case http.StatusTooManyRequests:
+						if resp.Header.Get("Retry-After") == "" {
+							t.Errorf("request %d shed without Retry-After", i)
+						}
+						mu.Lock()
+						shed++
+						mu.Unlock()
+					default:
+						t.Errorf("request %d: unexpected status %d: %s", i, resp.StatusCode, buf.String())
+					}
+				}()
+			}
+			close(start)
+			wg.Wait()
+
+			if admitted == 0 {
+				t.Error("no request was admitted")
+			}
+			if shed == 0 {
+				t.Errorf("synchronized burst of %d against capacity 4 shed nothing", requests)
+			}
+			t.Logf("workers=%d: admitted=%d shed=%d, all admitted responses digest-equal to reference", workers, admitted, shed)
+		})
+	}
+}

@@ -4,17 +4,16 @@
 // (and the serve-smoke CI job): builds and boots the real supremm-serve
 // binary, exercises single + batch classification, checks batch/single
 // parity on live HTTP responses, hot-swaps the model through the admin
-// endpoint and SIGHUP, and fails on any non-2xx or divergence.
+// endpoint and SIGHUP, and fails on any non-2xx or divergence. The
+// server binds 127.0.0.1:0 and the harness learns the real port from
+// the "serving api" log line, so parallel CI jobs cannot collide.
 package repro
 
 import (
 	"bytes"
 	"encoding/json"
 	"fmt"
-	"net"
 	"net/http"
-	"os"
-	"os/exec"
 	"path/filepath"
 	"strings"
 	"syscall"
@@ -23,57 +22,13 @@ import (
 )
 
 func TestServeBatchSmoke(t *testing.T) {
-	dir := t.TempDir()
-	bin := filepath.Join(dir, "supremm-serve")
-	build := exec.Command("go", "build", "-o", bin, "./cmd/supremm-serve")
-	build.Stderr = os.Stderr
-	if err := build.Run(); err != nil {
-		t.Fatalf("building supremm-serve: %v", err)
-	}
-
-	// Reserve a port, then hand it to the server. The tiny window between
-	// Close and the server's bind is harmless in CI.
-	l, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	addr := l.Addr().String()
-	l.Close()
-	base := "http://" + addr
-
-	snapshot := filepath.Join(dir, "model.bin")
-	srv := exec.Command(bin, "-addr", addr, "-jobs", "400", "-seed", "7",
-		"-model-snapshot", snapshot, "-batch-workers", "4", "-log-level", "warn")
-	srv.Stdout, srv.Stderr = os.Stderr, os.Stderr
-	if err := srv.Start(); err != nil {
-		t.Fatal(err)
-	}
-	defer func() {
-		srv.Process.Signal(syscall.SIGTERM)
-		done := make(chan struct{})
-		go func() { srv.Wait(); close(done) }()
-		select {
-		case <-done:
-		case <-time.After(15 * time.Second):
-			srv.Process.Kill()
-		}
-	}()
-
-	// Wait for the pipeline to generate and the listener to come up.
-	deadline := time.Now().Add(60 * time.Second)
-	for {
-		resp, err := http.Get(base + "/api/overview")
-		if err == nil {
-			resp.Body.Close()
-			if resp.StatusCode == 200 {
-				break
-			}
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("server not ready: %v", err)
-		}
-		time.Sleep(250 * time.Millisecond)
-	}
+	bin := buildServe(t, false)
+	snapshot := filepath.Join(t.TempDir(), "model.bin")
+	// -log-level info: the address discovery in startServe reads the
+	// info-level "serving api" line.
+	base, srv := startServe(t, bin, "-jobs", "400", "-seed", "7",
+		"-model-snapshot", snapshot, "-batch-workers", "4", "-log-level", "info")
+	defer stopServe(t, srv)
 
 	getJSON := func(path string, out any) {
 		t.Helper()
@@ -172,7 +127,7 @@ func TestServeBatchSmoke(t *testing.T) {
 	if err := srv.Process.Signal(syscall.SIGHUP); err != nil {
 		t.Fatal(err)
 	}
-	deadline = time.Now().Add(15 * time.Second)
+	deadline := time.Now().Add(15 * time.Second)
 	for meta.Generation != 3 {
 		if time.Now().After(deadline) {
 			t.Fatalf("SIGHUP reload never landed (generation %d)", meta.Generation)

@@ -1,0 +1,166 @@
+//go:build soak
+
+// Soak harness, run by `make soak` and the soak CI job: builds the real
+// supremm-serve binary WITH the race detector, boots it with fault
+// injection armed (per-row latency faults plus reload error faults),
+// drives it with the seeded open-loop generator while SIGHUP reloads
+// hammer the breaker, and then reconciles the client-observed outcome
+// counts against the server's own /metrics counters. The JSON report
+// lands where SOAK_OUT points (CI uploads it as an artifact).
+//
+// Tunables (env): SOAK_DUR (default 10s), SOAK_RPS (default 200),
+// SOAK_OUT (default <tmp>/soak-report.json).
+package repro
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/loadgen"
+)
+
+func soakEnv(name, def string) string {
+	if v := os.Getenv(name); v != "" {
+		return v
+	}
+	return def
+}
+
+func TestSoakServeUnderFaults(t *testing.T) {
+	dur, err := time.ParseDuration(soakEnv("SOAK_DUR", "10s"))
+	if err != nil {
+		t.Fatalf("SOAK_DUR: %v", err)
+	}
+	rps := soakEnv("SOAK_RPS", "200")
+	out := soakEnv("SOAK_OUT", filepath.Join(t.TempDir(), "soak-report.json"))
+
+	bin := buildServe(t, true)
+	snapshot := filepath.Join(t.TempDir(), "model.bin")
+	base, srv := startServe(t, bin,
+		"-jobs", "400", "-seed", "7",
+		"-model-snapshot", snapshot,
+		"-batch-workers", "2",
+		"-request-timeout", "250ms",
+		"-max-concurrent", "2", "-max-queue", "4",
+		"-breaker-threshold", "3", "-breaker-open-for", "2s",
+		"-faults", "classify.row=latency:1.0:10ms,reload=error:0.3",
+		"-fault-seed", "42",
+	)
+	defer stopServe(t, srv)
+
+	// SIGHUP storm in the background: reload error faults fail ~30% of
+	// them, walking the breaker through open/half-open/closed while the
+	// classify traffic runs. Reload failures must never disturb serving.
+	hupDone := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(500 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-hupDone:
+				return
+			case <-tick.C:
+				srv.Process.Signal(syscall.SIGHUP)
+			}
+		}
+	}()
+
+	ramp := 2 * time.Second
+	if ramp > dur {
+		ramp = 0
+	}
+	spec := fmt.Sprintf("url=%s,rps=%s,dur=%s,ramp=%s,mix=0.2,batch=16,seed=9,timeout=5s,inflight=256",
+		base, rps, dur, ramp)
+	cfg, err := loadgen.ParseSpec(spec)
+	if err != nil {
+		t.Fatalf("soak spec %q: %v", spec, err)
+	}
+	t.Logf("soak: %s", cfg.Spec())
+	rep, err := loadgen.Run(context.Background(), cfg)
+	close(hupDone)
+	if err != nil {
+		t.Fatalf("load run failed: %v", err)
+	}
+
+	// Persist the artifact before asserting, so a failing soak still
+	// leaves its evidence behind.
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(enc, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("soak report: %s", out)
+	t.Logf("soak: sent=%d ok=%d shed=%d timeouts=%d unavailable=%d serverErrors=%d dropped=%d p99=%.1fms",
+		rep.Sent, rep.OK, rep.Shed, rep.Timeouts, rep.Unavailable, rep.ServerErrors, rep.Dropped, rep.LatencyMS.P99)
+
+	// Invariants. The server must answer everything it was sent (never
+	// hang or drop a connection), keep the shedding contract, and stay
+	// free of 5xx: the only armed classify fault is latency, which can
+	// shed or time requests out but never error them.
+	if rep.OK == 0 {
+		t.Error("soak completed zero successful classifications")
+	}
+	if rep.ClientErrors != 0 {
+		t.Errorf("%d transport errors: the server hung or dropped connections", rep.ClientErrors)
+	}
+	if rep.ShedWithoutRetryAfter != 0 {
+		t.Errorf("%d shed responses missing Retry-After", rep.ShedWithoutRetryAfter)
+	}
+	if rep.ServerErrors != 0 {
+		t.Errorf("%d unexpected 5xx responses (latency faults must not produce errors)", rep.ServerErrors)
+	}
+	if rep.BadRequests != 0 {
+		t.Errorf("%d 4xx responses to well-formed generated requests", rep.BadRequests)
+	}
+	if got := rep.Answered(); got != rep.Sent {
+		t.Errorf("answered %d of %d sent requests", got, rep.Sent)
+	}
+
+	// The server survived and still serves ungoverned reads.
+	resp, err := http.Get(base + "/api/features")
+	if err != nil {
+		t.Fatalf("server unreachable after soak: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("/api/features after soak: status %d", resp.StatusCode)
+	}
+
+	// Reconcile the client's view against the server's counters: the
+	// generator is the only traffic source, so the counts must agree
+	// exactly.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+
+	if got, want := metricSum(text, "http_shed_total"), float64(rep.Shed); got != want {
+		t.Errorf("server http_shed_total = %v, client saw %v 429s", got, want)
+	}
+	if got, want := metricSum(text, "http_timeouts_total"), float64(rep.Timeouts); got != want {
+		t.Errorf("server http_timeouts_total = %v, client saw %v 504s", got, want)
+	}
+	if !strings.Contains(text, "model_breaker_state") {
+		t.Error("/metrics missing model_breaker_state")
+	}
+	if rep.Shed == 0 {
+		t.Logf("note: this run shed nothing (rps below capacity?); the contract checks were vacuous")
+	}
+}
