@@ -23,14 +23,33 @@ FUZZ_TARGETS = \
 	./internal/warehouse:FuzzIngest \
 	./internal/dataset:FuzzReadCSV \
 	./internal/core:FuzzLoadJobClassifier \
-	./internal/loadgen:FuzzLoadConfig
+	./internal/loadgen:FuzzLoadConfig \
+	./internal/ml/compile:FuzzCompileParity
+
+# Knobs for `make bench` (forwarded to go test): repeat each benchmark
+# BENCH_COUNT times for BENCH_TIME each, e.g.
+#   make bench BENCH_COUNT=10 > new.txt && benchstat old.txt new.txt
+BENCH_COUNT ?= 1
+BENCH_TIME ?= 1s
+
+# Compiled-engine CI ratchet (see bench-gate): allowed relative speedup
+# regression vs BENCH_baseline.json and the absolute per-algorithm
+# speedup floor. The tolerance is wider than the in-flag 15% default
+# because the checked-in baseline and the CI runner are different
+# machines; the ratio is portable, but not perfectly so.
+BENCH_TOLERANCE ?= 0.25
+BENCH_MIN_SPEEDUP ?= 1.5
+
+# staticcheck is pinned so CI results are reproducible; bump deliberately.
+STATICCHECK_VERSION ?= 2025.1.1
 
 # Knobs for the soak harness (see soak_test.go).
 SOAK_DUR ?= 30s
 SOAK_RPS ?= 200
 SOAK_OUT ?= soak-report.json
 
-.PHONY: all build test vet fmt-check race bench bench-smoke paper trace serve-debug clean \
+.PHONY: all build test vet fmt-check race bench bench-smoke bench-gate alloc-gate \
+	staticcheck paper trace serve-debug clean \
 	testkit testkit-update test-shuffle cover fuzz-smoke serve-batch-smoke chaos soak
 
 all: build test
@@ -91,8 +110,11 @@ fuzz-smoke:
 		$(GO) test -run '^$$' -fuzz "^$$fn$$" -fuzztime $(FUZZTIME) $$pkg; \
 	done
 
+# Run every Go microbenchmark in the tree (the old form only benched the
+# root package, silently skipping internal/...). BENCH_COUNT/BENCH_TIME
+# feed benchstat workflows; see EXPERIMENTS.md "Benchmarking".
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) test -bench=. -benchmem -run=^$$ -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) ./...
 
 # The CI correctness gate: a small fixed seeded workload through the
 # serial and parallel paths; exits non-zero on any divergence and writes
@@ -100,6 +122,29 @@ bench:
 bench-smoke:
 	$(GO) run ./cmd/supremm-bench -jobs 800 -exp e1,e2,table2,fig1 \
 		-train 25 -test 400 -unknown 200 -trees 60 -out $(BENCH_OUT)
+
+# The compiled-inference perf ratchet: re-measures the compiled-vs-
+# interpreted speedup per algorithm and fails when any ratio regresses
+# beyond BENCH_TOLERANCE against the checked-in BENCH_baseline.json or
+# drops below BENCH_MIN_SPEEDUP outright. Regenerate the baseline with
+#   go run ./cmd/supremm-bench -jobs 800 -trees 60 -skip-suite -rev baseline -out .
+# (see EXPERIMENTS.md before committing a new baseline).
+bench-gate:
+	$(GO) run ./cmd/supremm-bench -jobs 800 -trees 60 -skip-suite \
+		-compare BENCH_baseline.json -tolerance $(BENCH_TOLERANCE) \
+		-min-speedup $(BENCH_MIN_SPEEDUP) -out $(BENCH_OUT)
+
+# The zero-allocation gate: every TestAlloc* test asserts
+# testing.AllocsPerRun == 0 on a compiled-engine serving call (RF, SVM
+# and NB predictors, single and batch rows, plus JobClassifier.Classify
+# through the scratch pool).
+alloc-gate:
+	$(GO) test -count=1 -run 'TestAlloc' -v ./internal/ml/compile ./internal/core
+
+# Pinned staticcheck over the whole tree; the check set lives in
+# staticcheck.conf. Requires network for the first download.
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 
 paper:
 	$(GO) run ./cmd/supremm-paper
@@ -138,5 +183,8 @@ soak:
 	SOAK_DUR=$(SOAK_DUR) SOAK_RPS=$(SOAK_RPS) SOAK_OUT=$(SOAK_OUT) \
 		$(GO) test -count=1 -tags soak -run TestSoakServeUnderFaults -v -timeout 10m .
 
+# BENCH_baseline.json is the checked-in perf-ratchet baseline, not a
+# build product — keep it.
 clean:
-	rm -f BENCH_*.json trace.json coverage.out soak-report.json
+	find . -maxdepth 1 -name 'BENCH_*.json' ! -name BENCH_baseline.json -delete
+	rm -f trace.json coverage.out soak-report.json

@@ -70,8 +70,12 @@ type report struct {
 	Forest      section  `json:"forest"`
 	SVM         section  `json:"svm"`
 	Suite       *section `json:"suite,omitempty"`
-	Obs         *obsDump `json:"obs,omitempty"`
-	OK          bool     `json:"ok"`
+	// Compiled holds the compiled-vs-interpreted inference engine legs
+	// (one per paper algorithm); the CI bench gate ratchets on their
+	// Speedup ratios via -compare.
+	Compiled []compiledLeg `json:"compiled,omitempty"`
+	Obs      *obsDump      `json:"obs,omitempty"`
+	OK       bool          `json:"ok"`
 }
 
 // obsDump embeds the instrumented parallel legs' observability state:
@@ -107,6 +111,9 @@ func main() {
 	out := flag.String("out", ".", "output directory for BENCH_<rev>.json")
 	rev := flag.String("rev", "", "revision tag for the output name (default: GITHUB_SHA or 'dev')")
 	skipSuite := flag.Bool("skip-suite", false, "skip the experiment-suite comparison")
+	comparePath := flag.String("compare", "", "baseline BENCH_*.json to ratchet compiled-engine speedups against")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed relative speedup regression vs the -compare baseline")
+	minSpeedup := flag.Float64("min-speedup", 1.0, "absolute compiled-vs-interpreted speedup floor per algorithm")
 	flag.Parse()
 
 	r := report{
@@ -265,8 +272,14 @@ func main() {
 		r.Suite = s
 	}
 
+	// --- Compiled inference engine ----------------------------------------
+	r.Compiled = runCompiledLegs(ds, *seed, *trees)
+
 	r.OK = r.Pipeline.Parity && r.CrossVal.Parity && r.Forest.Parity && r.SVM.Parity &&
 		(r.Suite == nil || r.Suite.Parity)
+	for _, leg := range r.Compiled {
+		r.OK = r.OK && leg.Parity
+	}
 
 	root.End()
 	tree := root.Tree()
@@ -297,6 +310,14 @@ func main() {
 	if !r.OK {
 		fmt.Fprintln(os.Stderr, "supremm-bench: serial and parallel paths diverged")
 		os.Exit(1)
+	}
+	if *comparePath != "" {
+		if failures := compareBaseline(r.Compiled, *comparePath, *tolerance, *minSpeedup); len(failures) > 0 {
+			for _, f := range failures {
+				fmt.Fprintf(os.Stderr, "supremm-bench: bench gate: %s\n", f)
+			}
+			os.Exit(1)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "supremm-bench: all parity checks passed, report at %s\n", path)
 }

@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/ml/bayes"
+	"repro/internal/ml/compile"
 	"repro/internal/ml/eval"
 	"repro/internal/ml/forest"
 	"repro/internal/ml/svm"
@@ -55,6 +57,20 @@ type JobClassifier struct {
 	model  eval.ProbClassifier
 	scaler *stats.Scaler
 	rf     *forest.Classifier // retained for importance analysis
+
+	// compiled is the flat zero-allocation serving form (see
+	// internal/ml/compile), built once by EnsureCompiled; nil keeps the
+	// interpreted path. Predictions are bit-identical either way.
+	compiled compile.Model
+	scratch  sync.Pool // of *classifyScratch
+}
+
+// classifyScratch carries the per-request buffers of the compiled
+// serving path: the scaled feature row plus the compiled model's own
+// working memory.
+type classifyScratch struct {
+	row []float64
+	cs  *compile.Scratch
 }
 
 // TrainJobClassifier standardizes a copy of the training features and fits
@@ -95,7 +111,51 @@ func TrainJobClassifier(train *dataset.Dataset, cfg ClassifierConfig) (*JobClass
 	default:
 		return nil, fmt.Errorf("core: unknown algorithm %q", cfg.Algo)
 	}
+	// A freshly trained model of any known family always compiles; the
+	// error path only exists for exotic or malformed models, which keep
+	// serving interpreted.
+	_ = c.EnsureCompiled()
 	return c, nil
+}
+
+// EnsureCompiled lowers the model into its zero-allocation serving form
+// (idempotent; see internal/ml/compile). It is not safe to call
+// concurrently with itself — build the classifier fully before
+// publishing it to readers, as ModelManager.Swap does. On error the
+// classifier keeps serving through the interpreted path, which is
+// behaviourally identical.
+func (c *JobClassifier) EnsureCompiled() error {
+	if c.compiled != nil {
+		return nil
+	}
+	cm, err := compile.Compile(c.model)
+	if err != nil {
+		return err
+	}
+	c.compiled = cm
+	p := len(c.Features)
+	c.scratch.New = func() any {
+		return &classifyScratch{row: make([]float64, p), cs: cm.NewScratch()}
+	}
+	return nil
+}
+
+// IsCompiled reports whether the classifier serves through the compiled
+// zero-allocation engine.
+func (c *JobClassifier) IsCompiled() bool { return c.compiled != nil }
+
+// compiledScratch returns a pooled scratch when the compiled path is
+// usable for a row of len(x) raw features (the row buffer is sized to
+// the model schema, so other widths fall back to the interpreted path
+// and fail exactly as they always did).
+func (c *JobClassifier) compiledScratch(x []float64) (*classifyScratch, bool) {
+	if c.compiled == nil || len(x) != len(c.Features) {
+		return nil, false
+	}
+	s := c.scratch.Get().(*classifyScratch)
+	copy(s.row, x)
+	c.scaler.Transform(s.row)
+	return s, true
 }
 
 func indexRange(n int) []int {
@@ -110,8 +170,24 @@ func indexRange(n int) []int {
 func (c *JobClassifier) Classes() []string { return c.model.Classes() }
 
 // PredictProb scales a raw feature row and returns the winning class index
-// and the posterior vector (satisfies eval.ProbClassifier).
+// and the posterior vector (satisfies eval.ProbClassifier). The compiled
+// and interpreted paths return byte-identical results; the returned
+// slice is always caller-owned.
 func (c *JobClassifier) PredictProb(x []float64) (int, []float64) {
+	if s, ok := c.compiledScratch(x); ok {
+		cls, probs := c.compiled.PredictProb(s.row, s.cs)
+		out := append([]float64(nil), probs...)
+		c.scratch.Put(s)
+		return cls, out
+	}
+	return c.PredictProbInterpreted(x)
+}
+
+// PredictProbInterpreted is PredictProb through the original
+// pointer-walking model, bypassing the compiled engine. It exists as
+// the parity reference: tests and supremm-bench compare it bit-for-bit
+// against the compiled path.
+func (c *JobClassifier) PredictProbInterpreted(x []float64) (int, []float64) {
 	row := append([]float64(nil), x...)
 	c.scaler.Transform(row)
 	return c.model.PredictProb(row)
@@ -127,6 +203,17 @@ type predictor interface {
 // index, bypassing probability calibration. Use this for accuracy;
 // PredictProb/Classify for threshold analyses.
 func (c *JobClassifier) Predict(x []float64) int {
+	if s, ok := c.compiledScratch(x); ok {
+		cls := c.compiled.Predict(s.row, s.cs)
+		c.scratch.Put(s)
+		return cls
+	}
+	return c.PredictInterpreted(x)
+}
+
+// PredictInterpreted is Predict through the original model, bypassing
+// the compiled engine (the parity reference for tests and benches).
+func (c *JobClassifier) PredictInterpreted(x []float64) int {
 	row := append([]float64(nil), x...)
 	c.scaler.Transform(row)
 	if p, ok := c.model.(predictor); ok {
@@ -139,9 +226,23 @@ func (c *JobClassifier) Predict(x []float64) int {
 // Classify applies a probability threshold: it returns the predicted label
 // and its probability, with ok=false when the confidence falls below the
 // threshold (the job is "not classified", as for the paper's
-// Uncategorized/NA analysis).
+// Uncategorized/NA analysis). On the compiled path this is the serving
+// hot call: the pooled scratch makes it allocation-free per row.
 func (c *JobClassifier) Classify(x []float64, threshold float64) (label string, prob float64, ok bool) {
-	cls, probs := c.PredictProb(x)
+	if s, ok := c.compiledScratch(x); ok {
+		cls, probs := c.compiled.PredictProb(s.row, s.cs)
+		label := c.model.Classes()[cls]
+		prob := probs[cls]
+		c.scratch.Put(s)
+		return label, prob, prob >= threshold
+	}
+	return c.ClassifyInterpreted(x, threshold)
+}
+
+// ClassifyInterpreted is Classify through the original model, bypassing
+// the compiled engine (the parity reference for tests and benches).
+func (c *JobClassifier) ClassifyInterpreted(x []float64, threshold float64) (label string, prob float64, ok bool) {
+	cls, probs := c.PredictProbInterpreted(x)
 	label = c.model.Classes()[cls]
 	prob = probs[cls]
 	return label, prob, prob >= threshold

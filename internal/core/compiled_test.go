@@ -1,0 +1,136 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/ml/forest"
+	"repro/internal/ml/svm"
+	"repro/internal/testkit"
+)
+
+// trainCompiledTrio trains one JobClassifier per algorithm on a shared
+// synthetic dataset and returns them with held-out probe rows.
+func trainCompiledTrio(t *testing.T) (map[Algorithm]*JobClassifier, [][]float64) {
+	t.Helper()
+	d := testkit.SynthClassification(testkit.SynthConfig{Seed: 91, Classes: 3, Features: 5, RowsPerCls: 20})
+	probe := testkit.SynthClassification(testkit.SynthConfig{Seed: 92, Classes: 3, Features: 5, RowsPerCls: 6})
+	out := make(map[Algorithm]*JobClassifier, 3)
+	for _, cfg := range []ClassifierConfig{
+		{Algo: AlgoForest, Forest: forest.Config{Trees: 30, Seed: 91}},
+		{Algo: AlgoSVM, SVM: svm.Config{Kernel: svm.RBF{Gamma: 0.1}, C: 10, Probability: true, Seed: 91}},
+		{Algo: AlgoBayes},
+	} {
+		c, err := TrainJobClassifier(d, cfg)
+		if err != nil {
+			t.Fatalf("train %s: %v", cfg.Algo, err)
+		}
+		out[cfg.Algo] = c
+	}
+	return out, probe.X
+}
+
+// assertServingParity checks every public prediction entry point of the
+// classifier bit-for-bit against its *Interpreted reference.
+func assertServingParity(t *testing.T, c *JobClassifier, rows [][]float64) {
+	t.Helper()
+	for ri, row := range rows {
+		if got, want := c.Predict(row), c.PredictInterpreted(row); got != want {
+			t.Fatalf("row %d: Predict %d, interpreted %d", ri, got, want)
+		}
+		gotCls, gotProbs := c.PredictProb(row)
+		wantCls, wantProbs := c.PredictProbInterpreted(row)
+		if gotCls != wantCls {
+			t.Fatalf("row %d: PredictProb class %d, interpreted %d", ri, gotCls, wantCls)
+		}
+		for i := range wantProbs {
+			if math.Float64bits(gotProbs[i]) != math.Float64bits(wantProbs[i]) {
+				t.Fatalf("row %d: posterior[%d] = %g, interpreted %g", ri, i, gotProbs[i], wantProbs[i])
+			}
+		}
+		for _, thr := range []float64{0, 0.5, 0.9} {
+			gl, gp, gok := c.Classify(row, thr)
+			wl, wp, wok := c.ClassifyInterpreted(row, thr)
+			if gl != wl || gok != wok || math.Float64bits(gp) != math.Float64bits(wp) {
+				t.Fatalf("row %d thr %g: Classify (%q, %g, %v), interpreted (%q, %g, %v)",
+					ri, thr, gl, gp, gok, wl, wp, wok)
+			}
+		}
+	}
+}
+
+func TestCompiledServingParity(t *testing.T) {
+	trio, rows := trainCompiledTrio(t)
+	for algo, c := range trio {
+		if !c.IsCompiled() {
+			t.Fatalf("%s: freshly trained classifier is not compiled", algo)
+		}
+		assertServingParity(t, c, rows)
+	}
+}
+
+func TestCompiledSurvivesSaveLoad(t *testing.T) {
+	trio, rows := trainCompiledTrio(t)
+	for algo, c := range trio {
+		var buf bytes.Buffer
+		if err := c.Save(&buf); err != nil {
+			t.Fatalf("%s: save: %v", algo, err)
+		}
+		restored, err := LoadJobClassifier(&buf)
+		if err != nil {
+			t.Fatalf("%s: load: %v", algo, err)
+		}
+		if !restored.IsCompiled() {
+			t.Fatalf("%s: restored classifier is not compiled", algo)
+		}
+		assertServingParity(t, restored, rows)
+		// Restored and original must also agree with each other.
+		for ri, row := range rows {
+			_, a := c.PredictProb(row)
+			_, b := restored.PredictProb(row)
+			for i := range a {
+				if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+					t.Fatalf("%s row %d: restored posterior[%d] %g, original %g", algo, ri, i, b[i], a[i])
+				}
+			}
+		}
+	}
+}
+
+func TestManagerSwapPublishesCompiledView(t *testing.T) {
+	trio, _ := trainCompiledTrio(t)
+	m := NewModelManager(nil)
+	if _, err := m.Swap(trio[AlgoForest]); err != nil {
+		t.Fatal(err)
+	}
+	v := m.View()
+	if v == nil || !v.Compiled() {
+		t.Fatal("swapped view does not report the compiled engine")
+	}
+}
+
+// TestAllocCompiledClassify gates the serving hot path at the
+// JobClassifier layer: Classify (scratch pool + compiled engine) must
+// not allocate per call for any model family.
+func TestAllocCompiledClassify(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun counts race-detector allocations; the alloc gate runs without -race")
+	}
+	trio, rows := trainCompiledTrio(t)
+	for algo, c := range trio {
+		row := rows[0]
+		if avg := testing.AllocsPerRun(200, func() {
+			_, _, _ = c.Classify(row, 0.5)
+		}); avg != 0 {
+			t.Errorf("%s: Classify allocates %.2f per run, want 0", algo, avg)
+		}
+		if avg := testing.AllocsPerRun(50, func() {
+			for _, r := range rows {
+				_, _, _ = c.Classify(r, 0.5)
+			}
+		}); avg != 0 {
+			t.Errorf("%s: batch Classify allocates %.2f per run, want 0", algo, avg)
+		}
+	}
+}

@@ -41,6 +41,12 @@ func (v *ModelView) FeatureIndex(name string) (int, bool) {
 // NumFeatures returns the model's feature vector width.
 func (v *ModelView) NumFeatures() int { return len(v.Model.Features) }
 
+// Compiled reports whether the published model serves through the
+// compiled zero-allocation engine (see internal/ml/compile). Swap
+// compiles at install time, so for the three paper model families this
+// is always true; a model that failed to lower serves interpreted.
+func (v *ModelView) Compiled() bool { return v.Model.IsCompiled() }
+
 // ModelManager publishes a JobClassifier to concurrent readers behind an
 // atomic pointer and swaps it without blocking them: readers load the
 // current ModelView with one atomic load, writers validate and install a
@@ -160,6 +166,12 @@ func (m *ModelManager) Swap(next *JobClassifier) (uint64, error) {
 		}
 		return m.gen, err
 	}
+	// Compile once at install time, before the view is published, so no
+	// request ever pays the lowering cost and every reader of the view
+	// sees the same serving form. Models that cannot compile (exotic
+	// types, malformed snapshots) serve interpreted — bit-identical,
+	// just slower.
+	_ = next.EnsureCompiled()
 	m.gen++
 	m.cur.Store(&ModelView{Model: next, Generation: m.gen, index: idx})
 	m.generation.Set(float64(m.gen))

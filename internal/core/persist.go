@@ -84,6 +84,11 @@ func LoadJobClassifier(r io.Reader) (*JobClassifier, error) {
 	default:
 		return nil, fmt.Errorf("core: snapshot has unknown algorithm %q", snap.Algo)
 	}
+	// Lower the restored model into the compiled serving form. A
+	// structurally invalid snapshot (the loader is fuzzed with hostile
+	// bytes) fails compilation cleanly and keeps the interpreted path —
+	// exactly the pre-compile behaviour.
+	_ = c.EnsureCompiled()
 	return c, nil
 }
 

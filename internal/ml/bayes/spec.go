@@ -1,0 +1,24 @@
+package bayes
+
+// Spec is the exported read-only structure of a trained Gaussian NB
+// model, the view internal/ml/compile lowers into its precomputed
+// log-space serving form. All slices alias the model's own storage;
+// callers must not mutate them.
+type Spec struct {
+	Classes []string
+	Priors  []float64   // log priors
+	Means   [][]float64 // [class][feature]
+	Vars    [][]float64 // [class][feature], already floored
+	Trained []bool
+}
+
+// Spec exposes the trained parameters for the compile step.
+func (m *Model) Spec() *Spec {
+	return &Spec{
+		Classes: m.classes,
+		Priors:  m.priors,
+		Means:   m.means,
+		Vars:    m.vars,
+		Trained: m.trained,
+	}
+}

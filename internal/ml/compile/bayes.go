@@ -1,0 +1,138 @@
+package compile
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ml/bayes"
+)
+
+// Bayes is a compiled Gaussian Naive Bayes model. The per-class
+// Gaussian parameters are lowered into flat row-major lookup tables
+// with the constant subexpressions — -0.5*log(2*pi*var) and 2*var —
+// evaluated once at compile time, so the predict path performs no
+// math.Log calls at all. Precomputing a constant subexpression yields
+// the identical float64 the interpreted path computes inline, so
+// likelihoods stay bit-identical.
+type Bayes struct {
+	classes  []string
+	p        int       // features
+	priors   []float64 // log priors, len k
+	means    []float64 // [k*p] row-major
+	twoVars  []float64 // [k*p] 2*var
+	logConst []float64 // [k*p] -0.5*log(2*pi*var)
+	trained  []bool
+}
+
+// CompileBayes lowers an NB spec, validating table shapes up front.
+func CompileBayes(spec *bayes.Spec) (*Bayes, error) {
+	k := len(spec.Classes)
+	if k == 0 {
+		return nil, fmt.Errorf("compile: nb has no classes")
+	}
+	if len(spec.Priors) != k || len(spec.Means) != k || len(spec.Vars) != k || len(spec.Trained) != k {
+		return nil, fmt.Errorf("compile: nb tables disagree on class count (%d classes, %d priors, %d means, %d vars, %d trained)",
+			k, len(spec.Priors), len(spec.Means), len(spec.Vars), len(spec.Trained))
+	}
+	p := len(spec.Means[0])
+	m := &Bayes{
+		classes:  spec.Classes,
+		p:        p,
+		priors:   spec.Priors,
+		means:    make([]float64, 0, k*p),
+		twoVars:  make([]float64, 0, k*p),
+		logConst: make([]float64, 0, k*p),
+		trained:  spec.Trained,
+	}
+	for c := 0; c < k; c++ {
+		if len(spec.Means[c]) != p || len(spec.Vars[c]) != p {
+			return nil, fmt.Errorf("compile: nb class %d has ragged parameter rows (%d means, %d vars, expected %d)",
+				c, len(spec.Means[c]), len(spec.Vars[c]), p)
+		}
+		m.means = append(m.means, spec.Means[c]...)
+		for _, v := range spec.Vars[c] {
+			m.twoVars = append(m.twoVars, 2*v)
+			m.logConst = append(m.logConst, -0.5*math.Log(2*math.Pi*v))
+		}
+	}
+	return m, nil
+}
+
+// Classes returns the class vocabulary.
+func (m *Bayes) Classes() []string { return m.classes }
+
+// NewScratch allocates a scratch sized for this model.
+func (m *Bayes) NewScratch() *Scratch {
+	k := len(m.classes)
+	return &Scratch{lls: make([]float64, k), probs: make([]float64, k)}
+}
+
+// logLikelihood returns log P(x | class c) + log prior, bit-identical
+// to the interpreted model: each feature contributes the same
+// (logConst - d*d/twoVars) term in the same order.
+func (m *Bayes) logLikelihood(c int, x []float64) float64 {
+	ll := m.priors[c]
+	base := c * m.p
+	means := m.means[base : base+m.p]
+	twoVars := m.twoVars[base : base+m.p]
+	logConst := m.logConst[base : base+m.p]
+	for f, v := range x {
+		d := v - means[f]
+		ll += logConst[f] - d*d/twoVars[f]
+	}
+	return ll
+}
+
+// Predict returns the maximum-posterior class index, bit-identical to
+// the interpreted Model.Predict (-1 when no class trained).
+func (m *Bayes) Predict(row []float64, s *Scratch) int {
+	best, bestLL := -1, math.Inf(-1)
+	for c := range m.classes {
+		if !m.trained[c] {
+			continue
+		}
+		if ll := m.logLikelihood(c, row); ll > bestLL {
+			best, bestLL = c, ll
+		}
+	}
+	return best
+}
+
+// PredictProb returns the winning class and the softmax-normalized
+// posterior, bit-identical to the interpreted Model.PredictProb. The
+// slice aliases scratch memory.
+func (m *Bayes) PredictProb(row []float64, s *Scratch) (int, []float64) {
+	k := len(m.classes)
+	lls := s.lls
+	maxLL := math.Inf(-1)
+	for c := 0; c < k; c++ {
+		if !m.trained[c] {
+			lls[c] = math.Inf(-1)
+			continue
+		}
+		lls[c] = m.logLikelihood(c, row)
+		if lls[c] > maxLL {
+			maxLL = lls[c]
+		}
+	}
+	probs := s.probs
+	for i := range probs {
+		probs[i] = 0
+	}
+	var z float64
+	for c := 0; c < k; c++ {
+		if math.IsInf(lls[c], -1) {
+			continue
+		}
+		probs[c] = math.Exp(lls[c] - maxLL)
+		z += probs[c]
+	}
+	best := 0
+	for c := 0; c < k; c++ {
+		probs[c] /= z
+		if probs[c] > probs[best] {
+			best = c
+		}
+	}
+	return best, probs
+}

@@ -1,0 +1,83 @@
+// Package compile lowers trained classifiers into flat, cache-friendly
+// serving forms that classify a feature row with zero heap allocations:
+//
+//   - random forests become one contiguous breadth-first node array with
+//     a branch-minimal descent (children of every split occupy adjacent
+//     slots, so the walk is an add of the comparison result);
+//   - SVMs become a contiguous row-major support-vector matrix with the
+//     kernel evaluated inline (no interface dispatch) and the pairwise
+//     coupling solved in a reusable scratch buffer;
+//   - Gaussian NB becomes precomputed log-space lookup tables, removing
+//     every math.Log from the predict path.
+//
+// The contract is absolute bit parity: a compiled model performs the
+// same floating-point operations in the same order as its interpreted
+// source, so predicted classes AND posterior vectors are byte-identical
+// — the golden corpus, the metamorphic suite, and the HTTP parity tests
+// all hold unchanged when serving switches to the compiled form.
+//
+// Compile validates model structure up front (index bounds, tree
+// acyclicity, matrix shapes) and returns an error instead of lowering a
+// malformed model; callers fall back to the interpreted path. This
+// keeps hostile or truncated snapshots — which the persistence fuzzers
+// feed the loader — from panicking inside the compiler.
+package compile
+
+import (
+	"fmt"
+
+	"repro/internal/ml/bayes"
+	"repro/internal/ml/forest"
+	"repro/internal/ml/svm"
+)
+
+// Model is a compiled classifier. Predict and PredictProb perform zero
+// heap allocations; the scratch carries all per-request working memory
+// and the posterior slice returned by PredictProb is owned by the
+// scratch (valid until its next use). A scratch must not be shared by
+// concurrent calls; the compiled model itself is immutable and safe for
+// any number of goroutines.
+type Model interface {
+	// Classes returns the class vocabulary (aliases model storage).
+	Classes() []string
+	// NewScratch allocates a scratch sized for this model.
+	NewScratch() *Scratch
+	// Predict returns the plain predicted class index (majority vote /
+	// max posterior), bit-identical to the interpreted model's Predict.
+	Predict(row []float64, s *Scratch) int
+	// PredictProb returns the winning class and the posterior vector,
+	// bit-identical to the interpreted model's PredictProb. The slice
+	// aliases scratch memory.
+	PredictProb(row []float64, s *Scratch) (int, []float64)
+}
+
+// Scratch holds every per-request buffer a compiled model needs. One
+// scratch serves any number of sequential rows; pool them (or keep one
+// per worker) for concurrent serving.
+type Scratch struct {
+	votes []int     // RF tree votes / SVM pair votes, len k
+	probs []float64 // posterior output buffer, len k
+	lls   []float64 // NB per-class log likelihoods, len k
+	sub   []float64 // SVM pairwise probability matrix, ka*ka (active-class space)
+	p     []float64 // coupling posterior, len ka
+	q     []float64 // coupling quadratic form, ka*ka
+	qp    []float64 // coupling Q*p product, len ka
+	kv    []float64 // SVM per-row kernel values, one per unique support vector
+}
+
+// Compile lowers a trained model into its compiled serving form. It
+// accepts the three classifier families the paper evaluates; any other
+// type (or a structurally invalid model) returns an error and the
+// caller keeps serving the interpreted form.
+func Compile(model any) (Model, error) {
+	switch m := model.(type) {
+	case *forest.Classifier:
+		return CompileForest(m.Spec())
+	case *svm.Model:
+		return CompileSVM(m.Spec())
+	case *bayes.Model:
+		return CompileBayes(m.Spec())
+	default:
+		return nil, fmt.Errorf("compile: no compiled form for model type %T", model)
+	}
+}

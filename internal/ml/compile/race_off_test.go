@@ -1,0 +1,5 @@
+//go:build !race
+
+package compile_test
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package compile_test
+
+// The race detector instruments memory operations and allocates on its
+// own, so testing.AllocsPerRun counts are meaningless under -race. The
+// alloc gate runs in its own CI job without -race; here we only skip.
+const raceEnabled = true

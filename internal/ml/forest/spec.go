@@ -1,0 +1,41 @@
+package forest
+
+// NodeSpec is one tree node in the exported flat representation, the
+// read-only view internal/ml/compile lowers into its breadth-first
+// serving form. Feature < 0 marks a leaf.
+type NodeSpec struct {
+	Feature   int
+	Threshold float64
+	Left      int32
+	Right     int32
+	Pred      int
+}
+
+// Spec is the exported read-only structure of a trained classifier:
+// class vocabulary plus every tree's node array in builder (preorder)
+// layout, node 0 being the root. Callers must not mutate the returned
+// slices of shared data (Classes aliases the model's vocabulary).
+type Spec struct {
+	Classes []string
+	Trees   [][]NodeSpec
+}
+
+// Spec exposes the trained trees for the compile step. The node arrays
+// are fresh copies; mutating them does not affect the classifier.
+func (c *Classifier) Spec() *Spec {
+	s := &Spec{Classes: c.classes, Trees: make([][]NodeSpec, len(c.trees))}
+	for t, tr := range c.trees {
+		ns := make([]NodeSpec, len(tr.nodes))
+		for i, n := range tr.nodes {
+			ns[i] = NodeSpec{
+				Feature:   n.feature,
+				Threshold: n.threshold,
+				Left:      n.left,
+				Right:     n.right,
+				Pred:      n.pred,
+			}
+		}
+		s.Trees[t] = ns
+	}
+	return s
+}

@@ -1,0 +1,39 @@
+package svm
+
+// PairSpec is the exported view of one trained one-vs-one binary
+// machine: support vectors, dual coefficients (alpha_i * y_i), the
+// threshold rho, and the Platt sigmoid parameters when probability
+// calibration ran. The machine votes for class I on a positive decision
+// value.
+type PairSpec struct {
+	I, J  int
+	SV    [][]float64
+	Coef  []float64
+	Rho   float64
+	A, B  float64
+	HasAB bool
+}
+
+// Spec is the exported read-only structure of a trained multiclass SVM,
+// the view internal/ml/compile lowers into its contiguous serving form.
+// SV and Coef alias the model's own storage; callers must not mutate
+// them.
+type Spec struct {
+	Classes  []string
+	Features int
+	Kernel   Kernel
+	Pairs    []PairSpec
+}
+
+// Spec exposes the trained pair machines for the compile step.
+func (m *Model) Spec() *Spec {
+	s := &Spec{Classes: m.classes, Features: m.features, Kernel: m.cfg.Kernel}
+	s.Pairs = make([]PairSpec, len(m.pairs))
+	for i, p := range m.pairs {
+		s.Pairs[i] = PairSpec{
+			I: p.i, J: p.j, SV: p.m.sv, Coef: p.m.coef,
+			Rho: p.m.rho, A: p.m.a, B: p.m.b, HasAB: p.m.hasAB,
+		}
+	}
+	return s
+}

@@ -218,6 +218,7 @@ func (s *Server) handleFeatures(w http.ResponseWriter, r *http.Request) {
 		"features":   v.Model.Features,
 		"classes":    v.Model.Classes(),
 		"generation": v.Generation,
+		"compiled":   v.Compiled(),
 	})
 }
 
