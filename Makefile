@@ -49,7 +49,7 @@ SOAK_RPS ?= 200
 SOAK_OUT ?= soak-report.json
 
 .PHONY: all build test vet fmt-check race bench bench-smoke bench-gate alloc-gate \
-	staticcheck paper trace serve-debug clean \
+	flight-overhead-gate staticcheck paper trace serve-debug clean \
 	testkit testkit-update test-shuffle cover fuzz-smoke serve-batch-smoke chaos soak
 
 all: build test
@@ -71,11 +71,12 @@ fmt-check:
 	fi
 
 # Race-detect the packages the parallel harness, the observability
-# layer, and the resilience layer touch.
+# layer (including the flight recorder's concurrent ring), and the
+# resilience layer touch.
 race:
 	$(GO) test -race ./internal/parallel ./internal/ml/... ./internal/core \
-		./internal/experiments ./internal/obs ./internal/server \
-		./internal/resilience ./internal/loadgen
+		./internal/experiments ./internal/obs ./internal/obs/flight \
+		./internal/server ./internal/resilience ./internal/loadgen
 
 # The full correctness harness: golden corpus, metamorphic invariants,
 # edge-case/equivalence suites, and fuzz seed-corpus replay. -count=1
@@ -140,6 +141,13 @@ bench-gate:
 # through the scratch pool).
 alloc-gate:
 	$(GO) test -count=1 -run 'TestAlloc' -v ./internal/ml/compile ./internal/core
+
+# The flight-recorder overhead ratchet: benchmarks the full serving
+# path with the recorder armed vs disarmed and fails when the armed
+# ns/request exceeds 1.5x the disarmed path (env-gated so plain
+# `go test ./...` never runs benchmarks).
+flight-overhead-gate:
+	FLIGHT_GATE=1 $(GO) test -count=1 -run TestFlightOverheadGate -v ./internal/server
 
 # Pinned staticcheck over the whole tree; the check set lives in
 # staticcheck.conf. Requires network for the first download.

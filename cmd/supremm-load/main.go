@@ -12,15 +12,22 @@
 //	supremm-load -url http://127.0.0.1:8080 -rps 200 -dur 30s
 //	             [-ramp 5s] [-mix 0.25] [-batch 64] [-threshold 0.5]
 //	             [-seed 7] [-timeout 10s] [-inflight 512]
-//	             [-spec k=v,...] [-out report.json]
+//	             [-spec k=v,...] [-out report.json] [-reconcile]
 //
 // -spec takes a full load spec (see internal/loadgen.ParseSpec) and
 // overrides the individual flags; the report embeds the canonical spec
 // either way, so any run can be reproduced from its artifact.
 //
+// -reconcile cross-checks the run against the target's flight recorder
+// (/debug/requests): the recorder's per-status classify counts must
+// match the client's exactly, its ledger must balance, and every
+// error-class response must be retrievable from the ring. The result is
+// embedded in the report; mismatches are contract violations when the
+// client saw every response (no client-side errors).
+//
 // Exit status: 0 when the run completed and the serving contract held
-// (every 429 carried Retry-After), 1 on configuration or target
-// errors, 2 on contract violations.
+// (every 429 carried Retry-After; -reconcile found no drift), 1 on
+// configuration or target errors, 2 on contract violations.
 package main
 
 import (
@@ -50,6 +57,7 @@ func main() {
 	inflight := flag.Int("inflight", 512, "client-side cap on outstanding requests (arrivals beyond it are counted dropped)")
 	spec := flag.String("spec", "", "full load spec (k=v,... -- overrides the individual flags)")
 	out := flag.String("out", "", "write the JSON report here (default stdout)")
+	reconcile := flag.Bool("reconcile", false, "cross-check client-observed counts against the target's flight recorder after the run")
 	flag.Parse()
 
 	var cfg loadgen.Config
@@ -81,6 +89,15 @@ func main() {
 	if err != nil {
 		fatal(1, err)
 	}
+	if *reconcile {
+		chk, err := loadgen.ReconcileRecorder(ctx, cfg.BaseURL, rep)
+		if err != nil {
+			fatal(1, err)
+		}
+		fmt.Fprintf(os.Stderr,
+			"supremm-load: recorder ledger observed=%d kept=%d sampledOut=%d evicted=%d mismatches=%d\n",
+			chk.Observed, chk.Kept, chk.SampledOut, chk.Evicted, len(chk.Mismatches))
+	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -102,6 +119,9 @@ func main() {
 		rep.ServerErrors, rep.ClientErrors, rep.Dropped, rep.LatencyMS.P99)
 	if rep.ShedWithoutRetryAfter > 0 {
 		fatal(2, fmt.Errorf("contract violation: %d shed responses missing Retry-After", rep.ShedWithoutRetryAfter))
+	}
+	if rep.Recorder != nil && rep.ClientErrors == 0 && len(rep.Recorder.Mismatches) > 0 {
+		fatal(2, fmt.Errorf("recorder reconciliation failed: %s", strings.Join(rep.Recorder.Mismatches, "; ")))
 	}
 }
 

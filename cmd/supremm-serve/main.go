@@ -11,6 +11,10 @@
 //	              [-request-timeout 30s] [-max-concurrent N] [-max-queue N]
 //	              [-breaker-threshold N] [-breaker-open-for 30s]
 //	              [-faults SPEC] [-fault-seed N]
+//	              [-flight] [-flight-capacity N] [-flight-sample N] [-flight-topk N]
+//	              [-slo-availability 0.999] [-slo-latency-target 0.99] [-slo-latency 500ms]
+//	              [-slo-burn-threshold 10] [-bundle-dir DIR] [-bundle-profile heap|cpu|off]
+//	              [-bundle-min-interval 5m]
 //	              [-pprof] [-log-level debug|info|warn|error]
 //
 // Endpoints:
@@ -25,7 +29,25 @@
 //	                          or {"columns": {"CPU_USER": [...], ...}, "threshold": 0.8}
 //	POST /admin/model/reload  {"path": "saved.bin"} (path optional once configured)
 //	GET  /metrics             Prometheus text exposition
+//	GET  /healthz             liveness (always 200 while serving)
+//	GET  /readyz              readiness (503 until a model is published, or while the reload breaker is open)
+//	GET  /debug/requests      flight-recorder query (?status=&route=&outcome=&min-ms=&since=&limit=)
+//	GET  /debug/slo           multi-window SLO burn-rate status
+//	GET  /debug/bundle        capture a diagnostic bundle now (needs -bundle-dir)
 //	GET  /debug/pprof/*       (with -pprof)
+//
+// Observability: every request lands one wide event in the in-process
+// flight recorder (-flight, on by default): identity, route, status,
+// outcome, queue/handler/row timings, batch size, model generation,
+// fault hits. The ring tail-samples -- errors, timeouts, sheds, panics
+// and the rolling latency top-K are always kept; healthy traffic is
+// 1-in--flight-sample counter-sampled. An SLO burn-rate engine watches
+// availability (-slo-availability) and latency (-slo-latency-target
+// within -slo-latency) over multiple windows, and when the short-window
+// burn crosses -slo-burn-threshold (or the reload breaker opens) a
+// diagnostic bundle -- ring snapshot, SLO state, metrics dump, runtime
+// profile -- is captured into -bundle-dir, rate-limited to one per
+// -bundle-min-interval.
 //
 // Resilience: the classification endpoints carry a per-request deadline
 // (-request-timeout, 504 on overrun) and, when -max-concurrent is set, a
@@ -63,6 +85,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/parallel"
 	"repro/internal/resilience"
 	"repro/internal/server"
@@ -82,6 +105,17 @@ func main() {
 	breakerOpenFor := flag.Duration("breaker-open-for", 30*time.Second, "how long the reload breaker stays open before a half-open probe")
 	faultSpec := flag.String("faults", "", "arm fault injection: site=kind:rate[:latency],... (sites: reload, classify.row; kinds: error, latency, panic)")
 	faultSeed := flag.Uint64("fault-seed", 1, "seed for the deterministic fault-injection dice")
+	flightOn := flag.Bool("flight", true, "arm the serving-path flight recorder (/debug/requests, /debug/slo)")
+	flightCapacity := flag.Int("flight-capacity", 2048, "flight-recorder ring capacity in events (half reserved for errors)")
+	flightSample := flag.Int("flight-sample", 16, "keep 1 in N healthy requests outside the latency top-K (1 = all, 0 = none)")
+	flightTopK := flag.Int("flight-topk", 64, "healthy requests kept because they rank in the rolling latency top-K")
+	sloAvailability := flag.Float64("slo-availability", 0.999, "availability SLO target on /api/classify* (fraction of requests not failing 5xx; 0 disables)")
+	sloLatencyTarget := flag.Float64("slo-latency-target", 0.99, "latency SLO target (fraction of 200s within -slo-latency; 0 disables)")
+	sloLatency := flag.Duration("slo-latency", 500*time.Millisecond, "latency SLO threshold")
+	sloBurnThreshold := flag.Float64("slo-burn-threshold", 10, "short-window burn rate that triggers an automatic diagnostic bundle (0 disables)")
+	bundleDir := flag.String("bundle-dir", "", "directory for diagnostic bundles (empty disables capture)")
+	bundleProfile := flag.String("bundle-profile", "heap", "runtime profile captured into bundles: heap, cpu, off")
+	bundleMinInterval := flag.Duration("bundle-min-interval", 5*time.Minute, "minimum spacing between automatic bundle captures")
 	pprofOn := flag.Bool("pprof", false, "expose /debug/pprof endpoints")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
@@ -163,6 +197,29 @@ func main() {
 	}
 	if faults != nil {
 		opts = append(opts, server.WithFaults(faults))
+	}
+	if *flightOn {
+		fcfg := flight.Config{
+			Capacity:    *flightCapacity,
+			SampleEvery: *flightSample,
+			TopK:        *flightTopK,
+			SLO: flight.SLOConfig{
+				AvailabilityTarget: *sloAvailability,
+				LatencyTarget:      *sloLatencyTarget,
+				LatencyThreshold:   *sloLatency,
+				BurnThreshold:      *sloBurnThreshold,
+			},
+			Bundle: flight.BundleConfig{
+				Dir:         *bundleDir,
+				Profile:     *bundleProfile,
+				MinInterval: *bundleMinInterval,
+				Registry:    reg,
+			},
+		}
+		opts = append(opts, server.WithFlightRecorder(flight.NewRecorder(fcfg)))
+		log.Info("flight recorder armed",
+			"capacity", *flightCapacity, "sample", *flightSample, "topk", *flightTopK,
+			"slo", fcfg.SLO.String(), "bundle-dir", *bundleDir)
 	}
 	if *pprofOn {
 		opts = append(opts, server.WithPprof())

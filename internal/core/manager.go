@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 )
 
 // ErrSchemaMismatch reports a model swap rejected because the incoming
@@ -46,6 +47,18 @@ func (v *ModelView) NumFeatures() int { return len(v.Model.Features) }
 // compiles at install time, so for the three paper model families this
 // is always true; a model that failed to lower serves interpreted.
 func (v *ModelView) Compiled() bool { return v.Model.IsCompiled() }
+
+// Annotate stamps the serving model's identity (generation, compiled
+// flag, algorithm) onto an in-flight wide event, so a recorded request
+// is attributable to the exact model that answered it even across
+// hot-swaps. Nil-safe on both sides; single and batch handlers share it
+// so the annotation cannot drift between them.
+func (v *ModelView) Annotate(a *flight.Active) {
+	if v == nil {
+		return
+	}
+	a.SetModel(v.Generation, v.Compiled(), string(v.Model.Algo))
+}
 
 // ModelManager publishes a JobClassifier to concurrent readers behind an
 // atomic pointer and swaps it without blocking them: readers load the

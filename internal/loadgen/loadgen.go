@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs/flight"
 	"repro/internal/rng"
 )
 
@@ -59,6 +60,11 @@ type Report struct {
 
 	// Latency of answered requests, milliseconds.
 	LatencyMS LatencyStats `json:"latencyMS"`
+
+	// Recorder is the flight-recorder reconciliation result, set when
+	// the run was cross-checked against the target's /debug/requests
+	// ledger (ReconcileRecorder / supremm-load -reconcile).
+	Recorder *RecorderCheck `json:"recorder,omitempty"`
 }
 
 // LatencyStats summarizes answered-request latency in milliseconds.
@@ -257,6 +263,170 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 	rep.LatencyMS = summarize(latencies)
 	return rep, nil
+}
+
+// RecorderCheck is the result of joining a load run's client-observed
+// status counts against the target flight recorder's ledger. The
+// recorder counts observed events per route and status independently of
+// tail sampling, so when the client saw every response
+// (ClientErrors == 0) the join must be exact -- any drift means a
+// request the middleware never finalized or counted twice.
+type RecorderCheck struct {
+	// Observed / Kept / SampledOut / Evicted echo the recorder's global
+	// ledger at reconciliation time (Observed == Kept + SampledOut).
+	Observed   uint64 `json:"observed"`
+	Kept       uint64 `json:"kept"`
+	SampledOut uint64 `json:"sampledOut"`
+	Evicted    uint64 `json:"evicted"`
+	// ByStatus is the recorder's classify-route event count per status.
+	ByStatus map[string]uint64 `json:"byStatus"`
+	// Mismatches lists every reconciliation failure; empty means the
+	// ledger agreed exactly with the client-observed counts.
+	Mismatches []string `json:"mismatches"`
+}
+
+// classifyRoutes are the routes the load generator drives; the
+// reconciliation join is restricted to them so the recorder's view of
+// other traffic (the /api/features discovery call, scrapes) stays out
+// of the comparison.
+var classifyRoutes = []string{"/api/classify", "/api/classify/batch"}
+
+// debugRequests fetches the target's /debug/requests with the given
+// query string.
+func debugRequests(ctx context.Context, client *http.Client, base, query string) (flight.Stats, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/debug/requests?"+query, nil)
+	if err != nil {
+		return flight.Stats{}, 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return flight.Stats{}, 0, fmt.Errorf("loadgen: cannot reach %s/debug/requests: %w", base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return flight.Stats{}, 0, fmt.Errorf("loadgen: %s/debug/requests answered %d (flight recorder not armed?)", base, resp.StatusCode)
+	}
+	var out struct {
+		Stats   flight.Stats `json:"stats"`
+		Matched int          `json:"matched"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return flight.Stats{}, 0, fmt.Errorf("loadgen: decoding /debug/requests: %w", err)
+	}
+	return out.Stats, out.Matched, nil
+}
+
+// classifyByStatus sums the recorder's classify-route counts per status.
+func classifyByStatus(st flight.Stats) map[string]uint64 {
+	sum := map[string]uint64{}
+	for _, route := range classifyRoutes {
+		for status, n := range st.ByRoute[route] {
+			sum[status] += n
+		}
+	}
+	return sum
+}
+
+// ReconcileRecorder joins rep against the flight recorder at base and
+// fills rep.Recorder. The server files a request's wide event after the
+// response body is written, so the client's counts can briefly lead the
+// ledger; reconciliation polls until the recorder has observed at least
+// as many classify events as the client got answers (or ctx expires),
+// then asserts:
+//
+//   - the ledger balances: Observed == Kept + SampledOut and
+//     Kept == Live + Evicted;
+//   - per status code, the recorder observed exactly as many classify
+//     responses as the client received;
+//   - every error-class response (status >= 400) is retrievable from
+//     the ring, provided nothing was evicted during the run.
+//
+// An exact join requires the client to have seen every response; when
+// rep.ClientErrors > 0 some answers died on the wire and per-status
+// equality cannot hold, so those comparisons are skipped and noted.
+func ReconcileRecorder(ctx context.Context, base string, rep *Report) (*RecorderCheck, error) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	answered := uint64(rep.Answered())
+
+	var st flight.Stats
+	var err error
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, _, err = debugRequests(ctx, client, base, "limit=0")
+		if err != nil {
+			return nil, err
+		}
+		var total uint64
+		for _, n := range classifyByStatus(st) {
+			total += n
+		}
+		if total >= answered || time.Now().After(deadline) || ctx.Err() != nil {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	chk := &RecorderCheck{
+		Observed:   st.Observed,
+		Kept:       st.Kept,
+		SampledOut: st.SampledOut,
+		Evicted:    st.Evicted,
+		ByStatus:   classifyByStatus(st),
+		Mismatches: []string{},
+	}
+	flag := func(format string, args ...any) {
+		chk.Mismatches = append(chk.Mismatches, fmt.Sprintf(format, args...))
+	}
+
+	if st.Observed != st.Kept+st.SampledOut {
+		flag("ledger unbalanced: observed %d != kept %d + sampledOut %d", st.Observed, st.Kept, st.SampledOut)
+	}
+	if st.Kept != uint64(st.Live)+st.Evicted {
+		flag("ledger unbalanced: kept %d != live %d + evicted %d", st.Kept, st.Live, st.Evicted)
+	}
+
+	if rep.ClientErrors > 0 {
+		flag("skipped per-status join: %d client-side errors mean the client missed responses the server recorded", rep.ClientErrors)
+		rep.Recorder = chk
+		return chk, nil
+	}
+
+	// Exact per-status join: the union of statuses either side saw.
+	statuses := map[string]bool{}
+	for status := range rep.ByStatus {
+		statuses[status] = true
+	}
+	for status := range chk.ByStatus {
+		statuses[status] = true
+	}
+	for status := range statuses {
+		clientN := uint64(rep.ByStatus[status])
+		if got := chk.ByStatus[status]; got != clientN {
+			flag("status %s: recorder observed %d classify events, client received %d", status, got, clientN)
+		}
+	}
+
+	// Tail-sampling contract: error-class responses are never sampled
+	// out, so with no evictions every one must be retrievable.
+	if st.Evicted == 0 {
+		for status, clientN := range rep.ByStatus {
+			if status < "400" || clientN == 0 { // statuses are 3-digit strings; lexicographic works
+				continue
+			}
+			// The route filter is a prefix match, so "/api/classify"
+			// covers the single and batch endpoints in one query.
+			_, matched, err := debugRequests(ctx, client, base, "limit=0&status="+status+"&route=/api/classify")
+			if err != nil {
+				return nil, err
+			}
+			if int64(matched) != clientN {
+				flag("status %s: only %d of %d error events retrievable from the ring", status, matched, clientN)
+			}
+		}
+	}
+
+	rep.Recorder = chk
+	return chk, nil
 }
 
 // summarize computes the latency stats from raw millisecond samples.

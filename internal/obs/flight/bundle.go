@@ -1,0 +1,219 @@
+package flight
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ErrBundlesDisabled reports a capture request against a recorder with
+// no bundle directory configured.
+var ErrBundlesDisabled = errors.New("flight: diagnostic bundles disabled (no bundle directory configured)")
+
+// ErrBundleRateLimited reports an automatic capture suppressed because
+// one landed within MinInterval (operator captures are never limited).
+var ErrBundleRateLimited = errors.New("flight: bundle capture rate-limited")
+
+// BundleConfig tunes self-capturing diagnostics. The zero value (no
+// Dir) disables them.
+type BundleConfig struct {
+	// Dir is where bundle directories are created; "" disables capture.
+	Dir string
+	// Profile selects the runtime profile captured into each bundle:
+	// "heap" (default, instantaneous), "cpu" (blocks the capture
+	// goroutine for CPUDuration), or "off".
+	Profile string
+	// CPUDuration is how long a "cpu" profile samples for. Default 1s.
+	CPUDuration time.Duration
+	// MinInterval rate-limits automatic (burn/breaker-triggered)
+	// captures; operator requests via /debug/bundle bypass it.
+	// Default 5m.
+	MinInterval time.Duration
+	// Registry, when set, is dumped into each bundle as metrics.prom.
+	Registry *obs.Registry
+}
+
+// Bundle describes one captured diagnostic bundle.
+type Bundle struct {
+	Dir        string    `json:"dir"`
+	Reason     string    `json:"reason"`
+	CapturedAt time.Time `json:"capturedAt"`
+	Files      []string  `json:"files"`
+}
+
+// bundler serializes bundle captures and enforces the rate limit.
+type bundler struct {
+	cfg   BundleConfig
+	rec   *Recorder
+	clock func() time.Time
+
+	mu   sync.Mutex // serializes captures
+	last time.Time  // last successful capture (auto rate-limit basis)
+
+	captured    atomic.Uint64
+	failed      atomic.Uint64
+	rateLimited atomic.Uint64
+}
+
+func newBundler(cfg BundleConfig, rec *Recorder, clock func() time.Time) *bundler {
+	if cfg.Dir == "" {
+		return nil
+	}
+	if cfg.Profile == "" {
+		cfg.Profile = "heap"
+	}
+	if cfg.CPUDuration <= 0 {
+		cfg.CPUDuration = time.Second
+	}
+	if cfg.MinInterval <= 0 {
+		cfg.MinInterval = 5 * time.Minute
+	}
+	return &bundler{cfg: cfg, rec: rec, clock: clock}
+}
+
+// sanitizeReason keeps bundle directory names filesystem-safe.
+func sanitizeReason(reason string) string {
+	if reason == "" {
+		return "manual"
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, reason)
+}
+
+// Capture snapshots the recorder into a timestamped bundle directory:
+// the full event ring (events.json, with the reconciliation stats), the
+// SLO state (slo.json), the metrics registry (metrics.prom), and a
+// runtime profile (heap.pprof or cpu.pprof). force bypasses the
+// MinInterval rate limit (operator requests); automatic triggers pass
+// false. Returns the bundle description or an error; captures are
+// serialized, so concurrent triggers queue rather than interleave.
+func (r *Recorder) Capture(reason string, force bool) (*Bundle, error) {
+	if r == nil || r.bundler == nil {
+		return nil, ErrBundlesDisabled
+	}
+	return r.bundler.capture(reason, force)
+}
+
+// TriggerBundle requests an automatic, rate-limited capture without
+// blocking the caller (SLO burns and breaker-open transitions fire it
+// from hot paths and locked sections).
+func (r *Recorder) TriggerBundle(reason string) {
+	if r == nil || r.bundler == nil {
+		return
+	}
+	go func() {
+		_, _ = r.bundler.capture(reason, false)
+	}()
+}
+
+func (b *bundler) capture(reason string, force bool) (*Bundle, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.clock()
+	if !force && !b.last.IsZero() && now.Sub(b.last) < b.cfg.MinInterval {
+		b.rateLimited.Add(1)
+		return nil, ErrBundleRateLimited
+	}
+
+	bundle := &Bundle{
+		Reason:     reason,
+		CapturedAt: now,
+		Dir: filepath.Join(b.cfg.Dir, fmt.Sprintf("bundle-%s-%s",
+			now.UTC().Format("20060102T150405.000000000Z"), sanitizeReason(reason))),
+	}
+	if err := os.MkdirAll(bundle.Dir, 0o755); err != nil {
+		b.failed.Add(1)
+		return nil, fmt.Errorf("flight: creating bundle dir: %w", err)
+	}
+
+	write := func(name string, fn func(*os.File) error) error {
+		f, err := os.Create(filepath.Join(bundle.Dir, name))
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		bundle.Files = append(bundle.Files, name)
+		return nil
+	}
+
+	var errs []error
+	errs = append(errs, write("events.json", func(f *os.File) error {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		return enc.Encode(map[string]any{
+			"reason":     reason,
+			"capturedAt": now,
+			"stats":      b.rec.Stats(),
+			"events":     b.rec.Snapshot(),
+		})
+	}))
+	if st := b.rec.SLOStatus(); st != nil {
+		errs = append(errs, write("slo.json", func(f *os.File) error {
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			return enc.Encode(st)
+		}))
+	}
+	if b.cfg.Registry != nil {
+		errs = append(errs, write("metrics.prom", func(f *os.File) error {
+			return b.cfg.Registry.WritePrometheus(f)
+		}))
+	}
+	switch b.cfg.Profile {
+	case "heap":
+		errs = append(errs, write("heap.pprof", func(f *os.File) error {
+			return pprof.Lookup("heap").WriteTo(f, 0)
+		}))
+	case "cpu":
+		errs = append(errs, write("cpu.pprof", func(f *os.File) error {
+			// StartCPUProfile fails when a profile is already running
+			// (e.g. an operator is mid /debug/pprof/profile); the bundle
+			// then simply lacks the profile file.
+			if err := pprof.StartCPUProfile(f); err != nil {
+				return err
+			}
+			time.Sleep(b.cfg.CPUDuration)
+			pprof.StopCPUProfile()
+			return nil
+		}))
+	}
+
+	if err := errors.Join(errs...); err != nil {
+		b.failed.Add(1)
+		return bundle, fmt.Errorf("flight: bundle %s incomplete: %w", bundle.Dir, err)
+	}
+	b.last = now
+	b.captured.Add(1)
+	return bundle, nil
+}
+
+// export publishes capture counters. Nil-safe.
+func (b *bundler) export(reg *obs.Registry) {
+	if b == nil || reg == nil {
+		return
+	}
+	reg.Gauge("flight_bundles", "outcome", "captured").Set(float64(b.captured.Load()))
+	reg.Gauge("flight_bundles", "outcome", "failed").Set(float64(b.failed.Load()))
+	reg.Gauge("flight_bundles", "outcome", "rate_limited").Set(float64(b.rateLimited.Load()))
+}

@@ -1,0 +1,467 @@
+package flight
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// record builds a finalized event and lands it in rec: one call stands
+// in for the middleware's NewActive -> Finalize -> Record sequence.
+func record(rec *Recorder, path string, status int, dur time.Duration) {
+	a := NewActive("id", "POST", path, time.Unix(1000, 0))
+	a.Finalize(status, dur)
+	rec.Record(a)
+}
+
+func TestLedgerInvariantsUnderMixedTraffic(t *testing.T) {
+	rec := NewRecorder(Config{Capacity: 32, SampleEvery: 4, TopK: 4})
+	for i := 0; i < 500; i++ {
+		switch i % 10 {
+		case 0:
+			record(rec, "/api/classify", 429, time.Millisecond)
+		case 1:
+			record(rec, "/api/classify", 504, time.Millisecond)
+		case 2:
+			record(rec, "/api/classify/batch", 500, time.Millisecond)
+		default:
+			record(rec, "/api/classify", 200, time.Duration(i)*time.Microsecond)
+		}
+	}
+	st := rec.Stats()
+	if st.Observed != 500 {
+		t.Fatalf("observed %d, recorded 500", st.Observed)
+	}
+	if st.Observed != st.Kept+st.SampledOut {
+		t.Errorf("ledger unbalanced: observed %d != kept %d + sampledOut %d", st.Observed, st.Kept, st.SampledOut)
+	}
+	if st.Kept != uint64(st.Live)+st.Evicted {
+		t.Errorf("ledger unbalanced: kept %d != live %d + evicted %d", st.Kept, st.Live, st.Evicted)
+	}
+	var byRouteTotal uint64
+	for _, byStatus := range st.ByRoute {
+		for _, n := range byStatus {
+			byRouteTotal += n
+		}
+	}
+	if byRouteTotal != st.Observed {
+		t.Errorf("ByRoute sums to %d, observed %d", byRouteTotal, st.Observed)
+	}
+	if got := st.ByRoute["/api/classify"]["429"]; got != 50 {
+		t.Errorf("ByRoute[/api/classify][429] = %d, want 50", got)
+	}
+	if got := st.ByRoute["/api/classify/batch"]["500"]; got != 50 {
+		t.Errorf("ByRoute[/api/classify/batch][500] = %d, want 50", got)
+	}
+}
+
+// TestErrorsNeverEvictedByOKFlood is the tail-sampling acceptance
+// invariant: error events must never be evicted in favour of OK events,
+// no matter how much healthy traffic follows them. The split-ring design
+// makes this structural: OK events can only ever evict OK events.
+func TestErrorsNeverEvictedByOKFlood(t *testing.T) {
+	rec := NewRecorder(Config{Capacity: 16, SampleEvery: 1, TopK: 4})
+	for i := 0; i < 5; i++ {
+		record(rec, "/api/classify", 504, time.Millisecond)
+	}
+	// Flood: 10_000 healthy events, all kept (SampleEvery=1), into an
+	// 8-slot OK sub-ring. Every eviction must hit an OK event.
+	for i := 0; i < 10000; i++ {
+		record(rec, "/api/classify", 200, time.Duration(i)*time.Nanosecond)
+	}
+	events, matched := rec.Query(Filter{Status: 504, Limit: -1})
+	if matched != 5 || len(events) != 5 {
+		t.Fatalf("after OK flood, %d of 5 error events retrievable", matched)
+	}
+	for _, ev := range events {
+		if ev.KeepReason != KeepError {
+			t.Errorf("error event kept for %q, want %q", ev.KeepReason, KeepError)
+		}
+	}
+	// And the converse: an error storm must not evict the latency top-K
+	// beyond the OK sub-ring's own churn (errors only evict errors).
+	okBefore, _ := rec.Query(Filter{Status: 200, Limit: -1})
+	for i := 0; i < 1000; i++ {
+		record(rec, "/api/classify", 500, time.Millisecond)
+	}
+	okAfter, _ := rec.Query(Filter{Status: 200, Limit: -1})
+	if len(okAfter) != len(okBefore) {
+		t.Errorf("error storm changed the OK population: %d -> %d", len(okBefore), len(okAfter))
+	}
+}
+
+func TestCounterSamplingKeepsExactlyOneInN(t *testing.T) {
+	// TopK off so sampling is the only keep path for healthy traffic.
+	rec := NewRecorder(Config{Capacity: 512, SampleEvery: 4, TopK: 0})
+	for i := 0; i < 400; i++ {
+		record(rec, "/api/classify", 200, time.Millisecond)
+	}
+	st := rec.Stats()
+	if st.Kept != 100 {
+		t.Errorf("kept %d of 400 at 1-in-4, want 100", st.Kept)
+	}
+	if st.SampledOut != 300 {
+		t.Errorf("sampledOut %d, want 300", st.SampledOut)
+	}
+	// SampleEvery 0 keeps nothing healthy; errors still always land.
+	rec = NewRecorder(Config{Capacity: 512, SampleEvery: 0, TopK: 0})
+	for i := 0; i < 10; i++ {
+		record(rec, "/api/classify", 200, time.Millisecond)
+		record(rec, "/api/classify", 500, time.Millisecond)
+	}
+	st = rec.Stats()
+	if st.Kept != 10 || st.SampledOut != 10 {
+		t.Errorf("kept=%d sampledOut=%d, want 10/10 (only errors kept)", st.Kept, st.SampledOut)
+	}
+}
+
+func TestLatencyTopKKeepsSlowRequests(t *testing.T) {
+	rec := NewRecorder(Config{Capacity: 64, SampleEvery: 0, TopK: 3})
+	// Ascending latencies: each new event beats the heap minimum, so
+	// every one is kept as "slow" -- and the final top-3 is the 3 slowest.
+	for i := 1; i <= 10; i++ {
+		record(rec, "/api/classify", 200, time.Duration(i)*time.Millisecond)
+	}
+	events, _ := rec.Query(Filter{Outcome: OutcomeOK, Limit: -1})
+	slow := 0
+	for _, ev := range events {
+		if ev.KeepReason == KeepSlow {
+			slow++
+		}
+	}
+	if slow != 10 {
+		t.Errorf("ascending latencies: %d kept slow, want all 10", slow)
+	}
+	// Now a burst of fast events: none rank, none kept (sampling off).
+	before := rec.Stats().Kept
+	for i := 0; i < 20; i++ {
+		record(rec, "/api/classify", 200, time.Microsecond)
+	}
+	if got := rec.Stats().Kept; got != before {
+		t.Errorf("fast events below the top-K floor were kept: %d -> %d", before, got)
+	}
+	// MinDuration filter sees only the slow tail.
+	_, matched := rec.Query(Filter{MinDuration: 8 * time.Millisecond, Limit: -1})
+	if matched != 3 {
+		t.Errorf("MinDuration 8ms matched %d, want 3", matched)
+	}
+}
+
+func TestQueryFilters(t *testing.T) {
+	rec := NewRecorder(Config{Capacity: 128, SampleEvery: 1, TopK: 0})
+	t0 := time.Unix(1000, 0)
+	push := func(path string, status int, at time.Time) {
+		a := NewActive("id", "POST", path, at)
+		a.Finalize(status, 5*time.Millisecond)
+		rec.Record(a)
+	}
+	push("/api/classify", 200, t0)
+	push("/api/classify/batch", 200, t0.Add(time.Second))
+	push("/api/classify", 429, t0.Add(2*time.Second))
+	push("/api/classify/batch", 504, t0.Add(3*time.Second))
+	push("/admin/model/reload", 503, t0.Add(4*time.Second))
+
+	if _, m := rec.Query(Filter{Route: "/api/classify", Limit: -1}); m != 4 {
+		t.Errorf("route prefix /api/classify matched %d, want 4 (single + batch)", m)
+	}
+	if _, m := rec.Query(Filter{Status: 429, Limit: -1}); m != 1 {
+		t.Errorf("status 429 matched %d, want 1", m)
+	}
+	if _, m := rec.Query(Filter{Outcome: OutcomeTimeout, Limit: -1}); m != 1 {
+		t.Errorf("outcome timeout matched %d, want 1", m)
+	}
+	if _, m := rec.Query(Filter{Since: t0.Add(2 * time.Second), Limit: -1}); m != 3 {
+		t.Errorf("since t0+2s matched %d, want 3", m)
+	}
+	// Limit trims to the most recent matches but reports the full count.
+	events, m := rec.Query(Filter{Limit: 2})
+	if m != 5 || len(events) != 2 {
+		t.Fatalf("limit 2: got %d events, matched %d; want 2 of 5", len(events), m)
+	}
+	if events[0].Seq >= events[1].Seq {
+		t.Error("events not in Seq order")
+	}
+	if events[1].Status != 503 {
+		t.Errorf("limit kept the oldest matches, want the most recent (got status %d last)", events[1].Status)
+	}
+	// Limit 0 is count-only.
+	events, m = rec.Query(Filter{Limit: 0})
+	if events != nil || m != 5 {
+		t.Errorf("limit 0: events=%v matched=%d, want nil/5", events, m)
+	}
+}
+
+func TestSLOBurnRateWindows(t *testing.T) {
+	now := time.Unix(10_000, 0)
+	clock := func() time.Time { return now }
+	rec := NewRecorder(Config{
+		Capacity: 64, SampleEvery: 1, TopK: 0,
+		Clock: clock,
+		SLO: SLOConfig{
+			AvailabilityTarget: 0.9, // budget 0.1: burn = badRate * 10
+			LatencyTarget:      0.5, // budget 0.5: burn = slowRate * 2
+			LatencyThreshold:   100 * time.Millisecond,
+			Windows:            []time.Duration{10 * time.Second, time.Minute},
+		},
+	})
+	// Second 1: 8 fast 200s + 2 500s -> badRate 0.2, availability burn 2.
+	for i := 0; i < 8; i++ {
+		record(rec, "/api/classify", 200, time.Millisecond)
+	}
+	record(rec, "/api/classify", 500, time.Millisecond)
+	record(rec, "/api/classify", 500, time.Millisecond)
+	// Ungoverned routes must not count toward the objectives.
+	record(rec, "/metrics", 500, time.Millisecond)
+
+	st := rec.SLOStatus()
+	if st == nil || st.Availability == nil || st.Latency == nil {
+		t.Fatal("SLOStatus missing objectives")
+	}
+	short := st.Availability.Windows[0]
+	if short.Total != 10 || short.Bad != 2 {
+		t.Fatalf("short window total=%d bad=%d, want 10/2 (the /metrics 500 must not count)", short.Total, short.Bad)
+	}
+	if got := short.BurnRate; got < 1.99 || got > 2.01 {
+		t.Errorf("availability burn %v, want 2.0", got)
+	}
+	// Two slow 200s out of 10 measured: slowRate 0.2, latency burn 0.4.
+	record(rec, "/api/classify", 200, 200*time.Millisecond)
+	record(rec, "/api/classify", 200, 200*time.Millisecond)
+	st = rec.SLOStatus()
+	lat := st.Latency.Windows[0]
+	if lat.Total != 10 || lat.Bad != 2 {
+		t.Fatalf("latency window measured=%d slow=%d, want 10/2", lat.Total, lat.Bad)
+	}
+	if got := lat.BurnRate; got < 0.39 || got > 0.41 {
+		t.Errorf("latency burn %v, want 0.4", got)
+	}
+
+	// Advance past the short window: its burn drains to zero while the
+	// long window still remembers.
+	now = now.Add(15 * time.Second)
+	st = rec.SLOStatus()
+	if got := st.Availability.Windows[0].Total; got != 0 {
+		t.Errorf("short window still holds %d events after 15s", got)
+	}
+	if got := st.Availability.Windows[1].Bad; got != 2 {
+		t.Errorf("1m window lost the failures: bad=%d, want 2", got)
+	}
+	if st.Availability.RunBad != 2 || st.Availability.RunTotal != 12 {
+		t.Errorf("run totals bad=%d total=%d, want 2/12", st.Availability.RunBad, st.Availability.RunTotal)
+	}
+}
+
+func TestSLOBurnTriggersBundleCapture(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Unix(50_000, 0)
+	var mu sync.Mutex
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	rec := NewRecorder(Config{
+		Capacity: 64, SampleEvery: 1, TopK: 0,
+		Clock: clock,
+		SLO: SLOConfig{
+			AvailabilityTarget: 0.9,
+			Windows:            []time.Duration{10 * time.Second},
+			BurnThreshold:      5,
+			MinWindowTotal:     5,
+		},
+		Bundle: BundleConfig{Dir: dir, Profile: "off"},
+	})
+	// 6 straight 500s: badRate 1.0 -> burn 10 >= 5, window total 6 >= 5.
+	for i := 0; i < 6; i++ {
+		record(rec, "/api/classify", 500, time.Millisecond)
+	}
+	// TriggerBundle captures asynchronously; poll for the bundle dir.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) > 0 {
+			if !strings.Contains(entries[0].Name(), "slo_burn_availability") {
+				t.Errorf("bundle dir %q does not carry the burn reason", entries[0].Name())
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no bundle captured within 5s of an SLO burn")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestBundleCaptureContentsAndRateLimit(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	reg.Counter("x_total").Inc()
+	rec := NewRecorder(Config{
+		Capacity: 64, SampleEvery: 1, TopK: 4,
+		SLO:    DefaultSLOConfig(),
+		Bundle: BundleConfig{Dir: dir, Registry: reg, MinInterval: time.Hour},
+	})
+	record(rec, "/api/classify", 504, 5*time.Millisecond)
+	record(rec, "/api/classify", 200, time.Millisecond)
+
+	b, err := rec.Capture("unit_test", false)
+	if err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+	for _, name := range []string{"events.json", "slo.json", "metrics.prom", "heap.pprof"} {
+		p := filepath.Join(b.Dir, name)
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("bundle missing %s: %v", name, err)
+			continue
+		}
+		if fi.Size() == 0 {
+			t.Errorf("bundle file %s is empty", name)
+		}
+	}
+	raw, err := os.ReadFile(filepath.Join(b.Dir, "events.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"status": 504`) {
+		t.Error("events.json does not carry the recorded 504")
+	}
+	if !strings.Contains(string(raw), `"observed"`) {
+		t.Error("events.json does not embed the reconciliation stats")
+	}
+
+	// A second automatic capture inside MinInterval is rate-limited;
+	// force (the operator path) bypasses the limit.
+	if _, err := rec.Capture("again", false); err != ErrBundleRateLimited {
+		t.Errorf("second automatic capture: err = %v, want ErrBundleRateLimited", err)
+	}
+	if _, err := rec.Capture("operator", true); err != nil {
+		t.Errorf("forced capture rate-limited: %v", err)
+	}
+
+	// Disabled bundles reject capture outright.
+	off := NewRecorder(Config{Capacity: 8})
+	if _, err := off.Capture("x", true); err != ErrBundlesDisabled {
+		t.Errorf("capture without a dir: err = %v, want ErrBundlesDisabled", err)
+	}
+}
+
+func TestExportPublishesLedgerAndBurnGauges(t *testing.T) {
+	rec := NewRecorder(Config{Capacity: 16, SampleEvery: 2, TopK: 0, SLO: DefaultSLOConfig()})
+	for i := 0; i < 4; i++ {
+		record(rec, "/api/classify", 200, time.Millisecond)
+	}
+	record(rec, "/api/classify", 504, time.Millisecond)
+	reg := obs.NewRegistry()
+	rec.Export(reg)
+	if got := reg.Gauge("flight_events", "disposition", "observed").Value(); got != 5 {
+		t.Errorf("flight_events{observed} = %v, want 5", got)
+	}
+	kept := reg.Gauge("flight_events", "disposition", "kept").Value()
+	sampledOut := reg.Gauge("flight_events", "disposition", "sampled_out").Value()
+	if kept+sampledOut != 5 {
+		t.Errorf("exported ledger unbalanced: kept %v + sampled_out %v != 5", kept, sampledOut)
+	}
+	if got := reg.Gauge("slo_target", "objective", "availability").Value(); got != 0.999 {
+		t.Errorf("slo_target{availability} = %v, want 0.999", got)
+	}
+}
+
+func TestNilAndUnarmedSafety(t *testing.T) {
+	// Every API on a nil recorder and nil active must be a no-op: the
+	// serving path calls them unconditionally when the recorder is off.
+	var rec *Recorder
+	var a *Active
+	a.SetModel(1, true, "rf")
+	a.SetQueueWait(time.Second)
+	a.SetTimeoutStage("queue")
+	a.SetErr("x")
+	a.MarkFault()
+	a.MarkPanic()
+	a.Finalize(200, time.Second)
+	a.Timer().Observe(time.Second)
+	rec.Record(a)
+	rec.Export(obs.NewRegistry())
+	rec.TriggerBundle("x")
+	if _, err := rec.Capture("x", true); err != ErrBundlesDisabled {
+		t.Errorf("nil recorder Capture: %v", err)
+	}
+	if st := rec.Stats(); st.Observed != 0 {
+		t.Errorf("nil recorder stats: %+v", st)
+	}
+	if ev, m := rec.Query(Filter{}); ev != nil || m != 0 {
+		t.Error("nil recorder query returned events")
+	}
+	if rec.SLOStatus() != nil {
+		t.Error("nil recorder SLOStatus not nil")
+	}
+	// From on a bare context yields nil, and nil-safe methods absorb it.
+	if got := From(t.Context()); got != nil {
+		t.Errorf("From(bare ctx) = %v", got)
+	}
+}
+
+// TestConcurrentRecordQueryExport hammers one recorder from writer,
+// reader and exporter goroutines at once; run under -race by `make
+// race`. The final ledger must balance exactly.
+func TestConcurrentRecordQueryExport(t *testing.T) {
+	rec := NewRecorder(Config{Capacity: 64, SampleEvery: 3, TopK: 8, SLO: DefaultSLOConfig()})
+	const writers, perWriter = 8, 500
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				status := 200
+				if i%7 == 0 {
+					status = 504
+				}
+				a := NewActive("id", "POST", "/api/classify", time.Now())
+				a.MarkFault()
+				a.SetQueueWait(time.Duration(w) * time.Microsecond)
+				a.Finalize(status, time.Duration(i)*time.Microsecond)
+				rec.Record(a)
+			}
+		}()
+	}
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			reg := obs.NewRegistry()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rec.Query(Filter{Status: 504, Limit: 10})
+				rec.Stats()
+				rec.Export(reg)
+				rec.SLOStatus()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	st := rec.Stats()
+	if st.Observed != writers*perWriter {
+		t.Errorf("observed %d, recorded %d", st.Observed, writers*perWriter)
+	}
+	if st.Observed != st.Kept+st.SampledOut {
+		t.Errorf("ledger unbalanced: observed %d != kept %d + sampledOut %d", st.Observed, st.Kept, st.SampledOut)
+	}
+	if st.Kept != uint64(st.Live)+st.Evicted {
+		t.Errorf("ledger unbalanced: kept %d != live %d + evicted %d", st.Kept, st.Live, st.Evicted)
+	}
+}

@@ -1,0 +1,322 @@
+package flight
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// SLOConfig declares the serving objectives the burn-rate engine
+// evaluates. A zero config disables the engine entirely.
+type SLOConfig struct {
+	// AvailabilityTarget is the fraction of governed requests that must
+	// not fail server-side (status < 500); e.g. 0.999. <= 0 disables
+	// the availability objective.
+	AvailabilityTarget float64
+	// LatencyTarget is the fraction of successful (200) requests that
+	// must finish within LatencyThreshold; e.g. 0.99. <= 0 disables the
+	// latency objective.
+	LatencyTarget float64
+	// LatencyThreshold is the latency objective's cutoff.
+	LatencyThreshold time.Duration
+	// Windows are the burn-rate evaluation windows, shortest first.
+	// Empty means 1m, 5m, 30m, 1h. The largest window bounds the
+	// engine's memory (one small bucket per second).
+	Windows []time.Duration
+	// BurnThreshold triggers a diagnostic bundle when the shortest
+	// window's burn rate reaches it (a burn rate of 1.0 spends the
+	// error budget exactly at the sustainable pace; 10 means the budget
+	// is burning 10x too fast). <= 0 disables burn-triggered capture.
+	BurnThreshold float64
+	// MinWindowTotal is how many requests the shortest window must hold
+	// before a burn can trigger capture, so a single early failure
+	// against a near-empty window does not fire profiles. Default 20.
+	MinWindowTotal int
+	// RoutePrefix selects which events count toward the objectives.
+	// Default "/api/classify" (the governed serving path).
+	RoutePrefix string
+}
+
+// DefaultSLOConfig is three nines availability and 99%-under-500ms
+// latency over 1m/5m/30m/1h windows, bundle capture at 10x burn.
+func DefaultSLOConfig() SLOConfig {
+	return SLOConfig{
+		AvailabilityTarget: 0.999,
+		LatencyTarget:      0.99,
+		LatencyThreshold:   500 * time.Millisecond,
+		BurnThreshold:      10,
+	}
+}
+
+func (c *SLOConfig) enabled() bool {
+	return c.AvailabilityTarget > 0 || (c.LatencyTarget > 0 && c.LatencyThreshold > 0)
+}
+
+// sloBucket accumulates one second of governed traffic.
+type sloBucket struct {
+	total   uint64 // governed requests
+	bad     uint64 // status >= 500 (availability violations)
+	latMeas uint64 // 200s (latency objective denominator)
+	latSlow uint64 // 200s over the latency threshold
+}
+
+func (b *sloBucket) add(o *sloBucket) {
+	b.total += o.total
+	b.bad += o.bad
+	b.latMeas += o.latMeas
+	b.latSlow += o.latSlow
+}
+
+// slo is the in-process multi-window burn-rate engine: a ring of
+// one-second buckets sized to the largest window, summed on demand.
+type slo struct {
+	cfg    SLOConfig
+	clock  func() time.Time
+	onBurn func(reason string) // set by the recorder; may be nil
+
+	mu      sync.Mutex
+	buckets []sloBucket
+	lastSec int64     // absolute unix second the cursor is at (-1 before first event)
+	totals  sloBucket // whole-run accumulator
+}
+
+// newSLO returns nil when no objective is configured.
+func newSLO(cfg SLOConfig, clock func() time.Time) *slo {
+	if !cfg.enabled() {
+		return nil
+	}
+	if len(cfg.Windows) == 0 {
+		cfg.Windows = []time.Duration{time.Minute, 5 * time.Minute, 30 * time.Minute, time.Hour}
+	}
+	if cfg.MinWindowTotal <= 0 {
+		cfg.MinWindowTotal = 20
+	}
+	if cfg.RoutePrefix == "" {
+		cfg.RoutePrefix = "/api/classify"
+	}
+	maxW := cfg.Windows[0]
+	for _, w := range cfg.Windows {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	n := int(maxW / time.Second)
+	if n < 1 {
+		n = 1
+	}
+	return &slo{cfg: cfg, clock: clock, buckets: make([]sloBucket, n), lastSec: -1}
+}
+
+// advance zeroes buckets between the cursor and sec. Caller holds s.mu.
+func (s *slo) advance(sec int64) {
+	if s.lastSec < 0 {
+		s.lastSec = sec
+		return
+	}
+	gap := sec - s.lastSec
+	if gap <= 0 {
+		return
+	}
+	if gap > int64(len(s.buckets)) {
+		gap = int64(len(s.buckets))
+	}
+	for i := int64(1); i <= gap; i++ {
+		s.buckets[(s.lastSec+i)%int64(len(s.buckets))] = sloBucket{}
+	}
+	s.lastSec = sec
+}
+
+// record folds one finalized event into the current second, then checks
+// the shortest window for a burn worth capturing. Nil-safe.
+func (s *slo) record(ev *Event) {
+	if s == nil || !strings.HasPrefix(ev.Path, s.cfg.RoutePrefix) {
+		return
+	}
+	bad := ev.Status >= 500
+	slow := ev.Status == 200 && ev.DurationNS > int64(s.cfg.LatencyThreshold)
+
+	s.mu.Lock()
+	sec := s.clock().Unix()
+	s.advance(sec)
+	b := &s.buckets[sec%int64(len(s.buckets))]
+	b.total++
+	s.totals.total++
+	if bad {
+		b.bad++
+		s.totals.bad++
+	}
+	if ev.Status == 200 {
+		b.latMeas++
+		s.totals.latMeas++
+		if slow {
+			b.latSlow++
+			s.totals.latSlow++
+		}
+	}
+	var burnReason string
+	// Only a budget-spending event can push a burn rate over the
+	// threshold, so the window sum runs on those alone.
+	if (bad || slow) && s.cfg.BurnThreshold > 0 && s.onBurn != nil {
+		w := s.cfg.Windows[0]
+		sum := s.windowSum(w, sec)
+		if sum.total >= uint64(s.cfg.MinWindowTotal) {
+			if bad && s.cfg.AvailabilityTarget > 0 &&
+				burnRate(sum.bad, sum.total, s.cfg.AvailabilityTarget) >= s.cfg.BurnThreshold {
+				burnReason = "slo_burn_availability"
+			} else if slow && s.cfg.LatencyTarget > 0 &&
+				burnRate(sum.latSlow, sum.latMeas, s.cfg.LatencyTarget) >= s.cfg.BurnThreshold {
+				burnReason = "slo_burn_latency"
+			}
+		}
+	}
+	s.mu.Unlock()
+
+	if burnReason != "" {
+		s.onBurn(burnReason) // async + rate-limited by the bundler
+	}
+}
+
+// windowSum adds the buckets covering the last w ending at sec. Caller
+// holds s.mu.
+func (s *slo) windowSum(w time.Duration, sec int64) sloBucket {
+	n := int64(w / time.Second)
+	if n > int64(len(s.buckets)) {
+		n = int64(len(s.buckets))
+	}
+	var sum sloBucket
+	for i := int64(0); i < n; i++ {
+		at := sec - i
+		if at < 0 || (s.lastSec >= 0 && at <= s.lastSec-int64(len(s.buckets))) {
+			break
+		}
+		sum.add(&s.buckets[at%int64(len(s.buckets))])
+	}
+	return sum
+}
+
+// burnRate is (bad/total) / (1-target): 1.0 spends the error budget at
+// exactly the sustainable pace. Zero traffic burns nothing.
+func burnRate(bad, total uint64, target float64) float64 {
+	if total == 0 || target >= 1 {
+		return 0
+	}
+	return (float64(bad) / float64(total)) / (1 - target)
+}
+
+// WindowBurn is one evaluation window's burn state.
+type WindowBurn struct {
+	Window   string  `json:"window"`
+	Total    uint64  `json:"total"`
+	Bad      uint64  `json:"bad"`
+	BadRate  float64 `json:"badRate"`
+	BurnRate float64 `json:"burnRate"`
+}
+
+// ObjectiveStatus reports one objective across every window plus the
+// whole run.
+type ObjectiveStatus struct {
+	Target    float64      `json:"target"`
+	Threshold string       `json:"threshold,omitempty"` // latency objective only
+	Windows   []WindowBurn `json:"windows"`
+	RunTotal  uint64       `json:"runTotal"`
+	RunBad    uint64       `json:"runBad"`
+	// RunBudgetLeft is the fraction of the run's error budget still
+	// unspent (negative once the objective is violated outright).
+	RunBudgetLeft float64 `json:"runBudgetLeft"`
+}
+
+// SLOStatus is the /debug/slo payload.
+type SLOStatus struct {
+	Availability *ObjectiveStatus `json:"availability,omitempty"`
+	Latency      *ObjectiveStatus `json:"latency,omitempty"`
+}
+
+// windowLabel renders a duration compactly (60s -> "1m0s" is noisy; use
+// the stdlib form, it round-trips through ParseDuration).
+func windowLabel(w time.Duration) string { return w.String() }
+
+// status evaluates every window now. Nil-safe (nil engine -> nil).
+func (s *slo) status() *SLOStatus {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sec := s.clock().Unix()
+	s.advance(sec)
+	out := &SLOStatus{}
+	build := func(target float64, bad func(*sloBucket) (uint64, uint64)) *ObjectiveStatus {
+		o := &ObjectiveStatus{Target: target}
+		for _, w := range s.cfg.Windows {
+			sum := s.windowSum(w, sec)
+			b, t := bad(&sum)
+			o.Windows = append(o.Windows, WindowBurn{
+				Window:   windowLabel(w),
+				Total:    t,
+				Bad:      b,
+				BadRate:  safeDiv(b, t),
+				BurnRate: burnRate(b, t, target),
+			})
+		}
+		b, t := bad(&s.totals)
+		o.RunTotal, o.RunBad = t, b
+		o.RunBudgetLeft = 1 - burnRate(b, t, target)
+		return o
+	}
+	if s.cfg.AvailabilityTarget > 0 {
+		out.Availability = build(s.cfg.AvailabilityTarget,
+			func(b *sloBucket) (uint64, uint64) { return b.bad, b.total })
+	}
+	if s.cfg.LatencyTarget > 0 {
+		out.Latency = build(s.cfg.LatencyTarget,
+			func(b *sloBucket) (uint64, uint64) { return b.latSlow, b.latMeas })
+		out.Latency.Threshold = s.cfg.LatencyThreshold.String()
+	}
+	return out
+}
+
+func safeDiv(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// export publishes burn-rate gauges (slo_burn_rate{objective,window})
+// and objective targets into reg. Nil-safe.
+func (s *slo) export(reg *obs.Registry) {
+	if s == nil || reg == nil {
+		return
+	}
+	st := s.status()
+	set := func(objective string, o *ObjectiveStatus) {
+		if o == nil {
+			return
+		}
+		reg.Gauge("slo_target", "objective", objective).Set(o.Target)
+		reg.Gauge("slo_budget_left", "objective", objective).Set(o.RunBudgetLeft)
+		for _, w := range o.Windows {
+			reg.Gauge("slo_burn_rate", "objective", objective, "window", w.Window).Set(w.BurnRate)
+		}
+	}
+	set("availability", st.Availability)
+	set("latency", st.Latency)
+}
+
+// String renders the config for boot logging.
+func (c SLOConfig) String() string {
+	if !c.enabled() {
+		return "disabled"
+	}
+	var parts []string
+	if c.AvailabilityTarget > 0 {
+		parts = append(parts, fmt.Sprintf("availability>=%g", c.AvailabilityTarget))
+	}
+	if c.LatencyTarget > 0 && c.LatencyThreshold > 0 {
+		parts = append(parts, fmt.Sprintf("p%g<=%s", c.LatencyTarget*100, c.LatencyThreshold))
+	}
+	return strings.Join(parts, ",")
+}

@@ -122,6 +122,53 @@ func (m *PoolMetrics) run(ctx context.Context, i int, fn func(ctx context.Contex
 	return err
 }
 
+// Timer accumulates wall time and a completion count across concurrent
+// tasks with two atomic adds per observation -- the propagation channel
+// for per-row serving timings: every row of a batch fan-out observes its
+// inference time into the request's Timer regardless of which pool
+// goroutine ran it, and the request's wide event reads the totals once
+// after the fan-out joins. A nil *Timer is a no-op.
+type Timer struct {
+	ns atomic.Int64
+	n  atomic.Int64
+}
+
+// Observe adds one task's elapsed time.
+func (t *Timer) Observe(d time.Duration) {
+	if t != nil {
+		t.ns.Add(int64(d))
+		t.n.Add(1)
+	}
+}
+
+// Total returns the summed task time observed so far.
+func (t *Timer) Total() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.ns.Load())
+}
+
+// Count returns how many observations landed.
+func (t *Timer) Count() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.n.Load()
+}
+
+// ForEachCtxTimed is ForEachCtx with per-task timing: each task's wall
+// time (successful or not) is observed into timer, so callers get the
+// summed compute cost of a fan-out without threading stopwatches through
+// every closure. timer may be nil.
+func ForEachCtxTimed(ctx context.Context, workers, n int, timer *Timer, fn func(ctx context.Context, i int) error) error {
+	return ForEachCtx(ctx, workers, n, func(ctx context.Context, i int) error {
+		start := time.Now()
+		defer func() { timer.Observe(time.Since(start)) }()
+		return fn(ctx, i)
+	})
+}
+
 // Workers resolves a worker-count knob: values <= 0 mean GOMAXPROCS.
 func Workers(n int) int {
 	if n <= 0 {

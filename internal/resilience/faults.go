@@ -197,26 +197,36 @@ func (f *Faults) Sites() []string {
 // return nil at the cost of one map lookup, and registries are never
 // constructed in default builds, so the hot path stays clean.
 func (f *Faults) Inject(site string) error {
+	_, err := f.InjectReport(site)
+	return err
+}
+
+// InjectReport is Inject plus a hit report: fired is true whenever the
+// site's dice injected anything (including a latency fault, which
+// returns a nil error), so callers can attribute injected misbehaviour
+// to specific requests (e.g. the flight recorder's fault-hit counter).
+// An injected panic propagates before the function returns.
+func (f *Faults) InjectReport(site string) (fired bool, err error) {
 	if f == nil {
-		return nil
+		return false, nil
 	}
 	s, ok := f.sites[site]
 	if !ok {
-		return nil
+		return false, nil
 	}
 	n := s.calls.Add(1) - 1
 	// 53 high bits -> uniform float in [0, 1).
 	u := float64(mix64(s.seed+n)>>11) / (1 << 53)
 	if u >= s.spec.Rate {
-		return nil
+		return false, nil
 	}
 	switch s.spec.Kind {
 	case FaultLatency:
 		time.Sleep(s.spec.Latency)
-		return nil
+		return true, nil
 	case FaultPanic:
 		panic(fmt.Sprintf("resilience: injected panic at site %q (call %d)", site, n))
 	default:
-		return fmt.Errorf("%w at site %q (call %d)", ErrInjected, site, n)
+		return true, fmt.Errorf("%w at site %q (call %d)", ErrInjected, site, n)
 	}
 }

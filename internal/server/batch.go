@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/obs/flight"
 	"repro/internal/parallel"
 	"repro/internal/resilience"
 )
@@ -18,17 +19,24 @@ import (
 // response: deadline overruns are 504s counted in http_timeouts_total,
 // isolated row panics and injected faults are 500s. Nothing has been
 // written yet in either caller, so the status always commits cleanly.
-func (s *Server) rowError(w http.ResponseWriter, err error) {
+// The request's wide event picks up the terminal error (and, for an
+// isolated row panic, the panic flag) so /debug/requests can attribute
+// the 5xx to its cause.
+func (s *Server) rowError(w http.ResponseWriter, r *http.Request, err error) {
+	fe := flight.From(r.Context())
 	var pe *parallel.PanicError
 	switch {
 	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
-		s.timedOut(w, "handler")
+		s.timedOut(w, r, "handler")
 	case errors.As(err, &pe):
+		fe.MarkPanic()
+		fe.SetErr(fmt.Sprintf("row %d inference panicked: %v", pe.Index, pe.Value))
 		s.metrics.Counter("classify_row_panics_total").Inc()
 		s.log.Error("classify row panic isolated", "task", pe.Index, "panic", pe.Value)
 		s.writeError(w, http.StatusInternalServerError,
 			"internal error: row %d inference panicked (isolated)", pe.Index)
 	default:
+		fe.SetErr(err.Error())
 		s.writeError(w, http.StatusInternalServerError, "internal error: %v", err)
 	}
 }
@@ -146,6 +154,7 @@ func (s *Server) handleClassifyBatch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusServiceUnavailable, "no classifier loaded")
 		return
 	}
+	v.Annotate(flight.From(r.Context()))
 	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBody)
 	var req batchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -218,8 +227,10 @@ func (s *Server) handleClassifyBatch(w http.ResponseWriter, r *http.Request) {
 	// All-or-nothing fan-out: rows share the request context, so an
 	// expired deadline (or an isolated row panic) fails the whole batch
 	// with one error response -- a batch never returns partial results.
+	// The timed variant sums per-row inference time into the request's
+	// wide event across however many goroutines the pool spreads over.
 	results := make([]classifyResult, len(rows))
-	err := parallel.ForEachCtx(r.Context(), s.batchWorkers, len(rows), func(ctx context.Context, i int) error {
+	err := parallel.ForEachCtxTimed(r.Context(), s.batchWorkers, len(rows), flight.From(r.Context()).Timer(), func(ctx context.Context, i int) error {
 		res, err := s.classifyRow(ctx, v, rows[i], defaulted[i], req.Threshold)
 		if err != nil {
 			return err
@@ -228,7 +239,7 @@ func (s *Server) handleClassifyBatch(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	if err != nil {
-		s.rowError(w, err)
+		s.rowError(w, r, err)
 		return
 	}
 

@@ -35,7 +35,7 @@ var (
 	chaosErr  error
 )
 
-func chaosFixture(t *testing.T) *chaosAssets {
+func chaosFixture(t testing.TB) *chaosAssets {
 	t.Helper()
 	chaosOnce.Do(func() {
 		res, err := core.RunPipeline(core.DefaultPipelineConfig(91, 200))

@@ -1,0 +1,113 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/obs/flight"
+)
+
+// flightBenchHandler builds an in-process serving handler over the chaos
+// assets; opts arms or omits the flight recorder.
+func flightBenchHandler(t testing.TB, a *chaosAssets, opts ...Option) http.Handler {
+	t.Helper()
+	reg := obs.NewRegistry()
+	models := core.NewModelManager(reg)
+	if _, err := models.ReloadFromFile(a.pathA); err != nil {
+		t.Fatal(err)
+	}
+	all := append([]Option{WithMetrics(reg), WithModelManager(models)}, opts...)
+	return New(a.store, nil, 6400, all...)
+}
+
+// serveClassify drives one single-classify request straight through the
+// handler (no network), failing the benchmark on any non-200.
+func serveClassify(b *testing.B, h http.Handler, body []byte) {
+	req := httptest.NewRequest("POST", "/api/classify", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if rr.Code != 200 {
+		b.Fatalf("classify status %d: %s", rr.Code, rr.Body.String())
+	}
+}
+
+// TestFlightOverheadGate is the CI recorder-overhead ratchet (run by
+// `make flight-overhead-gate`, env-gated so plain `go test ./...` stays
+// fast and benchmark-free): the full serving path with the recorder
+// armed must stay within FLIGHT_OVERHEAD_MAX_RATIO of the disarmed
+// path. The recorder's per-request cost is one Active allocation, a few
+// atomic adds, and a short critical section in Record -- the end-to-end
+// request (JSON decode + inference + encode) should dominate it
+// completely.
+func TestFlightOverheadGate(t *testing.T) {
+	if os.Getenv("FLIGHT_GATE") == "" {
+		t.Skip("set FLIGHT_GATE=1 to run the recorder-overhead gate (make flight-overhead-gate)")
+	}
+	const maxRatio = 1.5
+
+	a := chaosFixture(t)
+	body := a.singleBody(0)
+	disarmedH := flightBenchHandler(t, a)
+	armedH := flightBenchHandler(t, a,
+		WithFlightRecorder(flight.NewRecorder(flight.DefaultConfig())))
+
+	measure := func(h http.Handler) float64 {
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				serveClassify(b, h, body)
+			}
+		})
+		return float64(res.NsPerOp())
+	}
+	// Interleave A/B/A/B and keep each side's best run: min-of-runs is
+	// robust against one-sided noise (GC, scheduler) on shared CI boxes.
+	disarmed, armed := measure(disarmedH), measure(armedH)
+	for i := 0; i < 2; i++ {
+		if d := measure(disarmedH); d < disarmed {
+			disarmed = d
+		}
+		if g := measure(armedH); g < armed {
+			armed = g
+		}
+	}
+
+	ratio := armed / disarmed
+	t.Logf("classify ns/request: disarmed=%.0f armed=%.0f ratio=%.3f (max %.2f)",
+		disarmed, armed, ratio, maxRatio)
+	if ratio > maxRatio {
+		t.Errorf("flight recorder overhead ratio %.3f exceeds %.2f: recording a wide event costs too much per request",
+			ratio, maxRatio)
+	}
+}
+
+// Benchmarks for `make bench` / benchstat: the same serving path with
+// and without the recorder, so the overhead is visible in routine bench
+// sweeps, not only when the gate trips.
+func BenchmarkClassifyFlightDisarmed(b *testing.B) {
+	a := chaosFixture(b)
+	h := flightBenchHandler(b, a)
+	body := a.singleBody(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serveClassify(b, h, body)
+	}
+}
+
+func BenchmarkClassifyFlightArmed(b *testing.B) {
+	a := chaosFixture(b)
+	h := flightBenchHandler(b, a,
+		WithFlightRecorder(flight.NewRecorder(flight.DefaultConfig())))
+	body := a.singleBody(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serveClassify(b, h, body)
+	}
+}

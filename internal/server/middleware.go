@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 )
 
 // Option configures optional server subsystems.
@@ -47,13 +48,24 @@ func WithBatchWorkers(n int) Option {
 	return func(s *Server) { s.batchWorkers = n }
 }
 
+// WithFlightRecorder arms the serving-path flight recorder: every
+// request produces one wide event in rec's tail-sampled ring, and the
+// /debug/requests, /debug/slo and /debug/bundle endpoints are mounted
+// over it. Build rec with flight.NewRecorder; pass the same registry as
+// WithMetrics in rec's bundle config so captured bundles carry the
+// server's own metrics.
+func WithFlightRecorder(rec *flight.Recorder) Option {
+	return func(s *Server) { s.flight = rec }
+}
+
 // knownPaths bounds the cardinality of the path label: anything not
 // registered on the API is reported as "other".
 var knownPaths = map[string]bool{
 	"/api/overview": true, "/api/groupby": true, "/api/drilldown": true,
 	"/api/utilization": true, "/api/features": true, "/api/classify": true,
 	"/api/classify/batch": true, "/admin/model/reload": true,
-	"/metrics": true,
+	"/metrics": true, "/healthz": true, "/readyz": true,
+	"/debug/requests": true, "/debug/slo": true, "/debug/bundle": true,
 }
 
 func pathLabel(p string) string {
@@ -113,13 +125,26 @@ func (s *Server) requestID(r *http.Request) string {
 }
 
 // wrap is the middleware chain applied to every request: request ID ->
-// panic recovery -> metrics -> logging -> handler.
+// wide-event assembly -> panic recovery -> metrics -> logging ->
+// handler. The X-Request-Id response header is set before the handler
+// runs, so every disposition -- 200, 429, 504, panic-500 -- echoes the
+// ID the flight recorder filed the request's wide event under.
 func (s *Server) wrap(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := s.requestID(r)
 		w.Header().Set("X-Request-ID", id)
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
+
+		// The wide event rides the request context so every layer below
+		// (admission control, fault sites, the batch row fan-out) can
+		// annotate it without new plumbing; when the recorder is not
+		// armed this whole block is one nil check.
+		var fe *flight.Active
+		if s.flight != nil {
+			fe = flight.NewActive(id, r.Method, pathLabel(r.URL.Path), start)
+			r = r.WithContext(flight.With(r.Context(), fe))
+		}
 
 		if s.metrics != nil {
 			inFlight := s.metrics.Gauge("http_in_flight_requests")
@@ -132,6 +157,8 @@ func (s *Server) wrap(next http.Handler) http.Handler {
 				if rec == http.ErrAbortHandler {
 					panic(rec)
 				}
+				fe.MarkPanic()
+				fe.SetErr(fmt.Sprint(rec))
 				s.metrics.Counter("http_panics_total").Inc()
 				s.log.Error("handler panic", "id", id, "path", r.URL.Path, "panic", rec)
 				if sw.status == 0 {
@@ -148,6 +175,8 @@ func (s *Server) wrap(next http.Handler) http.Handler {
 				s.metrics.Histogram("http_request_seconds", nil, "path", pl).
 					ObserveDuration(start)
 			}
+			fe.Finalize(sw.status, time.Since(start))
+			s.flight.Record(fe)
 			s.log.Debug("request",
 				"id", id, "method", r.Method, "path", r.URL.Path,
 				"status", sw.status, "dur", time.Since(start).Round(time.Microsecond))
@@ -189,10 +218,34 @@ func (s *Server) mountDebug() {
 		s.metrics.Help("model_breaker_state", "Model-reload circuit breaker position: 0 closed, 1 half-open, 2 open.")
 		s.metrics.Help("model_breaker_rejections_total", "Model reload attempts rejected because the breaker was open.")
 		s.metrics.Help("classify_row_panics_total", "Row inference panics isolated by the worker pool.")
+		s.metrics.Help("go_goroutines", "Live goroutines (runtime/metrics, sampled per scrape).")
+		s.metrics.Help("go_heap_bytes", "Bytes of live heap objects (runtime/metrics, sampled per scrape).")
+		s.metrics.Help("go_gc_pause_seconds", "GC pause distribution quantiles (runtime/metrics).")
+		s.metrics.Help("go_sched_latency_seconds", "Goroutine scheduling latency quantiles (runtime/metrics).")
+		if s.flight != nil {
+			s.metrics.Help("flight_events", "Flight-recorder event ledger by disposition (observed = kept + sampled_out; kept = live + evicted).")
+			s.metrics.Help("flight_live_events", "Wide events currently held in the flight-recorder ring.")
+			s.metrics.Help("flight_bundles", "Diagnostic bundle captures by outcome.")
+			s.metrics.Help("slo_burn_rate", "Error-budget burn rate per objective and window (1.0 = budget spent exactly at the sustainable pace).")
+			s.metrics.Help("slo_target", "Configured SLO target per objective.")
+			s.metrics.Help("slo_budget_left", "Fraction of the run's error budget still unspent, per objective.")
+		}
 		s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+			// Scrape-time collection hooks: Go runtime gauges and the
+			// flight recorder's ledger/burn gauges refresh here, so the
+			// exposition is always current without a background ticker.
+			obs.CollectRuntime(s.metrics)
+			s.flight.Export(s.metrics)
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 			_ = s.metrics.WritePrometheus(w)
 		})
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	if s.flight != nil {
+		s.mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
+		s.mux.HandleFunc("GET /debug/slo", s.handleDebugSLO)
+		s.mux.HandleFunc("GET /debug/bundle", s.handleDebugBundle)
 	}
 	if s.pprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)

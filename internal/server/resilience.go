@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/obs/flight"
 	"repro/internal/resilience"
 )
 
@@ -80,6 +81,13 @@ func (s *Server) initResilience() {
 	gauge := s.metrics.Gauge("model_breaker_state")
 	s.breakerCfg.OnStateChange = func(st resilience.BreakerState) {
 		gauge.Set(float64(st))
+		if st == resilience.BreakerOpen {
+			// A tripped breaker is exactly the moment diagnostics are
+			// worth their cost: snapshot the ring and runtime state.
+			// TriggerBundle is asynchronous (and nil-safe), so the
+			// breaker's own lock is never held across a capture.
+			s.flight.TriggerBundle("breaker_open")
+		}
 	}
 	s.breakerCfg.Now = nil // the breaker defaults to the real clock
 	s.breaker = resilience.NewBreaker(s.breakerCfg)
@@ -114,7 +122,12 @@ func (s *Server) shed(w http.ResponseWriter, reason string) {
 // timedOut answers a deadline-exceeded request: 504 plus the
 // http_timeouts_total{stage} counter. stage is "queue" (deadline expired
 // while waiting for admission) or "handler" (expired mid-inference).
-func (s *Server) timedOut(w http.ResponseWriter, stage string) {
+// The stage also lands on the request's wide event, so /debug/requests
+// can split queue-side from handler-side overruns.
+func (s *Server) timedOut(w http.ResponseWriter, r *http.Request, stage string) {
+	fe := flight.From(r.Context())
+	fe.SetTimeoutStage(stage)
+	fe.SetErr("request deadline exceeded (" + stage + " stage)")
 	s.metrics.Counter("http_timeouts_total", "stage", stage).Inc()
 	s.writeError(w, http.StatusGatewayTimeout,
 		"request deadline exceeded (%s stage)", stage)
@@ -123,14 +136,18 @@ func (s *Server) timedOut(w http.ResponseWriter, stage string) {
 // govern applies the resilience layer around a governed request: attach
 // the deadline, pass admission control, run next with the deadline-bound
 // request, release. When admission sheds or the deadline expires in the
-// queue, govern answers the request itself and next never runs.
+// queue, govern answers the request itself and next never runs. The time
+// a request spends waiting for an admission slot is stamped onto its
+// wide event, so handler time and queue time stay separable per request.
 func (s *Server) govern(w http.ResponseWriter, r *http.Request, next func(*http.Request)) {
 	if s.resilience.RequestTimeout > 0 {
 		ctx, cancel := context.WithTimeout(r.Context(), s.resilience.RequestTimeout)
 		defer cancel()
 		r = r.WithContext(ctx)
 	}
+	enqueued := time.Now()
 	release, err := s.limiter.Acquire(r.Context())
+	flight.From(r.Context()).SetQueueWait(time.Since(enqueued))
 	switch {
 	case errors.Is(err, resilience.ErrShed):
 		s.shed(w, "queue_full")
@@ -139,7 +156,7 @@ func (s *Server) govern(w http.ResponseWriter, r *http.Request, next func(*http.
 		// The deadline expired (or the client vanished) while the
 		// request sat in the admission queue: it never executed, so the
 		// all-or-nothing contract holds trivially.
-		s.timedOut(w, "queue")
+		s.timedOut(w, r, "queue")
 		return
 	}
 	defer release()

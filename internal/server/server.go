@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/resilience"
 	"repro/internal/warehouse"
 )
@@ -39,6 +40,7 @@ type Server struct {
 	pprof        bool
 	batchWorkers int
 	bootStamp    int64
+	flight       *flight.Recorder
 
 	resilience ResilienceConfig
 	limiter    *resilience.Limiter
@@ -279,9 +281,15 @@ func resolveRow(v *core.ModelView, features map[string]float64) (row []float64, 
 // (pool PanicError for batch, middleware recovery for single) can prove
 // they contain it.
 func (s *Server) classifyRow(ctx context.Context, v *core.ModelView, row []float64, defaulted []string, threshold float64) (classifyResult, error) {
-	if err := s.faults.Inject(FaultClassifyRow); err != nil {
-		s.classifyOutcome("error")
-		return classifyResult{}, err
+	if fired, err := s.faults.InjectReport(FaultClassifyRow); fired {
+		// Injected latency and errors alike are fault hits the wide
+		// event attributes; a fired latency fault falls through to real
+		// inference with err == nil.
+		flight.From(ctx).MarkFault()
+		if err != nil {
+			s.classifyOutcome("error")
+			return classifyResult{}, err
+		}
 	}
 	if err := ctx.Err(); err != nil {
 		s.classifyOutcome("timeout")
@@ -305,6 +313,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusServiceUnavailable, "no classifier loaded")
 		return
 	}
+	v.Annotate(flight.From(r.Context()))
 	r.Body = http.MaxBytesReader(w, r.Body, maxClassifyBody)
 	var req classifyRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -338,9 +347,13 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "unknown features: %v", unknown)
 		return
 	}
+	// Observe the single row's inference time into the wide event the
+	// same way the batch fan-out does, so RowNS/Rows mean one thing.
+	rowStart := time.Now()
 	res, err := s.classifyRow(r.Context(), v, row, defaulted, req.Threshold)
+	flight.From(r.Context()).Timer().Observe(time.Since(rowStart))
 	if err != nil {
-		s.rowError(w, err)
+		s.rowError(w, r, err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, res)

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/obs/flight"
 	"repro/internal/resilience"
 	"repro/internal/testkit"
 )
@@ -50,9 +51,13 @@ func TestChaosShedParityAcrossWorkers(t *testing.T) {
 			}); err != nil {
 				t.Fatal(err)
 			}
+			// The flight recorder rides along armed: recording wide events
+			// must never change a response byte (the digests below are
+			// compared against an unrecorded, ungoverned reference).
 			governed := newChaosServer(t, a,
 				WithBatchWorkers(workers),
 				WithFaults(faults),
+				WithFlightRecorder(flight.NewRecorder(flight.DefaultConfig())),
 				WithResilience(ResilienceConfig{
 					RequestTimeout: 10 * time.Second,
 					MaxConcurrent:  2,

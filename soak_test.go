@@ -54,6 +54,10 @@ func TestSoakServeUnderFaults(t *testing.T) {
 		"-breaker-threshold", "3", "-breaker-open-for", "2s",
 		"-faults", "classify.row=latency:1.0:10ms,reload=error:0.3",
 		"-fault-seed", "42",
+		// Flight recorder armed with a ring big enough that nothing is
+		// evicted during the run, so the reconciliation below can demand
+		// every error event be retrievable, not just counted.
+		"-flight-capacity", "20000",
 	)
 	defer stopServe(t, srv)
 
@@ -89,6 +93,15 @@ func TestSoakServeUnderFaults(t *testing.T) {
 	close(hupDone)
 	if err != nil {
 		t.Fatalf("load run failed: %v", err)
+	}
+
+	// Cross-check the flight recorder's ledger against the client's view
+	// before persisting, so the report artifact carries the result. The
+	// recorder counts per route and status independently of tail
+	// sampling, so with zero client-side errors the join must be exact.
+	chk, err := loadgen.ReconcileRecorder(context.Background(), base, rep)
+	if err != nil {
+		t.Errorf("recorder reconciliation unavailable: %v", err)
 	}
 
 	// Persist the artifact before asserting, so a failing soak still
@@ -162,5 +175,18 @@ func TestSoakServeUnderFaults(t *testing.T) {
 	}
 	if rep.Shed == 0 {
 		t.Logf("note: this run shed nothing (rps below capacity?); the contract checks were vacuous")
+	}
+
+	// Flight-recorder reconciliation: ledger balanced, per-status counts
+	// joined exactly against the client, every 429/504 retrievable.
+	if chk != nil {
+		t.Logf("soak recorder: observed=%d kept=%d sampledOut=%d evicted=%d",
+			chk.Observed, chk.Kept, chk.SampledOut, chk.Evicted)
+		for _, m := range chk.Mismatches {
+			t.Errorf("recorder reconciliation: %s", m)
+		}
+		if chk.Evicted != 0 {
+			t.Errorf("recorder evicted %d events; the soak ring (-flight-capacity 20000) should hold the whole run", chk.Evicted)
+		}
 	}
 }
