@@ -24,7 +24,8 @@ FUZZ_TARGETS = \
 	./internal/dataset:FuzzReadCSV \
 	./internal/core:FuzzLoadJobClassifier \
 	./internal/loadgen:FuzzLoadConfig \
-	./internal/ml/compile:FuzzCompileParity
+	./internal/ml/compile:FuzzCompileParity \
+	./internal/ingest:FuzzIngestFrame
 
 # Knobs for `make bench` (forwarded to go test): repeat each benchmark
 # BENCH_COUNT times for BENCH_TIME each, e.g.
@@ -48,9 +49,15 @@ SOAK_DUR ?= 30s
 SOAK_RPS ?= 200
 SOAK_OUT ?= soak-report.json
 
+# Knobs for the ingest soak harness (see soak_ingest_test.go).
+SOAK_INGEST_DUR ?= 30s
+SOAK_INGEST_JOBS ?= 48
+SOAK_INGEST_OUT ?= soak-ingest-report.json
+
 .PHONY: all build test vet fmt-check race bench bench-smoke bench-gate alloc-gate \
 	flight-overhead-gate staticcheck paper trace serve-debug clean \
-	testkit testkit-update test-shuffle cover fuzz-smoke serve-batch-smoke chaos soak
+	testkit testkit-update test-shuffle cover fuzz-smoke serve-batch-smoke chaos soak \
+	soak-ingest
 
 all: build test
 
@@ -76,7 +83,8 @@ fmt-check:
 race:
 	$(GO) test -race ./internal/parallel ./internal/ml/... ./internal/core \
 		./internal/experiments ./internal/obs ./internal/obs/flight \
-		./internal/server ./internal/resilience ./internal/loadgen
+		./internal/server ./internal/resilience ./internal/loadgen \
+		./internal/ingest ./internal/warehouse
 
 # The full correctness harness: golden corpus, metamorphic invariants,
 # edge-case/equivalence suites, and fuzz seed-corpus replay. -count=1
@@ -191,8 +199,20 @@ soak:
 	SOAK_DUR=$(SOAK_DUR) SOAK_RPS=$(SOAK_RPS) SOAK_OUT=$(SOAK_OUT) \
 		$(GO) test -count=1 -tags soak -run TestSoakServeUnderFaults -v -timeout 10m .
 
+# The ingest soak: builds supremm-ingestd WITH -race, boots it with
+# fault injection armed at every ingest site, replays a seeded firehose,
+# and reconciles the conservation ledger against the clients' acks and
+# /metrics exactly (received == summarized + dropped, per shard and
+# globally). SIGTERM then makes the daemon drain and self-audit; a
+# non-zero exit means its own books did not balance. The JSON report
+# lands at SOAK_INGEST_OUT.
+soak-ingest:
+	SOAK_INGEST_DUR=$(SOAK_INGEST_DUR) SOAK_INGEST_JOBS=$(SOAK_INGEST_JOBS) \
+	SOAK_INGEST_OUT=$(SOAK_INGEST_OUT) \
+		$(GO) test -count=1 -tags soak -run TestSoakIngestConservation -v -timeout 10m .
+
 # BENCH_baseline.json is the checked-in perf-ratchet baseline, not a
 # build product — keep it.
 clean:
 	find . -maxdepth 1 -name 'BENCH_*.json' ! -name BENCH_baseline.json -delete
-	rm -f trace.json coverage.out soak-report.json
+	rm -f trace.json coverage.out soak-report.json soak-ingest-report.json

@@ -1,0 +1,143 @@
+// Command supremm-ingestload replays a seeded firehose against a
+// running supremm-ingestd and, when given the daemon's HTTP address,
+// reconciles the run to the record: the client-side acked count, the
+// daemon's conservation ledger, and the /metrics counters must agree
+// exactly.
+//
+// Usage:
+//
+//	supremm-ingestload -addr 127.0.0.1:9301 [-http http://127.0.0.1:9302]
+//	                   [-jobs 32] [-conns 4] [-hosts 4] [-wall 4000]
+//	                   [-dur 2s] [-chunk 4] [-seed 1] [-out report.json]
+//
+// or equivalently with a single spec string:
+//
+//	supremm-ingestload -spec addr=127.0.0.1:9301,jobs=64,dur=10s,seed=7
+//
+// The JSON report is printed to stdout (and to -out when given). Exit
+// status: 0 when the run completed and every reconciliation join is
+// exact, 2 when the run completed but the books do not balance, 1 on
+// any other failure.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/loadgen"
+)
+
+func main() {
+	addr := flag.String("addr", "", "ingest daemon TCP address (required unless -spec)")
+	httpBase := flag.String("http", "", "daemon HTTP base URL, e.g. http://127.0.0.1:9302; enables exact reconciliation")
+	jobs := flag.Int("jobs", 0, "cluster jobs to generate and stream")
+	conns := flag.Int("conns", 0, "client connections (simulated collector hosts)")
+	hosts := flag.Int("hosts", 0, "max nodes per job")
+	wall := flag.Float64("wall", 0, "wall-seconds cap per job")
+	dur := flag.Duration("dur", 0, "replay window the send schedule is compressed into")
+	chunk := flag.Int("chunk", 0, "samples per data frame")
+	seed := flag.Uint64("seed", 1, "workload seed; one seed reproduces the exact frame sequence")
+	spec := flag.String("spec", "", "full load spec (overrides the individual flags)")
+	out := flag.String("out", "", "also write the JSON report to this file")
+	timeout := flag.Duration("timeout", 2*time.Minute, "overall run deadline")
+	flag.Parse()
+
+	cfg, err := buildConfig(*spec, *addr, *jobs, *conns, *hosts, *wall, *dur, *chunk, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	ctx, cancel := context.WithTimeout(ctx, *timeout)
+	defer cancel()
+
+	rep, runErr := loadgen.RunIngest(ctx, cfg)
+	if rep == nil {
+		fatal(runErr)
+	}
+	if *httpBase != "" {
+		chk, err := loadgen.ReconcileIngest(ctx, *httpBase, rep)
+		if err != nil {
+			emit(rep, *out)
+			fatal(err)
+		}
+		rep.Reconcile = chk
+	}
+	emit(rep, *out)
+
+	switch {
+	case runErr != nil:
+		fatal(runErr)
+	case rep.Reconcile != nil && len(rep.Reconcile.Mismatches) > 0:
+		fmt.Fprintln(os.Stderr, "supremm-ingestload: reconciliation mismatches:")
+		for _, m := range rep.Reconcile.Mismatches {
+			fmt.Fprintln(os.Stderr, "  -", m)
+		}
+		os.Exit(2)
+	}
+}
+
+// buildConfig resolves the spec-vs-flags precedence: -spec wins whole;
+// otherwise flags overlay the spec defaults.
+func buildConfig(spec, addr string, jobs, conns, hosts int, wall float64, dur time.Duration, chunk int, seed uint64) (loadgen.IngestConfig, error) {
+	if spec != "" {
+		return loadgen.ParseIngestSpec(spec)
+	}
+	if addr == "" {
+		return loadgen.IngestConfig{}, fmt.Errorf("either -addr or -spec is required")
+	}
+	cfg, err := loadgen.ParseIngestSpec("addr=" + addr)
+	if err != nil {
+		return loadgen.IngestConfig{}, err
+	}
+	if jobs != 0 {
+		cfg.Jobs = jobs
+	}
+	if conns != 0 {
+		cfg.Conns = conns
+	}
+	if hosts != 0 {
+		cfg.MaxHosts = hosts
+	}
+	if wall != 0 {
+		cfg.WallCap = wall
+	}
+	if dur != 0 {
+		cfg.Duration = dur
+	}
+	if chunk != 0 {
+		cfg.ChunkSize = chunk
+	}
+	cfg.Seed = seed
+	return cfg, cfg.Validate()
+}
+
+// emit writes the report to stdout and optionally to a file.
+func emit(rep *loadgen.IngestReport, out string) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+	if out != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "supremm-ingestload:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,482 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/ingest"
+	"repro/internal/rng"
+	"repro/internal/taccstats"
+)
+
+// IngestConfig parameterizes one ingest firehose run: a seeded
+// simulated cluster workload (the same generator the batch pipeline
+// uses) with its collection timeline compressed into Duration and
+// replayed over Conns connections. As with Config, the canonical wire
+// form is the spec string, recorded verbatim in the report.
+type IngestConfig struct {
+	// Addr is the ingest daemon's TCP address.
+	Addr string
+	// Jobs is how many cluster jobs to generate and stream.
+	Jobs int
+	// Conns is the number of client connections (simulated collector
+	// hosts); a (job, host) stream always stays on one connection so
+	// per-host sample order is preserved.
+	Conns int
+	// MaxHosts caps nodes per job (keeps record counts tractable).
+	MaxHosts int
+	// WallCap caps each job's wall seconds before collection.
+	WallCap float64
+	// Duration is the replay window the send schedule is compressed
+	// into (open-loop pacing; sends behind schedule go immediately).
+	Duration time.Duration
+	// ChunkSize is samples per data frame.
+	ChunkSize int
+	// Seed drives workload generation and connection assignment; one
+	// seed reproduces the exact frame sequence.
+	Seed uint64
+}
+
+// Defaults for ingest spec keys the caller omits.
+const (
+	defIngestJobs     = 32
+	defIngestConns    = 4
+	defIngestMaxHosts = 4
+	defIngestWallCap  = 4000
+	defIngestChunk    = 4
+	defIngestDur      = 2 * time.Second
+)
+
+// Validate checks the config for use by RunIngest.
+func (c IngestConfig) Validate() error {
+	switch {
+	case c.Addr == "":
+		return fmt.Errorf("loadgen: addr is required")
+	case c.Jobs <= 0 || c.Jobs > 100000:
+		return fmt.Errorf("loadgen: jobs %d outside [1,100000]", c.Jobs)
+	case c.Conns <= 0 || c.Conns > 256:
+		return fmt.Errorf("loadgen: conns %d outside [1,256]", c.Conns)
+	case c.MaxHosts <= 0 || c.MaxHosts > 64:
+		return fmt.Errorf("loadgen: hosts %d outside [1,64]", c.MaxHosts)
+	case c.WallCap <= 0:
+		return fmt.Errorf("loadgen: wall must be positive, got %v", c.WallCap)
+	case c.Duration <= 0:
+		return fmt.Errorf("loadgen: dur must be positive, got %v", c.Duration)
+	case c.ChunkSize <= 0 || c.ChunkSize > 0xFFFF:
+		return fmt.Errorf("loadgen: chunk %d outside [1,65535]", c.ChunkSize)
+	}
+	return nil
+}
+
+// ParseIngestSpec parses an ingest load spec: comma- or
+// whitespace-separated k=v pairs, e.g.
+//
+//	addr=127.0.0.1:9301,jobs=64,conns=8,dur=10s,seed=7
+//
+// Keys: addr, jobs, conns, hosts, wall, dur, chunk, seed. addr is
+// required; the rest default sanely.
+func ParseIngestSpec(s string) (IngestConfig, error) {
+	cfg := IngestConfig{
+		Jobs:      defIngestJobs,
+		Conns:     defIngestConns,
+		MaxHosts:  defIngestMaxHosts,
+		WallCap:   defIngestWallCap,
+		ChunkSize: defIngestChunk,
+		Duration:  defIngestDur,
+	}
+	fields := strings.FieldsFunc(s, func(r rune) bool {
+		return r == ',' || r == ' ' || r == '\t' || r == '\n'
+	})
+	if len(fields) == 0 {
+		return IngestConfig{}, fmt.Errorf("loadgen: empty ingest spec")
+	}
+	seen := map[string]bool{}
+	for _, field := range fields {
+		key, val, ok := strings.Cut(field, "=")
+		if !ok || key == "" || val == "" {
+			return IngestConfig{}, fmt.Errorf("loadgen: spec entry %q is not key=value", field)
+		}
+		if seen[key] {
+			return IngestConfig{}, fmt.Errorf("loadgen: spec key %q given twice", key)
+		}
+		seen[key] = true
+		var err error
+		switch key {
+		case "addr":
+			cfg.Addr = val
+		case "jobs":
+			cfg.Jobs, err = parseInt(key, val)
+		case "conns":
+			cfg.Conns, err = parseInt(key, val)
+		case "hosts":
+			cfg.MaxHosts, err = parseInt(key, val)
+		case "wall":
+			cfg.WallCap, err = parseFloat(key, val)
+		case "dur":
+			cfg.Duration, err = parseDuration(key, val)
+		case "chunk":
+			cfg.ChunkSize, err = parseInt(key, val)
+		case "seed":
+			cfg.Seed, err = parseUint(key, val)
+		default:
+			return IngestConfig{}, fmt.Errorf("loadgen: unknown ingest spec key %q", key)
+		}
+		if err != nil {
+			return IngestConfig{}, err
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return IngestConfig{}, err
+	}
+	return cfg, nil
+}
+
+// IngestSpec renders the config canonically;
+// ParseIngestSpec(c.IngestSpec()) returns an identical config.
+func (c IngestConfig) IngestSpec() string {
+	pairs := map[string]string{
+		"addr":  c.Addr,
+		"jobs":  strconv.Itoa(c.Jobs),
+		"conns": strconv.Itoa(c.Conns),
+		"hosts": strconv.Itoa(c.MaxHosts),
+		"wall":  strconv.FormatFloat(c.WallCap, 'g', -1, 64),
+		"dur":   c.Duration.String(),
+		"chunk": strconv.Itoa(c.ChunkSize),
+		"seed":  strconv.FormatUint(c.Seed, 10),
+	}
+	keys := make([]string, 0, len(pairs))
+	for k := range pairs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, k+"="+pairs[k])
+	}
+	return strings.Join(parts, ",")
+}
+
+// IngestReport is the firehose run's record of truth: exactly how many
+// records were generated and how many the server acknowledged. Because
+// the client retries until acked and the server dedups by sequence,
+// RecordsAcked is an exact count of records the server accepted — the
+// client side of the conservation join.
+type IngestReport struct {
+	Spec             string  `json:"spec"`
+	Jobs             int     `json:"jobs"`
+	Frames           uint64  `json:"frames"`
+	RecordsGenerated uint64  `json:"recordsGenerated"`
+	RecordsAcked     uint64  `json:"recordsAcked"`
+	Reconnects       uint64  `json:"reconnects"`
+	DurationSeconds  float64 `json:"durationSeconds"`
+	RecordsPerSec    float64 `json:"recordsPerSec"`
+
+	PerClient []ingest.ClientStats `json:"perClient"`
+
+	// Reconcile is filled by ReconcileIngest when requested.
+	Reconcile *IngestCheck `json:"reconcile,omitempty"`
+}
+
+// sendUnit is one scheduled frame: a meta or a chunk.
+type sendUnit struct {
+	meta  *ingest.JobMeta
+	chunk *taccstats.Chunk
+	due   time.Duration
+}
+
+// fnvStr hashes a string (FNV-1a) for connection assignment.
+func fnvStr(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// RunIngest generates the seeded workload, compresses its collection
+// timeline into cfg.Duration, and replays it over cfg.Conns retrying
+// connections. It returns once every frame is acknowledged.
+func RunIngest(ctx context.Context, cfg IngestConfig) (*IngestReport, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Generate the workload exactly like the batch pipeline would.
+	gen := cluster.NewGenerator(cluster.Stampede(), cluster.DefaultConfig(cfg.Seed))
+	col := taccstats.DefaultConfig()
+	r := rng.NewStream(cfg.Seed, 0x16E57)
+	queues := make([][]sendUnit, cfg.Conns)
+	var generated uint64
+	for i, j := range gen.Generate(cfg.Jobs) {
+		if len(j.Hosts) > cfg.MaxHosts {
+			j.Hosts = j.Hosts[:cfg.MaxHosts]
+		}
+		if j.Draw.WallSeconds > cfg.WallCap {
+			j.Draw.WallSeconds = cfg.WallCap
+		}
+		arch := taccstats.Collect(col, taccstats.JobInfo{ID: j.ID, Start: j.Start, Hosts: j.Hosts},
+			j.Draw, r.Split(uint64(i)))
+		meta := &ingest.JobMeta{
+			JobID:    j.ID,
+			User:     j.User,
+			AppLabel: j.App.Name,
+			Category: string(j.App.Category),
+			Pop:      j.Population.String(),
+			Nodes:    len(j.Hosts),
+			Cores:    len(j.Hosts) * col.CoresPerNode,
+			Submit:   j.Submit,
+			Start:    j.Start,
+		}
+		queues[fnvStr(j.ID)%uint64(cfg.Conns)] = append(queues[fnvStr(j.ID)%uint64(cfg.Conns)],
+			sendUnit{meta: meta})
+		for ni := range arch.Nodes {
+			node := &arch.Nodes[ni]
+			ci := fnvStr(j.ID+"/"+node.Host) % uint64(cfg.Conns)
+			for off := 0; off < len(node.Samples); off += cfg.ChunkSize {
+				end := off + cfg.ChunkSize
+				if end > len(node.Samples) {
+					end = len(node.Samples)
+				}
+				queues[ci] = append(queues[ci], sendUnit{chunk: &taccstats.Chunk{
+					JobID: j.ID, Host: node.Host, Samples: node.Samples[off:end],
+				}})
+				generated += uint64(end - off)
+			}
+		}
+	}
+	// Open-loop schedule: spread each connection's units evenly across
+	// the replay window.
+	for ci := range queues {
+		n := len(queues[ci])
+		for ui := range queues[ci] {
+			queues[ci][ui].due = time.Duration(float64(cfg.Duration) * float64(ui) / float64(n))
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	stats := make([]ingest.ClientStats, cfg.Conns)
+	for ci := range queues {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			fail := func(err error) {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("loadgen: conn %d: %w", ci, err)
+				}
+				mu.Unlock()
+			}
+			c, err := ingest.NewClient(ingest.ClientConfig{
+				Addr: cfg.Addr,
+				ID:   fmt.Sprintf("ingestload-%d-%d", cfg.Seed, ci),
+			})
+			if err != nil {
+				fail(err)
+				return
+			}
+			for _, u := range queues[ci] {
+				if wait := u.due - time.Since(start); wait > 0 {
+					select {
+					case <-time.After(wait):
+					case <-ctx.Done():
+						fail(ctx.Err())
+						return
+					}
+				}
+				if u.meta != nil {
+					err = c.SendMeta(ctx, u.meta)
+				} else {
+					err = c.SendChunk(ctx, u.chunk)
+				}
+				if err != nil {
+					fail(err)
+					return
+				}
+			}
+			if err := c.Close(ctx); err != nil {
+				fail(err)
+				return
+			}
+			mu.Lock()
+			stats[ci] = c.Stats()
+			mu.Unlock()
+		}(ci)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	rep := &IngestReport{
+		Spec:             cfg.IngestSpec(),
+		Jobs:             cfg.Jobs,
+		RecordsGenerated: generated,
+		DurationSeconds:  time.Since(start).Seconds(),
+		PerClient:        stats,
+	}
+	for _, st := range stats {
+		rep.Frames += st.FramesSent
+		rep.RecordsAcked += st.RecordsAcked
+		rep.Reconnects += st.Reconnects
+	}
+	if rep.DurationSeconds > 0 {
+		rep.RecordsPerSec = float64(rep.RecordsAcked) / rep.DurationSeconds
+	}
+	if rep.RecordsAcked != rep.RecordsGenerated {
+		return rep, fmt.Errorf("loadgen: generated %d records but only %d acked",
+			rep.RecordsGenerated, rep.RecordsAcked)
+	}
+	return rep, nil
+}
+
+// IngestCheck is the exact reconciliation of a firehose run against the
+// daemon's self-reports: the client's acked count, the /debug/ingest
+// ledger, and the /metrics counters must all agree to the record.
+type IngestCheck struct {
+	Pending  int64   `json:"pending"`
+	OpenJobs float64 `json:"openJobs"`
+
+	Ledger ingest.Snapshot `json:"ledger"`
+
+	MetricsReceived   uint64 `json:"metricsReceived"`
+	MetricsSummarized uint64 `json:"metricsSummarized"`
+	MetricsDropped    uint64 `json:"metricsDropped"`
+
+	ClientAcked uint64 `json:"clientAcked"`
+
+	// Mismatches is empty iff every join is exact.
+	Mismatches []string `json:"mismatches"`
+}
+
+// ReconcileIngest polls base+/debug/ingest until the daemon is
+// quiescent (no pending records, no open jobs), then joins the ledger,
+// the /metrics counters, and the client-side acked count exactly.
+func ReconcileIngest(ctx context.Context, base string, rep *IngestReport) (*IngestCheck, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	var st ingest.Status
+	for {
+		if err := getJSON(ctx, client, base+"/debug/ingest", &st); err != nil {
+			return nil, err
+		}
+		if st.Pending == 0 && st.OpenJobs == 0 {
+			break
+		}
+		select {
+		case <-time.After(50 * time.Millisecond):
+		case <-ctx.Done():
+			return nil, fmt.Errorf("loadgen: daemon never quiesced: pending=%d openJobs=%v: %w",
+				st.Pending, st.OpenJobs, ctx.Err())
+		}
+	}
+	metrics, err := getText(ctx, client, base+"/metrics")
+	if err != nil {
+		return nil, err
+	}
+
+	chk := &IngestCheck{
+		Pending:     st.Pending,
+		OpenJobs:    st.OpenJobs,
+		Ledger:      st.Ledger,
+		ClientAcked: rep.RecordsAcked,
+	}
+	chk.MetricsReceived = promSum(metrics, "ingest_records_total", `outcome="received"`)
+	chk.MetricsSummarized = promSum(metrics, "ingest_records_total", `outcome="summarized"`)
+	chk.MetricsDropped = promSum(metrics, "ingest_records_total", `outcome="dropped"`)
+
+	mismatch := func(format string, args ...any) {
+		chk.Mismatches = append(chk.Mismatches, fmt.Sprintf(format, args...))
+	}
+	if err := st.Ledger.Check(0); err != nil {
+		mismatch("%v", err)
+	}
+	if chk.ClientAcked != st.Ledger.Received {
+		mismatch("client acked %d records, ledger received %d", chk.ClientAcked, st.Ledger.Received)
+	}
+	if chk.MetricsReceived != st.Ledger.Received {
+		mismatch("/metrics received %d, ledger %d", chk.MetricsReceived, st.Ledger.Received)
+	}
+	if chk.MetricsSummarized != st.Ledger.Summarized {
+		mismatch("/metrics summarized %d, ledger %d", chk.MetricsSummarized, st.Ledger.Summarized)
+	}
+	if chk.MetricsDropped != st.Ledger.DroppedSum {
+		mismatch("/metrics dropped %d, ledger %d", chk.MetricsDropped, st.Ledger.DroppedSum)
+	}
+	return chk, nil
+}
+
+// getJSON fetches and decodes a JSON endpoint.
+func getJSON(ctx context.Context, client *http.Client, url string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("loadgen: GET %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// getText fetches a text endpoint.
+func getText(ctx context.Context, client *http.Client, url string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("loadgen: GET %s: %s", url, resp.Status)
+	}
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+// promSum sums every sample of a counter family whose label block
+// contains the given label pair (Prometheus text exposition).
+func promSum(text, family, labelPair string) uint64 {
+	var sum uint64
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, family) {
+			continue
+		}
+		rest := line[len(family):]
+		if !strings.HasPrefix(rest, "{") {
+			continue
+		}
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			continue
+		}
+		if !strings.Contains(rest[1:end], labelPair) {
+			continue
+		}
+		val := strings.TrimSpace(rest[end+1:])
+		n, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			continue
+		}
+		sum += uint64(n)
+	}
+	return sum
+}

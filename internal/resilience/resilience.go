@@ -21,6 +21,11 @@
 //     decision at a site depends only on (seed, site, k), never on
 //     scheduling, so chaos runs are reproducible.
 //
+// The serving path arms sites like reload and classify.row; the
+// streaming-ingest path (internal/ingest) arms ingest.conn,
+// ingest.shard, and ingest.finalize, whose chaos suite proves exact
+// record conservation under every fault kind.
+//
 // All types are nil-safe: a nil *Limiter admits everything, a nil
 // *Breaker allows everything, a nil *Faults injects nothing. Default
 // builds construct none of them, so the serving fast path is untouched

@@ -1,0 +1,62 @@
+package taccstats
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Chunk is the unit the streaming ingest path ships over the wire: a run
+// of consecutive samples one node collected for one job. It is the
+// single-node slice of an Archive, so the wire payload reuses the
+// archive text format verbatim (%jobid / %host directives followed by
+// sample blocks) and the existing Decode path — including its fuzz
+// hardening — does the parsing.
+type Chunk struct {
+	JobID   string
+	Host    string
+	Samples []Sample
+}
+
+// EncodeChunk renders a chunk in the archive text format. The result is
+// exactly what Archive.Encode writes for a one-node archive holding
+// these samples.
+func EncodeChunk(c *Chunk) ([]byte, error) {
+	if c.JobID == "" {
+		return nil, fmt.Errorf("taccstats: chunk without job id")
+	}
+	if c.Host == "" {
+		return nil, fmt.Errorf("taccstats: chunk without host")
+	}
+	a := &Archive{JobID: c.JobID, Nodes: []NodeArchive{{
+		Host: c.Host, JobID: c.JobID, Samples: c.Samples,
+	}}}
+	var buf bytes.Buffer
+	if err := a.Encode(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeChunk parses a payload written by EncodeChunk. It rejects
+// payloads that do not describe exactly one node of one job, or that
+// carry no samples — a record-bearing wire frame must bear records.
+func DecodeChunk(b []byte) (*Chunk, error) {
+	a, err := Decode(bytes.NewReader(b))
+	if err != nil {
+		return nil, err
+	}
+	if a.JobID == "" {
+		return nil, fmt.Errorf("taccstats: chunk without job id")
+	}
+	if len(a.Nodes) != 1 {
+		return nil, fmt.Errorf("taccstats: chunk carries %d nodes, want exactly 1", len(a.Nodes))
+	}
+	n := &a.Nodes[0]
+	if n.Host == "" {
+		return nil, fmt.Errorf("taccstats: chunk without host")
+	}
+	if len(n.Samples) == 0 {
+		return nil, fmt.Errorf("taccstats: chunk carries no samples")
+	}
+	return &Chunk{JobID: a.JobID, Host: n.Host, Samples: n.Samples}, nil
+}

@@ -1,0 +1,297 @@
+package warehouse
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/rng"
+	"repro/internal/summarize"
+	"repro/internal/testkit"
+)
+
+// synthSummary fills just the summary fields the warehouse reads.
+func synthSummary(r *rng.Rand, nodes int) *summarize.Summary {
+	s := &summarize.Summary{Nodes: nodes}
+	s.Means[0] = r.Float64()
+	return s
+}
+
+// synthRecord builds a deterministic pseudo-random record for job id.
+func synthRecord(r *rng.Rand, id string) *Record {
+	users := []string{"alice", "bob", "carol", "dave", "erin"}
+	apps := []string{"NAMD", "WRF", "GROMACS", "Uncategorized", "NA"}
+	cats := []string{"Chemistry", "Weather", "Biology", "Unknown"}
+	pops := []cluster.Population{cluster.PopCommunity, cluster.PopUncategorized, cluster.PopNA}
+	nodes := 1 + r.Intn(64)
+	start := int64(1_400_000_000 + r.Intn(90*24*3600))
+	rec := &Record{
+		JobID:       id,
+		User:        users[r.Intn(len(users))],
+		AppLabel:    apps[r.Intn(len(apps))],
+		Category:    cats[r.Intn(len(cats))],
+		Pop:         pops[r.Intn(len(pops))],
+		Nodes:       nodes,
+		Cores:       nodes * 16,
+		Submit:      start - int64(r.Intn(7200)),
+		Start:       start,
+		WallSeconds: float64(60+r.Intn(86_400)) + r.Float64(),
+	}
+	if r.Intn(4) != 0 {
+		rec.Summary = synthSummary(r, nodes)
+	}
+	return rec
+}
+
+// aggLine renders one aggregate exactly (testkit.Float captures full
+// float precision, so equal digests mean bit-equal results).
+func aggLine(a *Aggregate) string {
+	return strings.Join([]string{
+		a.Key,
+		fmt.Sprint(a.Jobs),
+		testkit.Float(a.CPUHours),
+		testkit.Float(a.WallHours),
+		testkit.Float(a.AvgWaitHrs),
+		testkit.Float(a.AvgNodes),
+		testkit.Float(a.MixPercent),
+		testkit.Float(a.AvgCPUUser),
+		testkit.Float(a.MinWaitHours()),
+		testkit.Float(a.MaxWaitHours()),
+	}, "|")
+}
+
+var allDims = []Dimension{ByApplication, ByCategory, ByUser, ByPopulation, ByJobSize, ByMonth}
+
+// snapDigest hashes every dimensional aggregation plus totals and the
+// rollup of a snapshot into one comparable string.
+func snapDigest(v *WarehouseSnapshot) string {
+	var b strings.Builder
+	for _, dim := range allDims {
+		b.WriteString(string(dim))
+		b.WriteByte('\n')
+		for _, a := range v.GroupBy(dim) {
+			b.WriteString(aggLine(a))
+			b.WriteByte('\n')
+		}
+	}
+	t := v.Totals()
+	b.WriteString(aggLine(&t))
+	b.WriteByte('\n')
+	for _, rb := range v.Rollup {
+		fmt.Fprintf(&b, "rollup|%d|%d|%d|%d|%d|%d\n",
+			rb.Bucket, rb.Jobs, rb.WallMillis, rb.CoreMillis, rb.WaitSeconds, rb.Nodes)
+	}
+	return testkit.HashBytes([]byte(b.String()))
+}
+
+// storeDigest runs the same aggregations through the serial reference
+// Store (no rollup section — the reference has none).
+func storeDigest(st *Store) string {
+	var b strings.Builder
+	for _, dim := range allDims {
+		b.WriteString(string(dim))
+		b.WriteByte('\n')
+		for _, a := range st.GroupBy(dim) {
+			b.WriteString(aggLine(a))
+			b.WriteByte('\n')
+		}
+	}
+	t := st.Totals()
+	b.WriteString(aggLine(&t))
+	b.WriteByte('\n')
+	return testkit.HashBytes([]byte(b.String()))
+}
+
+// snapQueryDigest is snapDigest without the rollup lines, comparable to
+// storeDigest.
+func snapQueryDigest(v *WarehouseSnapshot) string {
+	var b strings.Builder
+	for _, dim := range allDims {
+		b.WriteString(string(dim))
+		b.WriteByte('\n')
+		for _, a := range v.GroupBy(dim) {
+			b.WriteString(aggLine(a))
+			b.WriteByte('\n')
+		}
+	}
+	t := v.Totals()
+	b.WriteString(aggLine(&t))
+	b.WriteByte('\n')
+	return testkit.HashBytes([]byte(b.String()))
+}
+
+// checkSnapshot asserts the two snapshot-consistency invariants: the
+// incremental rollup equals a from-scratch recompute exactly, and every
+// query result is bit-equal to the serial reference Store ingesting the
+// snapshot's records in snapshot order.
+func checkSnapshot(t *testing.T, v *WarehouseSnapshot) {
+	t.Helper()
+	if got, want := v.Rollup, v.RecomputeRollup(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("incremental rollup diverged from recompute:\n got %+v\nwant %+v", got, want)
+	}
+	seen := map[string]bool{}
+	ref := NewStore()
+	for _, r := range v.Records {
+		if seen[r.JobID] {
+			t.Fatalf("snapshot holds job %q twice", r.JobID)
+		}
+		seen[r.JobID] = true
+		if err := ref.Ingest(r); err != nil {
+			t.Fatalf("reference ingest: %v", err)
+		}
+	}
+	if got, want := snapQueryDigest(v), storeDigest(ref); got != want {
+		t.Fatalf("snapshot queries diverged from serial reference: %s != %s", got, want)
+	}
+}
+
+func TestShardedSerialMatchesReference(t *testing.T) {
+	r := rng.New(41)
+	s := NewSharded(ShardedConfig{Shards: 4})
+	for i := 0; i < 500; i++ {
+		// ~20% replacements: draw ids from a pool smaller than the count.
+		id := fmt.Sprintf("job-%03d", r.Intn(400))
+		if err := s.Ingest(synthRecord(r, id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() == 0 {
+		t.Fatal("nothing ingested")
+	}
+	checkSnapshot(t, s.Snapshot())
+}
+
+func TestShardedRejectsEmptyJobID(t *testing.T) {
+	s := NewSharded(ShardedConfig{})
+	if err := s.Ingest(&Record{}); err == nil {
+		t.Fatal("want error for record without job id")
+	}
+}
+
+// TestShardedSnapshotTorture interleaves writers (with replacements)
+// and snapshot readers; every observed snapshot must be a consistent
+// cut. Run under -race via `make race`.
+func TestShardedSnapshotTorture(t *testing.T) {
+	const (
+		writers    = 4
+		perWriter  = 300
+		idPool     = 250 // shared across writers: cross-writer replacement
+		readEveryN = 25
+	)
+	s := NewSharded(ShardedConfig{Shards: 8})
+	var wg sync.WaitGroup
+	snaps := make(chan *WarehouseSnapshot, writers*perWriter/readEveryN+writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rng.New(1000).Split(uint64(w))
+			for i := 0; i < perWriter; i++ {
+				id := fmt.Sprintf("job-%03d", r.Intn(idPool))
+				if err := s.Ingest(synthRecord(r, id)); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%readEveryN == 0 {
+					snaps <- s.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(snaps)
+	n := 0
+	for v := range snaps {
+		checkSnapshot(t, v)
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no snapshots observed")
+	}
+	checkSnapshot(t, s.Snapshot())
+}
+
+// TestShardedShardCountInvariance ingests the same record set (in
+// different interleavings) at shard counts 1 and 8 and demands
+// digest-equal snapshots: partitioning is invisible to every query.
+func TestShardedShardCountInvariance(t *testing.T) {
+	build := func(shards, writers int) *WarehouseSnapshot {
+		s := NewSharded(ShardedConfig{Shards: shards})
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				// Writer w owns ids w mod writers: same final record per id
+				// regardless of scheduling, while shards ingest concurrently.
+				r := rng.New(7).Split(uint64(w))
+				for i := w; i < 600; i += writers {
+					rec := synthRecord(r, fmt.Sprintf("job-%04d", i))
+					if err := s.Ingest(rec); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		return s.Snapshot()
+	}
+	// Writer w seeds its own rng, so record contents depend only on
+	// (writer, position), not on shard count.
+	v1 := build(1, 4)
+	v8 := build(8, 4)
+	if v1.Len() != v8.Len() {
+		t.Fatalf("record counts differ: %d vs %d", v1.Len(), v8.Len())
+	}
+	d1, d8 := snapDigest(v1), snapDigest(v8)
+	if d1 != d8 {
+		t.Fatalf("shard count changed query results: 1 shard %s, 8 shards %s", d1, d8)
+	}
+	checkSnapshot(t, v1)
+	checkSnapshot(t, v8)
+}
+
+// TestRollupReplacementExact replaces a job and checks the rollup
+// retraction is exact, including bucket deletion when a bucket empties.
+func TestRollupReplacementExact(t *testing.T) {
+	s := NewSharded(ShardedConfig{Shards: 2, RollupSeconds: 3600})
+	a := &Record{JobID: "j1", Nodes: 2, Cores: 32, Submit: 90, Start: 100, WallSeconds: 1000.25}
+	b := &Record{JobID: "j1", Nodes: 4, Cores: 64, Submit: 3600, Start: 7300, WallSeconds: 10.75}
+	if err := s.Ingest(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Ingest(b); err != nil {
+		t.Fatal(err)
+	}
+	v := s.Snapshot()
+	if len(v.Records) != 1 || v.Records[0] != b {
+		t.Fatalf("replacement did not swap the record: %+v", v.Records)
+	}
+	if len(v.Rollup) != 1 {
+		t.Fatalf("stale rollup bucket survived retraction: %+v", v.Rollup)
+	}
+	if got := v.Rollup[0]; got.Bucket != 7200 || got.Jobs != 1 || got.WallMillis != 10750 {
+		t.Fatalf("bad rollup after replacement: %+v", got)
+	}
+	checkSnapshot(t, v)
+}
+
+func TestRollupKeyNegative(t *testing.T) {
+	cases := []struct{ start, width, want int64 }{
+		{0, 3600, 0},
+		{3599, 3600, 0},
+		{3600, 3600, 3600},
+		{-1, 3600, -3600},
+		{-3600, 3600, -3600},
+		{-3601, 3600, -7200},
+	}
+	for _, c := range cases {
+		if got := rollupKey(c.start, c.width); got != c.want {
+			t.Errorf("rollupKey(%d,%d) = %d, want %d", c.start, c.width, got, c.want)
+		}
+	}
+}
