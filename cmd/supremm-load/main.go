@@ -10,9 +10,15 @@
 // Usage:
 //
 //	supremm-load -url http://127.0.0.1:8080 -rps 200 -dur 30s
-//	             [-ramp 5s] [-mix 0.25] [-batch 64] [-threshold 0.5]
+//	             [-ramp 5s] [-mix 0.25] [-dmix 0.1] [-rmix 0.1]
+//	             [-batch 64] [-threshold 0.5]
 //	             [-seed 7] [-timeout 10s] [-inflight 512]
 //	             [-spec k=v,...] [-out report.json] [-reconcile]
+//
+// -dmix and -rmix route a fraction of arrivals to the discovery
+// assignment (/api/discover/assign) and runtime-class
+// (/api/runtime-class) endpoints; the target must have the matching
+// model fitted or the run refuses to start.
 //
 // -spec takes a full load spec (see internal/loadgen.ParseSpec) and
 // overrides the individual flags; the report embeds the canonical spec
@@ -50,6 +56,8 @@ func main() {
 	dur := flag.Duration("dur", 10*time.Second, "run length")
 	ramp := flag.Duration("ramp", 0, "linear ramp from 0 to -rps over this prefix of the run")
 	mix := flag.Float64("mix", 0.2, "fraction of arrivals sent as batch requests")
+	dmix := flag.Float64("dmix", 0, "fraction of arrivals sent to /api/discover/assign")
+	rmix := flag.Float64("rmix", 0, "fraction of arrivals sent to /api/runtime-class")
 	batch := flag.Int("batch", 32, "rows per batch request")
 	threshold := flag.Float64("threshold", 0.5, "classification threshold")
 	seed := flag.Uint64("seed", 1, "seed for request bodies and the batch/single dice")
@@ -71,6 +79,8 @@ func main() {
 			"dur=" + dur.String(),
 			"ramp=" + ramp.String(),
 			fmt.Sprintf("mix=%g", *mix),
+			fmt.Sprintf("dmix=%g", *dmix),
+			fmt.Sprintf("rmix=%g", *rmix),
 			fmt.Sprintf("batch=%d", *batch),
 			fmt.Sprintf("threshold=%g", *threshold),
 			fmt.Sprintf("seed=%d", *seed),

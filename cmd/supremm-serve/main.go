@@ -8,6 +8,8 @@
 //
 //	supremm-serve [-addr :8080] [-jobs N] [-seed N] [-model saved.bin]
 //	              [-model-snapshot out.bin] [-batch-workers N]
+//	              [-discover] [-discover-k N] [-discover-components N]
+//	              [-discover-restarts N]
 //	              [-request-timeout 30s] [-max-concurrent N] [-max-queue N]
 //	              [-breaker-threshold N] [-breaker-open-for 30s]
 //	              [-faults SPEC] [-fault-seed N]
@@ -27,6 +29,11 @@
 //	POST /api/classify        {"features": {"MEM_USED": ..., ...}, "threshold": 0.8}
 //	POST /api/classify/batch  {"rows": [{...}, ...], "threshold": 0.8}
 //	                          or {"columns": {"CPU_USER": [...], ...}, "threshold": 0.8}
+//	GET  /api/discover        serving discovery fit: clusters over the Uncategorized/NA jobs
+//	POST /api/discover        refit discovery {"k": 8, "components": 5, "restarts": 8, "seed": 1}
+//	POST /api/discover/assign {"features": {...}} -> cluster + distance + anomaly flags
+//	GET  /api/runtime-class/features
+//	POST /api/runtime-class   {"features": {...}, "threshold": 0.8, "thresholds": {"short": 0.9}}
 //	POST /admin/model/reload  {"path": "saved.bin"} (path optional once configured)
 //	GET  /metrics             Prometheus text exposition
 //	GET  /healthz             liveness (always 200 while serving)
@@ -49,16 +56,17 @@
 // profile -- is captured into -bundle-dir, rate-limited to one per
 // -bundle-min-interval.
 //
-// Resilience: the classification endpoints carry a per-request deadline
+// Resilience: the model-serving endpoints (classification, discovery
+// assignment, runtime-class) carry a per-request deadline
 // (-request-timeout, 504 on overrun) and, when -max-concurrent is set, a
 // bounded admission queue that sheds overload with 429 + Retry-After
 // instead of queueing unboundedly. Model reloads (admin endpoint and
 // SIGHUP alike) run behind a circuit breaker: -breaker-threshold
 // consecutive failures open it, reloads then fail fast (503) until a
 // half-open probe succeeds after -breaker-open-for. -faults arms the
-// deterministic fault-injection registry (sites: reload, classify.row;
-// see internal/resilience) for chaos and soak runs -- never in default
-// builds.
+// deterministic fault-injection registry (sites: reload, classify.row,
+// discover.fit, discover.assign, runtime.row; see internal/resilience)
+// for chaos and soak runs -- never in default builds.
 //
 // The listen address may end in :0 to pick a free port; the chosen
 // address is printed in the "serving api" log line (addr=...), which
@@ -98,12 +106,16 @@ func main() {
 	modelPath := flag.String("model", "", "load a saved classifier (default: train a category RF on the workload)")
 	snapshotPath := flag.String("model-snapshot", "", "write the boot model to this file (becomes the SIGHUP reload path when -model is unset)")
 	batchWorkers := flag.Int("batch-workers", 0, "worker goroutines per batch classify request (0 = GOMAXPROCS)")
+	discoverOn := flag.Bool("discover", true, "fit the unknown-app discovery model (PCA + k-means over Uncategorized/NA jobs) at boot")
+	discoverK := flag.Int("discover-k", 0, "discovery cluster count (0 = module default)")
+	discoverComponents := flag.Int("discover-components", 0, "discovery PCA components (0 = module default)")
+	discoverRestarts := flag.Int("discover-restarts", 0, "discovery k-means restarts (0 = module default)")
 	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline on classification endpoints (0 disables; overruns answer 504)")
 	maxConcurrent := flag.Int("max-concurrent", 0, "classification requests allowed to execute at once (0 = unlimited, admission control off)")
 	maxQueue := flag.Int("max-queue", 64, "classification requests allowed to wait beyond -max-concurrent before shedding with 429")
 	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive model reload failures that open the reload circuit breaker")
 	breakerOpenFor := flag.Duration("breaker-open-for", 30*time.Second, "how long the reload breaker stays open before a half-open probe")
-	faultSpec := flag.String("faults", "", "arm fault injection: site=kind:rate[:latency],... (sites: reload, classify.row; kinds: error, latency, panic)")
+	faultSpec := flag.String("faults", "", "arm fault injection: site=kind:rate[:latency],... (sites: reload, classify.row, discover.fit, discover.assign, runtime.row; kinds: error, latency, panic)")
 	faultSeed := flag.Uint64("fault-seed", 1, "seed for the deterministic fault-injection dice")
 	flightOn := flag.Bool("flight", true, "arm the serving-path flight recorder (/debug/requests, /debug/slo)")
 	flightCapacity := flag.Int("flight-capacity", 2048, "flight-recorder ring capacity in events (half reserved for errors)")
@@ -182,9 +194,45 @@ func main() {
 		log.Info("wrote model snapshot", "path", *snapshotPath)
 	}
 
+	// The runtime-class model predicts a job's runtime/outcome bucket at
+	// submit time; it always trains on the generated workload since no
+	// snapshot format carries it yet.
+	runtimeModels := core.NewNamedModelManager(reg, "runtime_class")
+	rtModel, err := core.TrainRuntimeClassifier(res.Records, core.PaperForest(*seed))
+	if err != nil {
+		fatal(err)
+	}
+	if _, err := runtimeModels.Swap(rtModel); err != nil {
+		fatal(err)
+	}
+	log.Info("trained runtime-class random forest", "classes", fmt.Sprint(rtModel.Classes()))
+
+	// The discovery fit covers the population the supervised model cannot
+	// name. A thin unlabeled population is a warning, not a boot failure:
+	// POST /api/discover refits once more data lands in the warehouse.
+	discovery := core.NewDiscoveryManager(reg)
+	if *discoverOn {
+		dm, err := core.FitDiscovery(
+			core.UnlabeledRows(res.Store, core.DefaultFeatures()),
+			core.FeatureNames(core.DefaultFeatures()),
+			core.DiscoveryConfig{
+				K: *discoverK, Components: *discoverComponents,
+				Restarts: *discoverRestarts, Seed: *seed, Workers: *batchWorkers,
+			})
+		if err != nil {
+			log.Warn("discovery fit skipped", "err", err)
+		} else if _, err := discovery.Swap(dm); err != nil {
+			fatal(err)
+		} else {
+			log.Info("fitted unknown-app discovery model",
+				"rows", dm.Rows, "k", dm.K, "inertia", fmt.Sprintf("%.3f", dm.Inertia))
+		}
+	}
+
 	opts := []server.Option{
 		server.WithMetrics(reg), server.WithLogger(log),
 		server.WithModelManager(models), server.WithBatchWorkers(*batchWorkers),
+		server.WithRuntimeManager(runtimeModels), server.WithDiscovery(discovery),
 		server.WithResilience(server.ResilienceConfig{
 			RequestTimeout: *requestTimeout,
 			MaxConcurrent:  *maxConcurrent,

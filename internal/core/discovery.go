@@ -1,0 +1,410 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/lariat"
+	"repro/internal/ml/kmeans"
+	"repro/internal/ml/pca"
+	"repro/internal/obs"
+	"repro/internal/obs/flight"
+	"repro/internal/stats"
+	"repro/internal/warehouse"
+)
+
+// This file is the reusable unsupervised-discovery module extracted from
+// the x4 experiment: standardize -> PCA -> k-means over a job
+// population, summarized per cluster. The serving layer uses it to mine
+// the Uncategorized/NA population for emergent application signatures
+// (the paper's Section IV.A inefficiency rule, learned instead of
+// hand-coded); the experiment reuses the same fit for its purity and
+// spectrum metrics.
+
+// DiscoveryConfig controls an unsupervised discovery fit. The zero value
+// of any field selects its default.
+type DiscoveryConfig struct {
+	K               int     // clusters (default 8)
+	Components      int     // retained principal components (default 5, capped at #features)
+	Restarts        int     // k-means restarts, best inertia wins (default 8)
+	MaxIter         int     // k-means iteration cap (default 100)
+	Seed            uint64  // fit RNG seed; same seed => bit-identical model
+	Workers         int     // restart concurrency; <=0 = GOMAXPROCS (result identical at any value)
+	TopFeatures     int     // deviating features reported per cluster (default 5)
+	AnomalyZ        float64 // |center z-score| that flags a cluster anomalous (default 2)
+	AnomalyQuantile float64 // training-distance quantile for the per-job flag (default 0.95)
+}
+
+func (cfg DiscoveryConfig) withDefaults(p int) DiscoveryConfig {
+	if cfg.K <= 0 {
+		cfg.K = 8
+	}
+	if cfg.Components <= 0 {
+		cfg.Components = 5
+	}
+	if cfg.Components > p {
+		cfg.Components = p
+	}
+	if cfg.Restarts <= 0 {
+		cfg.Restarts = 8
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 100
+	}
+	if cfg.TopFeatures <= 0 {
+		cfg.TopFeatures = 5
+	}
+	if cfg.TopFeatures > p {
+		cfg.TopFeatures = p
+	}
+	if cfg.AnomalyZ <= 0 {
+		cfg.AnomalyZ = 2
+	}
+	if cfg.AnomalyQuantile <= 0 || cfg.AnomalyQuantile >= 1 {
+		cfg.AnomalyQuantile = 0.95
+	}
+	return cfg
+}
+
+// FeatureDeviation is one feature's standardized displacement of a
+// cluster center from the population mean.
+type FeatureDeviation struct {
+	Feature string  `json:"feature"`
+	Z       float64 `json:"z"`
+}
+
+// ClusterSummary describes one discovered cluster in decision-support
+// terms: how big it is, where it sits in original feature units, which
+// features pull it away from the population, and whether that pull is
+// strong enough to flag the cluster anomalous.
+type ClusterSummary struct {
+	ID            int                `json:"id"`
+	Size          int                `json:"size"`
+	Share         float64            `json:"share"`
+	Anomalous     bool               `json:"anomalous"`
+	MeanDistance  float64            `json:"meanDistance"` // mean member distance to center, PCA space
+	Center        map[string]float64 `json:"center"`       // original (unstandardized) feature units
+	TopDeviations []FeatureDeviation `json:"topDeviations"`
+}
+
+// DiscoveryModel is one immutable fitted discovery artifact. All slices
+// and maps are treated as frozen after FitDiscovery returns; serve it
+// through a DiscoveryManager to hot-swap refits atomically.
+type DiscoveryModel struct {
+	Features []string
+	K        int
+	Seed     uint64
+	Rows     int
+
+	Scaler  *stats.Scaler
+	PCA     *pca.Model
+	Centers [][]float64 // k-means centers in PCA space
+	Labels  []int       // training-row cluster assignment
+	Inertia float64
+	Iters   int
+
+	// ExplainedVariance[c] is the cumulative variance fraction captured
+	// by the first c+1 retained components (the knee of this curve is
+	// how many directions the population really spans).
+	ExplainedVariance []float64
+	Clusters          []ClusterSummary
+	// AnomalyDistance is the fitted AnomalyQuantile of training-row
+	// distances to their centers; Assign flags rows beyond it.
+	AnomalyDistance float64
+	AnomalyZ        float64
+}
+
+// Assignment scores one job against a fitted discovery model.
+type Assignment struct {
+	Cluster          int       `json:"cluster"`
+	Distance         float64   `json:"distance"`
+	Anomalous        bool      `json:"anomalous"`        // beyond the fitted training-distance quantile
+	ClusterAnomalous bool      `json:"clusterAnomalous"` // the assigned cluster itself is flagged
+	Projection       []float64 `json:"projection"`
+}
+
+// FitDiscovery fits the discovery artifact over rows (one feature vector
+// per job, all of width len(features)). The fit is deterministic for a
+// fixed cfg.Seed at any cfg.Workers setting: k-means restarts own split
+// RNG streams keyed by restart index.
+func FitDiscovery(rows [][]float64, features []string, cfg DiscoveryConfig) (*DiscoveryModel, error) {
+	if len(features) == 0 {
+		return nil, errors.New("core: discovery needs a non-empty feature schema")
+	}
+	p := len(features)
+	if len(rows) < 2 {
+		return nil, fmt.Errorf("core: discovery needs at least 2 rows, got %d", len(rows))
+	}
+	for i, row := range rows {
+		if len(row) != p {
+			return nil, fmt.Errorf("core: discovery row %d has %d features, schema has %d", i, len(row), p)
+		}
+	}
+	cfg = cfg.withDefaults(p)
+	if cfg.K > len(rows) {
+		return nil, fmt.Errorf("core: discovery k=%d exceeds %d rows", cfg.K, len(rows))
+	}
+
+	// Standardize a copy so centers can be reported in original units.
+	std := make([][]float64, len(rows))
+	for i, row := range rows {
+		std[i] = append([]float64(nil), row...)
+	}
+	scaler := stats.FitScaler(std)
+	scaler.TransformAll(std)
+
+	pm, err := pca.Fit(std, cfg.Components)
+	if err != nil {
+		return nil, fmt.Errorf("core: discovery pca: %w", err)
+	}
+	proj, err := pm.TransformAll(std)
+	if err != nil {
+		return nil, fmt.Errorf("core: discovery projection: %w", err)
+	}
+	km, err := kmeans.Fit(proj, kmeans.Config{
+		K: cfg.K, MaxIter: cfg.MaxIter, Restarts: cfg.Restarts,
+		Seed: cfg.Seed, Workers: cfg.Workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: discovery kmeans: %w", err)
+	}
+
+	m := &DiscoveryModel{
+		Features: append([]string(nil), features...),
+		K:        cfg.K,
+		Seed:     cfg.Seed,
+		Rows:     len(rows),
+		Scaler:   scaler,
+		PCA:      pm,
+		Centers:  km.Centers,
+		Labels:   km.Labels,
+		Inertia:  km.Inertia,
+		Iters:    km.Iters,
+		AnomalyZ: cfg.AnomalyZ,
+	}
+	m.ExplainedVariance = make([]float64, cfg.Components)
+	for c := range m.ExplainedVariance {
+		m.ExplainedVariance[c] = pm.ExplainedVariance(c + 1)
+	}
+
+	// Per-cluster aggregates: mean original row (the center in original
+	// units), mean standardized row (the z-profile), member distances.
+	sumOrig := make([][]float64, cfg.K)
+	sumZ := make([][]float64, cfg.K)
+	counts := make([]int, cfg.K)
+	sumDist := make([]float64, cfg.K)
+	for c := range sumOrig {
+		sumOrig[c] = make([]float64, p)
+		sumZ[c] = make([]float64, p)
+	}
+	dists := make([]float64, len(rows))
+	for i, row := range rows {
+		c := km.Labels[i]
+		counts[c]++
+		for j, v := range row {
+			sumOrig[c][j] += v
+			sumZ[c][j] += std[i][j]
+		}
+		d := euclid(proj[i], km.Centers[c])
+		dists[i] = d
+		sumDist[c] += d
+	}
+	m.AnomalyDistance = stats.Quantile(dists, cfg.AnomalyQuantile)
+
+	m.Clusters = make([]ClusterSummary, cfg.K)
+	for c := 0; c < cfg.K; c++ {
+		cs := ClusterSummary{ID: c, Size: counts[c], Center: map[string]float64{}}
+		if counts[c] == 0 {
+			m.Clusters[c] = cs
+			continue
+		}
+		n := float64(counts[c])
+		cs.Share = n / float64(len(rows))
+		cs.MeanDistance = sumDist[c] / n
+		devs := make([]FeatureDeviation, p)
+		for j, name := range features {
+			cs.Center[name] = sumOrig[c][j] / n
+			devs[j] = FeatureDeviation{Feature: name, Z: sumZ[c][j] / n}
+		}
+		sort.SliceStable(devs, func(a, b int) bool {
+			return math.Abs(devs[a].Z) > math.Abs(devs[b].Z)
+		})
+		cs.TopDeviations = devs[:cfg.TopFeatures]
+		cs.Anomalous = math.Abs(cs.TopDeviations[0].Z) >= cfg.AnomalyZ
+		m.Clusters[c] = cs
+	}
+	return m, nil
+}
+
+// Assign scores one job row (original feature units, model feature
+// order) against the fitted model. Rows of the wrong width error —
+// never panic — so the serving path can map this to a 400.
+func (m *DiscoveryModel) Assign(row []float64) (*Assignment, error) {
+	if len(row) != len(m.Features) {
+		return nil, fmt.Errorf("core: assign row has %d features, model fitted on %d", len(row), len(m.Features))
+	}
+	std := append([]float64(nil), row...)
+	m.Scaler.Transform(std)
+	proj, err := m.PCA.Transform(std)
+	if err != nil {
+		return nil, err
+	}
+	best, bestD := 0, math.Inf(1)
+	for c, ctr := range m.Centers {
+		if d := euclid(proj, ctr); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return &Assignment{
+		Cluster:          best,
+		Distance:         bestD,
+		Anomalous:        bestD > m.AnomalyDistance,
+		ClusterAnomalous: m.Clusters[best].Anomalous,
+		Projection:       proj,
+	}, nil
+}
+
+func euclid(a, b []float64) float64 {
+	var d float64
+	for j := range a {
+		diff := a[j] - b[j]
+		d += diff * diff
+	}
+	return math.Sqrt(d)
+}
+
+// UnlabeledRows featurizes the warehouse's Uncategorized/NA population —
+// the jobs the supervised path cannot name, and exactly the ones
+// discovery exists for. Store iteration order is ingest order, so the
+// same store yields the same rows.
+func UnlabeledRows(store *warehouse.Store, opt FeatureOptions) [][]float64 {
+	recs := store.Filter(func(r *warehouse.Record) bool {
+		return (r.AppLabel == lariat.Uncategorized || r.AppLabel == lariat.NA) && r.Summary != nil
+	})
+	rows := make([][]float64, len(recs))
+	for i, rec := range recs {
+		rows[i] = Featurize(rec.Summary, opt)
+	}
+	return rows
+}
+
+// DiscoveryView is one immutable generation of the serving discovery
+// model, mirroring ModelView: capture it once per request and every
+// read within the request observes a single self-consistent fit.
+type DiscoveryView struct {
+	Model      *DiscoveryModel
+	Generation uint64
+
+	index map[string]int
+}
+
+// FeatureIndex resolves a feature name to its position in the model's
+// feature vector.
+func (v *DiscoveryView) FeatureIndex(name string) (int, bool) {
+	i, ok := v.index[name]
+	return i, ok
+}
+
+// NumFeatures returns the model's feature vector width.
+func (v *DiscoveryView) NumFeatures() int { return len(v.Model.Features) }
+
+// Annotate stamps the serving discovery fit's identity onto an in-flight
+// wide event. Nil-safe on both sides.
+func (v *DiscoveryView) Annotate(a *flight.Active) {
+	if v == nil {
+		return
+	}
+	a.SetModel(v.Generation, false, "pca+kmeans")
+}
+
+// DiscoveryManager publishes a DiscoveryModel behind an atomic pointer
+// with the same swap discipline as ModelManager: readers load the
+// current view with one atomic load; refits install a fully-built
+// replacement after schema validation.
+type DiscoveryManager struct {
+	cur atomic.Pointer[DiscoveryView]
+
+	mu  sync.Mutex
+	gen uint64
+
+	generation *obs.Gauge
+	swapOK     *obs.Counter
+	swapRej    *obs.Counter
+	swapErr    *obs.Counter
+}
+
+// NewDiscoveryManager returns an empty manager (View returns nil until
+// the first Swap). reg may be nil; when set, the manager exports
+// discover_generation and discover_swap_total{outcome}.
+func NewDiscoveryManager(reg *obs.Registry) *DiscoveryManager {
+	reg.Help("discover_generation", "Generation number of the serving discovery fit (0 = none loaded).")
+	reg.Help("discover_swap_total", "Discovery refit hot-swap attempts by outcome.")
+	return &DiscoveryManager{
+		generation: reg.Gauge("discover_generation"),
+		swapOK:     reg.Counter("discover_swap_total", "outcome", "ok"),
+		swapRej:    reg.Counter("discover_swap_total", "outcome", "rejected"),
+		swapErr:    reg.Counter("discover_swap_total", "outcome", "error"),
+	}
+}
+
+// View returns the current discovery view, or nil when no fit is loaded.
+func (m *DiscoveryManager) View() *DiscoveryView {
+	if m == nil {
+		return nil
+	}
+	return m.cur.Load()
+}
+
+// Generation returns the serving fit's generation (0 before the first
+// successful swap).
+func (m *DiscoveryManager) Generation() uint64 {
+	v := m.View()
+	if v == nil {
+		return 0
+	}
+	return v.Generation
+}
+
+// Swap validates and atomically installs a refit. Like ModelManager, a
+// refit may change K freely but must keep the feature name set of the
+// fit it replaces — clients address features by name and a silent schema
+// change would misroute every in-flight request body.
+func (m *DiscoveryManager) Swap(next *DiscoveryModel) (uint64, error) {
+	if next == nil {
+		m.swapErr.Inc()
+		return 0, errors.New("core: cannot swap in a nil discovery model")
+	}
+	idx, err := buildIndex(next.Features)
+	if err != nil {
+		m.swapErr.Inc()
+		return 0, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if cur := m.cur.Load(); cur != nil {
+		if len(cur.Model.Features) != len(next.Features) {
+			m.swapRej.Inc()
+			return 0, fmt.Errorf("%w: serving discovery fit has %d features, incoming has %d",
+				ErrSchemaMismatch, len(cur.Model.Features), len(next.Features))
+		}
+		var missing []string
+		for _, f := range cur.Model.Features {
+			if _, ok := idx[f]; !ok {
+				missing = append(missing, f)
+			}
+		}
+		if len(missing) > 0 {
+			m.swapRej.Inc()
+			return 0, fmt.Errorf("%w: incoming discovery fit lacks %v", ErrSchemaMismatch, missing)
+		}
+	}
+	m.gen++
+	m.cur.Store(&DiscoveryView{Model: next, Generation: m.gen, index: idx})
+	m.generation.Set(float64(m.gen))
+	m.swapOK.Inc()
+	return m.gen, nil
+}

@@ -82,13 +82,21 @@ type ModelManager struct {
 // first Swap). reg may be nil; when set, the manager exports
 // model_generation and model_swap_total{outcome} metrics.
 func NewModelManager(reg *obs.Registry) *ModelManager {
-	reg.Help("model_generation", "Generation number of the serving classifier (0 = none loaded).")
-	reg.Help("model_swap_total", "Model hot-swap attempts by outcome.")
+	return NewNamedModelManager(reg, "model")
+}
+
+// NewNamedModelManager is NewModelManager with a metric-family prefix,
+// so a second manager in the same process (e.g. the runtime-class
+// model) exports its own <prefix>_generation / <prefix>_swap_total
+// series instead of colliding with the primary classifier's.
+func NewNamedModelManager(reg *obs.Registry, prefix string) *ModelManager {
+	reg.Help(prefix+"_generation", "Generation number of the serving "+prefix+" classifier (0 = none loaded).")
+	reg.Help(prefix+"_swap_total", "Hot-swap attempts for the "+prefix+" classifier by outcome.")
 	return &ModelManager{
-		generation: reg.Gauge("model_generation"),
-		swapOK:     reg.Counter("model_swap_total", "outcome", "ok"),
-		swapRej:    reg.Counter("model_swap_total", "outcome", "rejected"),
-		swapErr:    reg.Counter("model_swap_total", "outcome", "error"),
+		generation: reg.Gauge(prefix + "_generation"),
+		swapOK:     reg.Counter(prefix+"_swap_total", "outcome", "ok"),
+		swapRej:    reg.Counter(prefix+"_swap_total", "outcome", "rejected"),
+		swapErr:    reg.Counter(prefix+"_swap_total", "outcome", "error"),
 	}
 }
 

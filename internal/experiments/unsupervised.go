@@ -2,15 +2,16 @@ package experiments
 
 import (
 	"repro/internal/core"
+	"repro/internal/lariat"
 	"repro/internal/ml/kmeans"
-	"repro/internal/ml/pca"
-	"repro/internal/stats"
 )
 
 // ExpX4Unsupervised exercises the other two "data discovery techniques"
 // the paper's Section II motivates -- clustering and dimensionality
 // reduction -- on the SUPReMM job mixture: does the application/category
-// structure the classifiers exploit emerge without labels?
+// structure the classifiers exploit emerge without labels? The fit
+// itself (standardize -> PCA -> k-means) lives in core.FitDiscovery,
+// the same artifact the serving layer hot-swaps behind /api/discover.
 func ExpX4Unsupervised(e *Env) (*Result, error) {
 	run, err := e.NativeRun()
 	if err != nil {
@@ -25,28 +26,25 @@ func ExpX4Unsupervised(e *Env) (*Result, error) {
 		return nil, err
 	}
 
-	// Standardize a copy for distance-based methods.
-	rows := make([][]float64, ds.Len())
-	for i, row := range ds.X {
-		rows[i] = append([]float64(nil), row...)
-	}
-	stats.FitScaler(rows).TransformAll(rows)
-
-	r := newResult("x4", "unsupervised structure: k-means purity and PCA spectrum")
+	r := newResult("x4", "unsupervised structure: k-means purity, PCA spectrum, unknown-app discovery")
 
 	// Clustering at category granularity (k = 12) and application
-	// granularity (k = #apps in the mix).
-	km12, err := kmeans.Fit(rows, kmeans.Config{K: 12, Seed: e.Cfg.Seed + 71})
+	// granularity (k = #apps in the mix), in 10-component PCA space.
+	dm12, err := core.FitDiscovery(ds.X, ds.FeatureNames, core.DiscoveryConfig{
+		K: 12, Components: 10, Restarts: 4, Seed: e.Cfg.Seed + 71, Workers: e.Cfg.Workers,
+	})
 	if err != nil {
 		return nil, err
 	}
-	catPurity := kmeans.Purity(km12.Labels, ds.Y)
+	catPurity := kmeans.Purity(dm12.Labels, ds.Y)
 	kApps := appDS.NumClasses()
-	kmApps, err := kmeans.Fit(rows, kmeans.Config{K: kApps, Seed: e.Cfg.Seed + 72})
+	dmApps, err := core.FitDiscovery(appDS.X, appDS.FeatureNames, core.DiscoveryConfig{
+		K: kApps, Components: 10, Restarts: 4, Seed: e.Cfg.Seed + 72, Workers: e.Cfg.Workers,
+	})
 	if err != nil {
 		return nil, err
 	}
-	appPurity := kmeans.Purity(kmApps.Labels, appDS.Y)
+	appPurity := kmeans.Purity(dmApps.Labels, appDS.Y)
 	r.Metrics["category_purity"] = catPurity
 	r.Metrics["app_purity"] = appPurity
 	r.addf("k-means k=12 purity vs broad category: %.3f", catPurity)
@@ -55,16 +53,56 @@ func ExpX4Unsupervised(e *Env) (*Result, error) {
 		majorityFrac(ds.Y, ds.NumClasses()), majorityFrac(appDS.Y, appDS.NumClasses()))
 
 	// PCA spectrum: how many directions carry the mixture's variance.
-	model, err := pca.Fit(rows, 10)
-	if err != nil {
-		return nil, err
-	}
 	r.addf("")
 	r.addf("PCA cumulative explained variance:")
 	for _, c := range []int{1, 2, 3, 5, 10} {
-		ev := model.ExplainedVariance(c)
+		ev := dm12.PCA.ExplainedVariance(c)
 		r.addf("  %2d components: %5.1f%%", c, 100*ev)
 		r.Metrics[metricKey("pca", c)] = ev
+	}
+
+	// Discovery over the population the supervised path cannot name: the
+	// Uncategorized/NA jobs. This is the serving artifact's exact fit.
+	var unlabeled []*core.JobRecord
+	for _, rec := range run.Records {
+		if rec.Label == lariat.Uncategorized || rec.Label == lariat.NA {
+			unlabeled = append(unlabeled, rec)
+		}
+	}
+	rows := core.FeaturizeAll(unlabeled, core.DefaultFeatures())
+	if len(rows) < 16 { // too few Uncategorized/NA jobs for a meaningful fit
+		r.Metrics["discovery_rows"] = float64(len(rows))
+		r.addf("")
+		r.addf("discovery skipped: only %d unlabeled jobs in this mixture", len(rows))
+		return r, nil
+	}
+	disc, err := core.FitDiscovery(rows, core.FeatureNames(core.DefaultFeatures()), core.DiscoveryConfig{
+		Seed: e.Cfg.Seed + 73, Workers: e.Cfg.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	anomalous := 0
+	for _, c := range disc.Clusters {
+		if c.Anomalous {
+			anomalous++
+		}
+	}
+	r.Metrics["discovery_rows"] = float64(disc.Rows)
+	r.Metrics["discovery_anomalous_clusters"] = float64(anomalous)
+	r.Metrics["discovery_ev5"] = disc.ExplainedVariance[len(disc.ExplainedVariance)-1]
+	r.addf("")
+	r.addf("discovery over %d unlabeled jobs (k=%d): %d anomalous clusters", disc.Rows, disc.K, anomalous)
+	for _, c := range disc.Clusters {
+		if c.Size == 0 {
+			continue
+		}
+		flag := " "
+		if c.Anomalous {
+			flag = "!"
+		}
+		r.addf("  %s cluster %2d: %4d jobs (%4.1f%%), top deviation %s z=%+.2f",
+			flag, c.ID, c.Size, 100*c.Share, c.TopDeviations[0].Feature, c.TopDeviations[0].Z)
 	}
 	return r, nil
 }

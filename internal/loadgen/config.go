@@ -26,6 +26,14 @@ type Config struct {
 	// BatchMix is the fraction of arrivals sent to /api/classify/batch
 	// instead of /api/classify, decided per arrival by seeded dice.
 	BatchMix float64
+	// DiscoverMix is the fraction of arrivals sent to
+	// /api/discover/assign (requires the target to have a discovery fit
+	// loaded). The same per-arrival dice decide the route, so
+	// BatchMix + DiscoverMix + RuntimeMix must not exceed 1; the
+	// remainder goes to /api/classify.
+	DiscoverMix float64
+	// RuntimeMix is the fraction of arrivals sent to /api/runtime-class.
+	RuntimeMix float64
 	// BatchSize is the row count of each batch request.
 	BatchSize int
 	// Threshold is the classification threshold sent with every request.
@@ -66,6 +74,13 @@ func (c Config) Validate() error {
 		return fmt.Errorf("loadgen: ramp %v outside [0, dur=%v]", c.Ramp, c.Duration)
 	case math.IsNaN(c.BatchMix) || c.BatchMix < 0 || c.BatchMix > 1:
 		return fmt.Errorf("loadgen: mix %v outside [0,1]", c.BatchMix)
+	case math.IsNaN(c.DiscoverMix) || c.DiscoverMix < 0 || c.DiscoverMix > 1:
+		return fmt.Errorf("loadgen: dmix %v outside [0,1]", c.DiscoverMix)
+	case math.IsNaN(c.RuntimeMix) || c.RuntimeMix < 0 || c.RuntimeMix > 1:
+		return fmt.Errorf("loadgen: rmix %v outside [0,1]", c.RuntimeMix)
+	case c.BatchMix+c.DiscoverMix+c.RuntimeMix > 1:
+		return fmt.Errorf("loadgen: mix+dmix+rmix = %v exceeds 1",
+			c.BatchMix+c.DiscoverMix+c.RuntimeMix)
 	case c.BatchSize <= 0 || c.BatchSize > 4096:
 		return fmt.Errorf("loadgen: batch %d outside [1,4096]", c.BatchSize)
 	case math.IsNaN(c.Threshold) || c.Threshold < 0 || c.Threshold > 1:
@@ -83,8 +98,9 @@ func (c Config) Validate() error {
 //
 //	url=http://127.0.0.1:8080,rps=200,dur=30s,ramp=5s,mix=0.25,batch=64,seed=7
 //
-// Keys: url, rps, dur, ramp, mix, batch, threshold, seed, timeout,
-// inflight. url, rps, and dur are required; the rest default sanely.
+// Keys: url, rps, dur, ramp, mix, dmix, rmix, batch, threshold, seed,
+// timeout, inflight. url, rps, and dur are required; the rest default
+// sanely.
 // The returned config always passes Validate.
 func ParseSpec(s string) (Config, error) {
 	cfg := Config{
@@ -121,6 +137,10 @@ func ParseSpec(s string) (Config, error) {
 			cfg.Ramp, err = parseDuration(key, val)
 		case "mix":
 			cfg.BatchMix, err = parseFloat(key, val)
+		case "dmix":
+			cfg.DiscoverMix, err = parseFloat(key, val)
+		case "rmix":
+			cfg.RuntimeMix, err = parseFloat(key, val)
 		case "batch":
 			cfg.BatchSize, err = parseInt(key, val)
 		case "threshold":
@@ -153,6 +173,8 @@ func (c Config) Spec() string {
 		"dur":       c.Duration.String(),
 		"ramp":      c.Ramp.String(),
 		"mix":       strconv.FormatFloat(c.BatchMix, 'g', -1, 64),
+		"dmix":      strconv.FormatFloat(c.DiscoverMix, 'g', -1, 64),
+		"rmix":      strconv.FormatFloat(c.RuntimeMix, 'g', -1, 64),
 		"batch":     strconv.Itoa(c.BatchSize),
 		"threshold": strconv.FormatFloat(c.Threshold, 'g', -1, 64),
 		"seed":      strconv.FormatUint(c.Seed, 10),

@@ -99,33 +99,54 @@ func arrivalTime(cfg Config, k int64) time.Duration {
 	return time.Duration(n / cfg.RPS * float64(time.Second))
 }
 
+// routeSchemas holds the per-route feature schemas discovered at run
+// start. The classify schema is always fetched; discovery and runtime
+// schemas only when their mixes drive traffic at those routes.
+type routeSchemas struct {
+	classify []string
+	discover []string
+	runtime  []string
+}
+
 // buildBody renders arrival k's request body and path. Values are
 // derived from the per-arrival RNG stream, so bodies are reproducible
-// and distinct across arrivals.
-func buildBody(cfg Config, features []string, k int64) (path string, body []byte) {
+// and distinct across arrivals. One dice roll picks the route -- batch,
+// discovery assignment, runtime class, or single classify in that
+// order -- so a spec with dmix=rmix=0 issues byte-identical traffic to
+// one that predates those knobs.
+func buildBody(cfg Config, sch routeSchemas, k int64) (path string, body []byte) {
 	r := rng.New(cfg.Seed).Split(uint64(k))
-	row := func() map[string]float64 {
+	row := func(features []string) map[string]float64 {
 		m := make(map[string]float64, len(features))
 		for _, name := range features {
 			m[name] = math.Round(r.Float64()*1e6) / 1e6
 		}
 		return m
 	}
-	if r.Float64() < cfg.BatchMix {
+	u := r.Float64()
+	switch {
+	case u < cfg.BatchMix:
 		rows := make([]map[string]float64, cfg.BatchSize)
 		for i := range rows {
-			rows[i] = row()
+			rows[i] = row(sch.classify)
 		}
 		b, _ := json.Marshal(map[string]any{"rows": rows, "threshold": cfg.Threshold})
 		return "/api/classify/batch", b
+	case u < cfg.BatchMix+cfg.DiscoverMix:
+		b, _ := json.Marshal(map[string]any{"features": row(sch.discover)})
+		return "/api/discover/assign", b
+	case u < cfg.BatchMix+cfg.DiscoverMix+cfg.RuntimeMix:
+		b, _ := json.Marshal(map[string]any{"features": row(sch.runtime), "threshold": cfg.Threshold})
+		return "/api/runtime-class", b
 	}
-	b, _ := json.Marshal(map[string]any{"features": row(), "threshold": cfg.Threshold})
+	b, _ := json.Marshal(map[string]any{"features": row(sch.classify), "threshold": cfg.Threshold})
 	return "/api/classify", b
 }
 
-// discoverFeatures asks the target for its model schema.
-func discoverFeatures(ctx context.Context, client *http.Client, base string) ([]string, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/api/features", nil)
+// fetchFeatures asks the target for the feature schema served at path
+// (a GET endpoint answering a JSON body with a "features" array).
+func fetchFeatures(ctx context.Context, client *http.Client, base, path string) ([]string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -135,18 +156,38 @@ func discoverFeatures(ctx context.Context, client *http.Client, base string) ([]
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("loadgen: %s/api/features answered %d (no model loaded?)", base, resp.StatusCode)
+		return nil, fmt.Errorf("loadgen: %s%s answered %d (model or fit not loaded?)", base, path, resp.StatusCode)
 	}
 	var meta struct {
 		Features []string `json:"features"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&meta); err != nil {
-		return nil, fmt.Errorf("loadgen: decoding features: %w", err)
+		return nil, fmt.Errorf("loadgen: decoding %s: %w", path, err)
 	}
 	if len(meta.Features) == 0 {
-		return nil, fmt.Errorf("loadgen: target reports an empty feature schema")
+		return nil, fmt.Errorf("loadgen: %s reports an empty feature schema", path)
 	}
 	return meta.Features, nil
+}
+
+// discoverSchemas fetches every schema the configured mixes need.
+func discoverSchemas(ctx context.Context, client *http.Client, cfg Config) (routeSchemas, error) {
+	classify, err := fetchFeatures(ctx, client, cfg.BaseURL, "/api/features")
+	if err != nil {
+		return routeSchemas{}, err
+	}
+	sch := routeSchemas{classify: classify, discover: classify, runtime: classify}
+	if cfg.DiscoverMix > 0 {
+		if sch.discover, err = fetchFeatures(ctx, client, cfg.BaseURL, "/api/discover"); err != nil {
+			return routeSchemas{}, err
+		}
+	}
+	if cfg.RuntimeMix > 0 {
+		if sch.runtime, err = fetchFeatures(ctx, client, cfg.BaseURL, "/api/runtime-class/features"); err != nil {
+			return routeSchemas{}, err
+		}
+	}
+	return sch, nil
 }
 
 // Run executes the configured load against cfg.BaseURL and returns the
@@ -163,12 +204,12 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			MaxIdleConnsPerHost: cfg.MaxInFlight,
 		},
 	}
-	features, err := discoverFeatures(ctx, client, cfg.BaseURL)
+	sch, err := discoverSchemas(ctx, client, cfg)
 	if err != nil {
 		return nil, err
 	}
 
-	rep := &Report{Spec: cfg.Spec(), Features: len(features), ByStatus: map[string]int64{}}
+	rep := &Report{Spec: cfg.Spec(), Features: len(sch.classify), ByStatus: map[string]int64{}}
 	var mu sync.Mutex // guards ByStatus and latencies
 	var latencies []float64
 	var sent, dropped atomic.Int64
@@ -181,7 +222,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	fire := func(k int64) {
 		defer wg.Done()
 		defer func() { <-inFlight }()
-		path, body := buildBody(cfg, features, k)
+		path, body := buildBody(cfg, sch, k)
 		req, err := http.NewRequest(http.MethodPost, cfg.BaseURL+path, bytes.NewReader(body))
 		if err != nil {
 			clientErrs.Add(1)
@@ -278,18 +319,22 @@ type RecorderCheck struct {
 	Kept       uint64 `json:"kept"`
 	SampledOut uint64 `json:"sampledOut"`
 	Evicted    uint64 `json:"evicted"`
-	// ByStatus is the recorder's classify-route event count per status.
+	// ByStatus is the recorder's driven-route event count per status.
 	ByStatus map[string]uint64 `json:"byStatus"`
 	// Mismatches lists every reconciliation failure; empty means the
 	// ledger agreed exactly with the client-observed counts.
 	Mismatches []string `json:"mismatches"`
 }
 
-// classifyRoutes are the routes the load generator drives; the
+// drivenRoutes are the routes the load generator drives; the
 // reconciliation join is restricted to them so the recorder's view of
-// other traffic (the /api/features discovery call, scrapes) stays out
-// of the comparison.
-var classifyRoutes = []string{"/api/classify", "/api/classify/batch"}
+// other traffic (the schema discovery calls, scrapes) stays out of the
+// comparison. Note /api/runtime-class/features is deliberately absent:
+// it is the schema GET, not driven traffic.
+var drivenRoutes = []string{
+	"/api/classify", "/api/classify/batch",
+	"/api/discover/assign", "/api/runtime-class",
+}
 
 // debugRequests fetches the target's /debug/requests with the given
 // query string.
@@ -316,10 +361,10 @@ func debugRequests(ctx context.Context, client *http.Client, base, query string)
 	return out.Stats, out.Matched, nil
 }
 
-// classifyByStatus sums the recorder's classify-route counts per status.
-func classifyByStatus(st flight.Stats) map[string]uint64 {
+// drivenByStatus sums the recorder's driven-route counts per status.
+func drivenByStatus(st flight.Stats) map[string]uint64 {
 	sum := map[string]uint64{}
-	for _, route := range classifyRoutes {
+	for _, route := range drivenRoutes {
 		for status, n := range st.ByRoute[route] {
 			sum[status] += n
 		}
@@ -331,12 +376,13 @@ func classifyByStatus(st flight.Stats) map[string]uint64 {
 // fills rep.Recorder. The server files a request's wide event after the
 // response body is written, so the client's counts can briefly lead the
 // ledger; reconciliation polls until the recorder has observed at least
-// as many classify events as the client got answers (or ctx expires),
+// as many driven-route events as the client got answers (or ctx
+// expires),
 // then asserts:
 //
 //   - the ledger balances: Observed == Kept + SampledOut and
 //     Kept == Live + Evicted;
-//   - per status code, the recorder observed exactly as many classify
+//   - per status code, the recorder observed exactly as many driven
 //     responses as the client received;
 //   - every error-class response (status >= 400) is retrievable from
 //     the ring, provided nothing was evicted during the run.
@@ -357,7 +403,7 @@ func ReconcileRecorder(ctx context.Context, base string, rep *Report) (*Recorder
 			return nil, err
 		}
 		var total uint64
-		for _, n := range classifyByStatus(st) {
+		for _, n := range drivenByStatus(st) {
 			total += n
 		}
 		if total >= answered || time.Now().After(deadline) || ctx.Err() != nil {
@@ -371,7 +417,7 @@ func ReconcileRecorder(ctx context.Context, base string, rep *Report) (*Recorder
 		Kept:       st.Kept,
 		SampledOut: st.SampledOut,
 		Evicted:    st.Evicted,
-		ByStatus:   classifyByStatus(st),
+		ByStatus:   drivenByStatus(st),
 		Mismatches: []string{},
 	}
 	flag := func(format string, args ...any) {
@@ -402,7 +448,7 @@ func ReconcileRecorder(ctx context.Context, base string, rep *Report) (*Recorder
 	for status := range statuses {
 		clientN := uint64(rep.ByStatus[status])
 		if got := chk.ByStatus[status]; got != clientN {
-			flag("status %s: recorder observed %d classify events, client received %d", status, got, clientN)
+			flag("status %s: recorder observed %d driven events, client received %d", status, got, clientN)
 		}
 	}
 
@@ -414,12 +460,17 @@ func ReconcileRecorder(ctx context.Context, base string, rep *Report) (*Recorder
 				continue
 			}
 			// The route filter is a prefix match, so "/api/classify"
-			// covers the single and batch endpoints in one query.
-			_, matched, err := debugRequests(ctx, client, base, "limit=0&status="+status+"&route=/api/classify")
-			if err != nil {
-				return nil, err
+			// covers the single and batch endpoints in one query; the
+			// discovery and runtime routes are queried exactly.
+			var matched int64
+			for _, route := range []string{"/api/classify", "/api/discover/assign", "/api/runtime-class"} {
+				_, m, err := debugRequests(ctx, client, base, "limit=0&status="+status+"&route="+route)
+				if err != nil {
+					return nil, err
+				}
+				matched += int64(m)
 			}
-			if int64(matched) != clientN {
+			if matched != clientN {
 				flag("status %s: only %d of %d error events retrievable from the ring", status, matched, clientN)
 			}
 		}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -16,11 +17,16 @@ import (
 func stubTarget(t *testing.T, handler func(w http.ResponseWriter, r *http.Request)) *httptest.Server {
 	t.Helper()
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /api/features", func(w http.ResponseWriter, r *http.Request) {
+	schema := func(w http.ResponseWriter, r *http.Request) {
 		json.NewEncoder(w).Encode(map[string]any{"features": []string{"A", "B", "C"}})
-	})
+	}
+	mux.HandleFunc("GET /api/features", schema)
+	mux.HandleFunc("GET /api/discover", schema)
+	mux.HandleFunc("GET /api/runtime-class/features", schema)
 	mux.HandleFunc("POST /api/classify", handler)
 	mux.HandleFunc("POST /api/classify/batch", handler)
+	mux.HandleFunc("POST /api/discover/assign", handler)
+	mux.HandleFunc("POST /api/runtime-class", handler)
 	srv := httptest.NewServer(mux)
 	t.Cleanup(srv.Close)
 	return srv
@@ -106,6 +112,62 @@ func TestRunFlagsMissingRetryAfter(t *testing.T) {
 	}
 	if rep.Shed == 0 || rep.ShedWithoutRetryAfter != rep.Shed {
 		t.Fatalf("shed=%d flagged=%d, want all flagged", rep.Shed, rep.ShedWithoutRetryAfter)
+	}
+}
+
+// TestRunDrivesMixedRoutes points a four-way mix at the stub and checks
+// every driven route sees traffic while the schema GETs stay off the
+// report.
+func TestRunDrivesMixedRoutes(t *testing.T) {
+	var mu sync.Mutex
+	byPath := map[string]int{}
+	srv := stubTarget(t, func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		byPath[r.URL.Path]++
+		mu.Unlock()
+		json.NewEncoder(w).Encode(map[string]any{"label": "ok"})
+	})
+	cfg, err := ParseSpec("url=" + srv.URL + ",rps=400,dur=500ms,mix=0.25,dmix=0.25,rmix=0.25,batch=4,seed=11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK != rep.Sent || rep.Sent == 0 {
+		t.Fatalf("sent=%d ok=%d", rep.Sent, rep.OK)
+	}
+	total := 0
+	for _, path := range []string{"/api/classify", "/api/classify/batch", "/api/discover/assign", "/api/runtime-class"} {
+		if byPath[path] == 0 {
+			t.Errorf("route %s saw no traffic (%v)", path, byPath)
+		}
+		total += byPath[path]
+	}
+	if int64(total) != rep.Sent {
+		t.Errorf("driven routes served %d, report sent %d (stray traffic?)", total, rep.Sent)
+	}
+}
+
+// TestRunRefusesMissingDiscoveryFit checks the generator fails fast when
+// dmix asks for discovery traffic but the target has no fit loaded.
+func TestRunRefusesMissingDiscoveryFit(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/features", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{"features": []string{"A"}})
+	})
+	mux.HandleFunc("GET /api/discover", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	cfg, err := ParseSpec("url=" + srv.URL + ",rps=1,dur=1s,dmix=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), cfg); err == nil {
+		t.Fatal("Run succeeded with dmix against a fit-less target")
 	}
 }
 

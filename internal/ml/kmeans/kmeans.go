@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/parallel"
 	"repro/internal/rng"
 )
 
@@ -19,6 +20,7 @@ type Config struct {
 	MaxIter  int // default 100
 	Restarts int // independent seedings, best inertia wins (default 4)
 	Seed     uint64
+	Workers  int // concurrent restarts; <=0 means GOMAXPROCS
 }
 
 // Result is a fitted clustering.
@@ -35,6 +37,12 @@ func Fit(rows [][]float64, cfg Config) (*Result, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("kmeans: no rows")
 	}
+	p := len(rows[0])
+	for i, row := range rows {
+		if len(row) != p {
+			return nil, fmt.Errorf("kmeans: ragged input: row %d has %d features, row 0 has %d", i, len(row), p)
+		}
+	}
 	if cfg.K <= 0 || cfg.K > n {
 		return nil, fmt.Errorf("kmeans: k=%d invalid for %d rows", cfg.K, n)
 	}
@@ -44,15 +52,34 @@ func Fit(rows [][]float64, cfg Config) (*Result, error) {
 	if cfg.Restarts <= 0 {
 		cfg.Restarts = 4
 	}
+	// Restarts run concurrently, each on the split stream keyed by its
+	// restart index, so the candidate set — and therefore the winner — is
+	// bit-identical at any worker count.
 	root := rng.New(cfg.Seed ^ 0x6b6d)
-	var best *Result
-	for restart := 0; restart < cfg.Restarts; restart++ {
-		res := lloyd(rows, cfg, root.Split(uint64(restart)))
-		if best == nil || res.Inertia < best.Inertia {
+	results, _ := parallel.MapSeeded(root, cfg.Workers, cfg.Restarts, func(restart int, r *rng.Rand) (*Result, error) {
+		return lloyd(rows, cfg, r), nil
+	})
+	best := results[0]
+	for _, res := range results[1:] {
+		if better(res, best) {
 			best = res
 		}
 	}
 	return best, nil
+}
+
+// better reports whether candidate a should replace the current best b.
+// A NaN inertia (possible when the input itself carries NaNs) always
+// loses to a non-NaN one; between two NaNs the earlier restart wins, so
+// the choice stays deterministic either way.
+func better(a, b *Result) bool {
+	if math.IsNaN(a.Inertia) {
+		return false
+	}
+	if math.IsNaN(b.Inertia) {
+		return true
+	}
+	return a.Inertia < b.Inertia
 }
 
 func lloyd(rows [][]float64, cfg Config, r *rng.Rand) *Result {
@@ -106,6 +133,15 @@ func lloyd(rows [][]float64, cfg Config, r *rng.Rand) *Result {
 			}
 		}
 	}
+	// The loop body recomputes centers after the last assignment pass, so
+	// the inertia accumulated during that pass describes the previous
+	// centers whenever the loop exits via MaxIter. Recompute it against
+	// the centers actually returned; on a converged exit this reproduces
+	// the accumulated sum bit-for-bit.
+	inertia = 0
+	for i, row := range rows {
+		inertia += distSq(row, centers[labels[i]])
+	}
 	return &Result{Centers: centers, Labels: labels, Inertia: inertia, Iters: iters}
 }
 
@@ -144,16 +180,21 @@ func seedPlusPlus(rows [][]float64, k int, r *rng.Rand) [][]float64 {
 func nearest(centers [][]float64, row []float64) (int, float64) {
 	best, bestD := 0, math.Inf(1)
 	for c, ctr := range centers {
-		var d float64
-		for j := range row {
-			diff := row[j] - ctr[j]
-			d += diff * diff
-		}
-		if d < bestD {
+		if d := distSq(row, ctr); d < bestD {
 			best, bestD = c, d
 		}
 	}
 	return best, bestD
+}
+
+// distSq is the squared Euclidean distance between equal-length vectors.
+func distSq(a, b []float64) float64 {
+	var d float64
+	for j := range a {
+		diff := a[j] - b[j]
+		d += diff * diff
+	}
+	return d
 }
 
 // farthest returns the row index with the largest distance to its nearest

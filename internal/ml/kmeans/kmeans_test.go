@@ -1,6 +1,7 @@
 package kmeans
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/rng"
@@ -96,6 +97,148 @@ func TestPurity(t *testing.T) {
 	}
 	if Purity(nil, nil) != 0 || Purity([]int{1}, []int{1, 2}) != 0 {
 		t.Error("degenerate purity should be 0")
+	}
+}
+
+// TestInertiaMatchesFinalCenters pins the MaxIter-exit bug: lloyd used
+// to recompute centers after the last assignment pass and return the
+// inertia accumulated against the *previous* centers. The reported
+// inertia must always describe the returned Centers and Labels.
+func TestInertiaMatchesFinalCenters(t *testing.T) {
+	rows, _ := blobs(7, [][]float64{{0, 9}, {9, 0}, {-9, -9}}, 2.5, 40)
+	for _, maxIter := range []int{1, 2, 0} { // truncated, truncated, converged
+		res, err := Fit(rows, Config{K: 3, Seed: 11, MaxIter: maxIter, Restarts: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want float64
+		for i, row := range rows {
+			want += distSq(row, res.Centers[res.Labels[i]])
+		}
+		if res.Inertia != want {
+			t.Errorf("MaxIter=%d: Inertia=%v but distance to returned centers sums to %v",
+				maxIter, res.Inertia, want)
+		}
+	}
+}
+
+func TestRaggedRowsRejected(t *testing.T) {
+	cases := map[string][][]float64{
+		"shorter": {{1, 2}, {3}},       // used to silently under-count dims
+		"longer":  {{1, 2}, {3, 4, 5}}, // used to panic mid-fit
+	}
+	for name, rows := range cases {
+		if _, err := Fit(rows, Config{K: 1, Seed: 1}); err == nil {
+			t.Errorf("%s ragged row not rejected", name)
+		}
+	}
+}
+
+func TestNaNInertiaNeverWins(t *testing.T) {
+	nan := &Result{Inertia: math.NaN()}
+	fin := &Result{Inertia: 5}
+	if better(nan, fin) {
+		t.Error("NaN candidate replaced finite best")
+	}
+	if !better(fin, nan) {
+		t.Error("finite candidate did not replace NaN best")
+	}
+	if better(nan, nan) {
+		t.Error("NaN vs NaN must keep the earlier restart")
+	}
+	if better(&Result{Inertia: 5}, &Result{Inertia: 5}) {
+		t.Error("tie must keep the earlier restart")
+	}
+	// End to end: input carrying a NaN still fits deterministically.
+	rows, _ := blobs(8, [][]float64{{0, 4}, {4, 0}}, 1, 20)
+	rows[3][0] = math.NaN()
+	a, err := Fit(rows, Config{K: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Fit(rows, Config{K: 2, Seed: 3})
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatalf("NaN input broke determinism at row %d", i)
+		}
+	}
+}
+
+// TestPurityPermutationInvariance is metamorphic: purity only depends on
+// the partition structure, so renaming cluster ids, renaming reference
+// labels, or reordering rows (same shuffle on both sides) cannot move it.
+func TestPurityPermutationInvariance(t *testing.T) {
+	rows, truth := blobs(9, [][]float64{{0, 7}, {7, 0}, {-7, -7}}, 1.5, 50)
+	res, err := Fit(rows, Config{K: 3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Purity(res.Labels, truth)
+
+	perm := []int{2, 0, 1}
+	renamed := make([]int, len(res.Labels))
+	for i, c := range res.Labels {
+		renamed[i] = perm[c]
+	}
+	if got := Purity(renamed, truth); got != base {
+		t.Errorf("cluster-id permutation moved purity: %v vs %v", got, base)
+	}
+
+	ref2 := make([]int, len(truth))
+	for i, c := range truth {
+		ref2[i] = 100 - c
+	}
+	if got := Purity(res.Labels, ref2); got != base {
+		t.Errorf("reference-label renaming moved purity: %v vs %v", got, base)
+	}
+
+	r := rng.New(5)
+	order := make([]int, len(truth))
+	for i := range order {
+		order[i] = i
+	}
+	for i := len(order) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		order[i], order[j] = order[j], order[i]
+	}
+	sc := make([]int, len(order))
+	sr := make([]int, len(order))
+	for i, idx := range order {
+		sc[i] = res.Labels[idx]
+		sr[i] = truth[idx]
+	}
+	if got := Purity(sc, sr); got != base {
+		t.Errorf("row shuffle moved purity: %v vs %v", got, base)
+	}
+}
+
+// TestFitWorkerParity: restarts fan out over a worker pool, but every
+// restart owns the split RNG stream keyed by its index, so the fit is
+// bit-identical at any worker count.
+func TestFitWorkerParity(t *testing.T) {
+	rows, _ := blobs(10, [][]float64{{0, 6}, {6, 0}, {-6, 0}, {0, -6}}, 1.4, 60)
+	a, err := Fit(rows, Config{K: 4, Seed: 7, Restarts: 6, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fit(rows, Config{K: 4, Seed: 7, Restarts: 6, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(a.Inertia) != math.Float64bits(b.Inertia) {
+		t.Fatalf("inertia differs across worker counts: %v vs %v", a.Inertia, b.Inertia)
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatalf("labels differ at row %d", i)
+		}
+	}
+	for c := range a.Centers {
+		for j := range a.Centers[c] {
+			if math.Float64bits(a.Centers[c][j]) != math.Float64bits(b.Centers[c][j]) {
+				t.Fatalf("center %d[%d] differs", c, j)
+			}
+		}
 	}
 }
 

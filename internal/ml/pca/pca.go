@@ -81,13 +81,39 @@ func Fit(rows [][]float64, k int) (*Model, error) {
 		for i := 0; i < p; i++ {
 			comp[i] = evecs[i][col]
 		}
+		pinSign(comp)
 		m.Components[c] = comp
 	}
 	return m, nil
 }
 
-// Transform projects a row onto the retained components.
-func (m *Model) Transform(row []float64) []float64 {
+// pinSign fixes an eigenvector's sign convention: the largest-magnitude
+// coordinate (first on ties) is made positive. Eigenvectors are only
+// defined up to sign, and the Jacobi rotation order can flip one without
+// changing the subspace — pinning keeps fitted components, projections
+// and golden files stable.
+func pinSign(comp []float64) {
+	pin := 0
+	for i, v := range comp {
+		if math.Abs(v) > math.Abs(comp[pin]) {
+			pin = i
+		}
+	}
+	if comp[pin] < 0 {
+		for i := range comp {
+			comp[i] = -comp[i]
+		}
+	}
+}
+
+// Transform projects a row onto the retained components. The row must
+// carry exactly the feature count the model was fitted on: longer rows
+// used to panic with index-out-of-range and shorter ones were silently
+// truncated — both now return an error instead.
+func (m *Model) Transform(row []float64) ([]float64, error) {
+	if len(row) != len(m.Means) {
+		return nil, fmt.Errorf("pca: row has %d features, model fitted on %d", len(row), len(m.Means))
+	}
 	out := make([]float64, len(m.Components))
 	for c, comp := range m.Components {
 		var s float64
@@ -96,16 +122,20 @@ func (m *Model) Transform(row []float64) []float64 {
 		}
 		out[c] = s
 	}
-	return out
+	return out, nil
 }
 
-// TransformAll projects every row.
-func (m *Model) TransformAll(rows [][]float64) [][]float64 {
+// TransformAll projects every row, failing on the first length mismatch.
+func (m *Model) TransformAll(rows [][]float64) ([][]float64, error) {
 	out := make([][]float64, len(rows))
 	for i, row := range rows {
-		out[i] = m.Transform(row)
+		proj, err := m.Transform(row)
+		if err != nil {
+			return nil, fmt.Errorf("row %d: %w", i, err)
+		}
+		out[i] = proj
 	}
-	return out
+	return out, nil
 }
 
 // ExplainedVariance returns the fraction of total variance captured by

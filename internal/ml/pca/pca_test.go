@@ -46,7 +46,10 @@ func TestTransformCentersData(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	proj := m.TransformAll(rows)
+	proj, err := m.TransformAll(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for c := 0; c < 2; c++ {
 		var mean float64
 		for _, p := range proj {
@@ -106,6 +109,70 @@ func TestFitErrors(t *testing.T) {
 	}
 	if _, err := Fit([][]float64{{1, 2}, {1}}, 1); err == nil {
 		t.Error("ragged rows not rejected")
+	}
+}
+
+// TestTransformLengthValidation pins the serving-path bug: rows longer
+// than the fitted feature count used to panic (Means index out of
+// range) and shorter ones were silently truncated. Both must error.
+func TestTransformLengthValidation(t *testing.T) {
+	r := rng.New(4)
+	rows := make([][]float64, 50)
+	for i := range rows {
+		rows[i] = []float64{r.Normal(), r.Normal(), r.Normal()}
+	}
+	m, err := Fit(rows, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Transform([]float64{1, 2}); err == nil {
+		t.Error("short row not rejected")
+	}
+	if _, err := m.Transform([]float64{1, 2, 3, 4}); err == nil {
+		t.Error("long row not rejected (used to panic)")
+	}
+	if _, err := m.Transform([]float64{1, 2, 3}); err != nil {
+		t.Errorf("exact-length row rejected: %v", err)
+	}
+	if _, err := m.TransformAll([][]float64{{1, 2, 3}, {1, 2}}); err == nil {
+		t.Error("TransformAll did not propagate the length error")
+	}
+}
+
+// TestSignConvention: eigenvectors are defined up to sign, so Fit pins
+// each component's largest-magnitude coordinate positive. Refits are
+// bit-identical, keeping golden files stable.
+func TestSignConvention(t *testing.T) {
+	r := rng.New(5)
+	rows := make([][]float64, 200)
+	for i := range rows {
+		rows[i] = []float64{r.NormalAt(2, 3), r.NormalAt(-1, 2), r.Normal(), r.NormalAt(4, 0.5)}
+	}
+	m, err := Fit(rows, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, comp := range m.Components {
+		pin := 0
+		for i, v := range comp {
+			if math.Abs(v) > math.Abs(comp[pin]) {
+				pin = i
+			}
+		}
+		if comp[pin] < 0 {
+			t.Errorf("component %d: largest-magnitude coordinate %v is negative", c, comp[pin])
+		}
+	}
+	m2, err := Fit(rows, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range m.Components {
+		for j := range m.Components[c] {
+			if math.Float64bits(m.Components[c][j]) != math.Float64bits(m2.Components[c][j]) {
+				t.Fatalf("component %d[%d] differs between identical fits", c, j)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,401 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs/flight"
+	"repro/internal/resilience"
+)
+
+// This file serves the unknown-app discovery and runtime-class workload
+// pack: PCA + k-means over the warehouse's Uncategorized/NA population
+// behind GET/POST /api/discover (+ per-job /api/discover/assign
+// scoring), and submit-time runtime/outcome class prediction behind
+// POST /api/runtime-class. Both artifacts live behind immutable views
+// with atomic refit/hot-swap and ride the same admission/deadline/
+// breaker governance and flight-recorder middleware as classify.
+
+// WithDiscovery supplies an externally-owned discovery manager (for
+// boot-time fitting). Build it with the same registry passed to
+// WithMetrics so swap metrics land in one exposition; without this
+// option the server builds its own empty manager and /api/discover
+// answers 503 until the first refit.
+func WithDiscovery(dm *core.DiscoveryManager) Option {
+	return func(s *Server) { s.discovery = dm }
+}
+
+// WithRuntimeManager supplies an externally-owned manager for the
+// runtime-class model. Without it the server builds its own empty
+// manager and /api/runtime-class answers 503 until a model is swapped
+// in.
+func WithRuntimeManager(mm *core.ModelManager) Option {
+	return func(s *Server) { s.runtime = mm }
+}
+
+// Discovery exposes the server's discovery manager.
+func (s *Server) Discovery() *core.DiscoveryManager { return s.discovery }
+
+// RuntimeModels exposes the server's runtime-class model manager.
+func (s *Server) RuntimeModels() *core.ModelManager { return s.runtime }
+
+func (s *Server) discoverOutcome(outcome string) {
+	s.metrics.Counter("discover_assign_outcomes_total", "outcome", outcome).Inc()
+}
+
+func (s *Server) runtimeOutcome(outcome string) {
+	s.metrics.Counter("runtime_class_outcomes_total", "outcome", outcome).Inc()
+}
+
+// clusterJSON is one served cluster summary; Center keys encode sorted
+// (encoding/json orders map keys), so responses are byte-deterministic.
+type clusterJSON struct {
+	ID            int                     `json:"id"`
+	Size          int                     `json:"size"`
+	Share         float64                 `json:"share"`
+	Anomalous     bool                    `json:"anomalous"`
+	MeanDistance  float64                 `json:"meanDistance"`
+	Center        map[string]float64      `json:"center"`
+	TopDeviations []core.FeatureDeviation `json:"topDeviations"`
+}
+
+// handleDiscoverGet reports the serving discovery fit: the cluster
+// table, the explained-variance curve (read the knee to see how many
+// directions the unlabeled population spans), and the anomaly
+// threshold.
+func (s *Server) handleDiscoverGet(w http.ResponseWriter, r *http.Request) {
+	v := s.discovery.View()
+	if v == nil {
+		s.writeError(w, http.StatusServiceUnavailable, "no discovery fit loaded")
+		return
+	}
+	v.Annotate(flight.From(r.Context()))
+	m := v.Model
+	clusters := make([]clusterJSON, len(m.Clusters))
+	for i, c := range m.Clusters {
+		clusters[i] = clusterJSON{
+			ID: c.ID, Size: c.Size, Share: c.Share, Anomalous: c.Anomalous,
+			MeanDistance: c.MeanDistance, Center: c.Center, TopDeviations: c.TopDeviations,
+		}
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"generation":        v.Generation,
+		"k":                 m.K,
+		"rows":              m.Rows,
+		"seed":              m.Seed,
+		"features":          m.Features,
+		"explainedVariance": m.ExplainedVariance,
+		"anomalyDistance":   m.AnomalyDistance,
+		"inertia":           m.Inertia,
+		"clusters":          clusters,
+	})
+}
+
+// refitRequest tunes a discovery refit; zero fields keep the module
+// defaults (and Seed 0 is a valid, deterministic seed).
+type refitRequest struct {
+	K          int    `json:"k"`
+	Components int    `json:"components"`
+	Restarts   int    `json:"restarts"`
+	Seed       uint64 `json:"seed"`
+}
+
+// handleDiscoverRefit refits the discovery model over the warehouse's
+// current Uncategorized/NA population and atomically hot-swaps it in.
+// Refits are control-plane work like model reloads, so they share the
+// reload circuit breaker: repeated failures trip it and further
+// attempts answer 503 fast without touching the store.
+func (s *Server) handleDiscoverRefit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxClassifyBody)
+	var req refitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.K < 0 || req.Components < 0 || req.Restarts < 0 {
+		s.writeError(w, http.StatusBadRequest, "k, components and restarts must be >= 0")
+		return
+	}
+	gen, err := s.RefitDiscovery(core.DiscoveryConfig{
+		K: req.K, Components: req.Components, Restarts: req.Restarts,
+		Seed: req.Seed, Workers: s.batchWorkers,
+	})
+	if err != nil {
+		s.log.Warn("discovery refit failed", "err", err)
+		switch {
+		case errors.Is(err, resilience.ErrBreakerOpen):
+			w.Header().Set("Retry-After", retryAfterSeconds(s.breaker.RetryAfter()))
+			s.writeError(w, http.StatusServiceUnavailable,
+				"refit breaker open after repeated failures: %v", err)
+		case errors.Is(err, core.ErrSchemaMismatch):
+			s.writeError(w, http.StatusConflict, "refit rejected: %v", err)
+		default:
+			s.writeError(w, http.StatusBadRequest, "discovery refit failed: %v", err)
+		}
+		return
+	}
+	v := s.discovery.View()
+	s.log.Info("discovery refit", "generation", gen, "k", v.Model.K, "rows", v.Model.Rows)
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"generation": gen,
+		"k":          v.Model.K,
+		"rows":       v.Model.Rows,
+	})
+}
+
+// RefitDiscovery fits PCA + k-means over the warehouse's current
+// unlabeled population and swaps the result in, through the shared
+// control-plane breaker and the discover.fit fault site. SIGHUP-driven
+// refits and the admin endpoint both route here.
+func (s *Server) RefitDiscovery(cfg core.DiscoveryConfig) (uint64, error) {
+	if err := s.breaker.Allow(); err != nil {
+		s.metrics.Counter("model_breaker_rejections_total").Inc()
+		return s.discovery.Generation(), err
+	}
+	gen, err := s.refitOnce(cfg)
+	s.breaker.Record(err)
+	return gen, err
+}
+
+func (s *Server) refitOnce(cfg core.DiscoveryConfig) (uint64, error) {
+	if err := s.faults.Inject(FaultDiscoverFit); err != nil {
+		return s.discovery.Generation(), err
+	}
+	opt := core.DefaultFeatures()
+	rows := core.UnlabeledRows(s.store, opt)
+	m, err := core.FitDiscovery(rows, core.FeatureNames(opt), cfg)
+	if err != nil {
+		return s.discovery.Generation(), err
+	}
+	return s.discovery.Swap(m)
+}
+
+// assignRequest scores one job against the discovery fit.
+type assignRequest struct {
+	Features map[string]float64 `json:"features"`
+}
+
+// handleDiscoverAssign scores one job row against the serving discovery
+// fit: which discovered cluster it belongs to, how far from the center
+// it sits, and whether that distance (or the cluster itself) is
+// anomalous. Mirrors handleClassify's contract: 503 with no fit, 400
+// for malformed/unknown features, 504 past the deadline.
+func (s *Server) handleDiscoverAssign(w http.ResponseWriter, r *http.Request) {
+	v := s.discovery.View()
+	if v == nil {
+		s.discoverOutcome("no_model")
+		s.writeError(w, http.StatusServiceUnavailable, "no discovery fit loaded")
+		return
+	}
+	v.Annotate(flight.From(r.Context()))
+	r.Body = http.MaxBytesReader(w, r.Body, maxClassifyBody)
+	var req assignRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.discoverOutcome("oversized")
+			s.writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		s.discoverOutcome("bad_request")
+		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Features) == 0 {
+		s.discoverOutcome("bad_request")
+		s.writeError(w, http.StatusBadRequest, "empty or missing features map")
+		return
+	}
+	row := make([]float64, v.NumFeatures())
+	defaulted := []string{}
+	var unknown []string
+	for name, val := range req.Features {
+		idx, ok := v.FeatureIndex(name)
+		if !ok {
+			unknown = append(unknown, name)
+			continue
+		}
+		row[idx] = val
+	}
+	for _, name := range v.Model.Features {
+		if _, ok := req.Features[name]; !ok {
+			defaulted = append(defaulted, name)
+		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		s.discoverOutcome("bad_request")
+		s.writeError(w, http.StatusBadRequest, "unknown features: %v", unknown)
+		return
+	}
+	if fired, err := s.faults.InjectReport(FaultDiscoverAssign); fired {
+		flight.From(r.Context()).MarkFault()
+		if err != nil {
+			s.discoverOutcome("error")
+			s.rowError(w, r, err)
+			return
+		}
+	}
+	if err := r.Context().Err(); err != nil {
+		s.discoverOutcome("timeout")
+		s.rowError(w, r, err)
+		return
+	}
+	start := time.Now()
+	a, err := v.Model.Assign(row)
+	s.metrics.Histogram("discover_assign_seconds", rowLatencyBuckets()).ObserveDuration(start)
+	flight.From(r.Context()).Timer().Observe(time.Since(start))
+	if err != nil {
+		s.discoverOutcome("error")
+		s.rowError(w, r, err)
+		return
+	}
+	if a.Anomalous {
+		s.discoverOutcome("anomalous")
+	} else {
+		s.discoverOutcome("assigned")
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"cluster":          a.Cluster,
+		"distance":         a.Distance,
+		"anomalous":        a.Anomalous,
+		"clusterAnomalous": a.ClusterAnomalous,
+		"projection":       a.Projection,
+		"generation":       v.Generation,
+		"defaulted":        defaulted,
+	})
+}
+
+// runtimeRequest asks for a submit-time runtime/outcome class. The
+// global Threshold applies to every class; Thresholds overrides it per
+// class (e.g. demand 0.9 confidence before promising "short" but accept
+// 0.5 for "failed" warnings).
+type runtimeRequest struct {
+	Features   map[string]float64 `json:"features"`
+	Threshold  float64            `json:"threshold"`
+	Thresholds map[string]float64 `json:"thresholds"`
+}
+
+// handleRuntimeFeatures reports the runtime-class model's schema so
+// clients (and the load generator) can build valid request bodies.
+func (s *Server) handleRuntimeFeatures(w http.ResponseWriter, r *http.Request) {
+	v := s.runtime.View()
+	if v == nil {
+		s.writeError(w, http.StatusServiceUnavailable, "no runtime-class model loaded")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"algorithm":  v.Model.Algo,
+		"features":   v.Model.Features,
+		"classes":    v.Model.Classes(),
+		"generation": v.Generation,
+		"compiled":   v.Compiled(),
+	})
+}
+
+// handleRuntimeClass predicts a job's runtime/outcome class at submit
+// time from whatever features the client has (missing ones default to 0
+// and are reported back). The full per-class probability vector is
+// returned so scheduler-side policies can apply their own decision
+// rules beyond the thresholded verdict.
+func (s *Server) handleRuntimeClass(w http.ResponseWriter, r *http.Request) {
+	v := s.runtime.View()
+	if v == nil {
+		s.runtimeOutcome("no_model")
+		s.writeError(w, http.StatusServiceUnavailable, "no runtime-class model loaded")
+		return
+	}
+	v.Annotate(flight.From(r.Context()))
+	r.Body = http.MaxBytesReader(w, r.Body, maxClassifyBody)
+	var req runtimeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.runtimeOutcome("oversized")
+			s.writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		s.runtimeOutcome("bad_request")
+		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Threshold < 0 || req.Threshold > 1 {
+		s.runtimeOutcome("bad_request")
+		s.writeError(w, http.StatusBadRequest, "threshold must be in [0,1]")
+		return
+	}
+	classes := v.Model.Classes()
+	known := make(map[string]bool, len(classes))
+	for _, c := range classes {
+		known[c] = true
+	}
+	for name, t := range req.Thresholds {
+		if !known[name] {
+			s.runtimeOutcome("bad_request")
+			s.writeError(w, http.StatusBadRequest, "unknown class %q in thresholds (classes: %v)", name, classes)
+			return
+		}
+		if t < 0 || t > 1 {
+			s.runtimeOutcome("bad_request")
+			s.writeError(w, http.StatusBadRequest, "thresholds[%q] must be in [0,1]", name)
+			return
+		}
+	}
+	if len(req.Features) == 0 {
+		s.runtimeOutcome("bad_request")
+		s.writeError(w, http.StatusBadRequest, "empty or missing features map")
+		return
+	}
+	row, defaulted, unknownFeats := resolveRow(v, req.Features)
+	if len(unknownFeats) > 0 {
+		sort.Strings(unknownFeats)
+		s.runtimeOutcome("bad_request")
+		s.writeError(w, http.StatusBadRequest, "unknown features: %v", unknownFeats)
+		return
+	}
+	if fired, err := s.faults.InjectReport(FaultRuntimeRow); fired {
+		flight.From(r.Context()).MarkFault()
+		if err != nil {
+			s.runtimeOutcome("error")
+			s.rowError(w, r, err)
+			return
+		}
+	}
+	if err := r.Context().Err(); err != nil {
+		s.runtimeOutcome("timeout")
+		s.rowError(w, r, err)
+		return
+	}
+	start := time.Now()
+	pred, probs := v.Model.PredictProb(row)
+	s.metrics.Histogram("runtime_class_row_seconds", rowLatencyBuckets()).ObserveDuration(start)
+	flight.From(r.Context()).Timer().Observe(time.Since(start))
+	label := classes[pred]
+	threshold := req.Threshold
+	if t, ok := req.Thresholds[label]; ok {
+		threshold = t
+	}
+	classified := probs[pred] >= threshold
+	if classified {
+		s.runtimeOutcome("classified")
+	} else {
+		s.runtimeOutcome("below_threshold")
+	}
+	probabilities := make(map[string]float64, len(classes))
+	for i, c := range classes {
+		probabilities[c] = probs[i]
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"class":         label,
+		"probability":   probs[pred],
+		"classified":    classified,
+		"probabilities": probabilities,
+		"generation":    v.Generation,
+		"defaulted":     defaulted,
+	})
+}

@@ -1,0 +1,551 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/obs/flight"
+	"repro/internal/resilience"
+)
+
+// discoverServer builds an instrumented server over a small pipeline run
+// with a runtime-class model already swapped in. The discovery manager
+// starts empty, so tests exercise the refit path over the store's real
+// Uncategorized/NA population (91 jobs at seed 91 / 200 total).
+func discoverServer(t *testing.T, opts ...Option) (*httptest.Server, *obs.Registry) {
+	t.Helper()
+	res, err := core.RunPipeline(core.DefaultPipelineConfig(91, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := core.TrainRuntimeClassifier(res.Records, core.PaperForest(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	runtime := core.NewNamedModelManager(reg, "runtime_class")
+	if _, err := runtime.Swap(rt); err != nil {
+		t.Fatal(err)
+	}
+	all := append([]Option{WithMetrics(reg), WithRuntimeManager(runtime)}, opts...)
+	srv := httptest.NewServer(New(res.Store, nil, 6400, all...))
+	t.Cleanup(srv.Close)
+	return srv, reg
+}
+
+// discoverGetReply mirrors the GET /api/discover body.
+type discoverGetReply struct {
+	Generation        uint64    `json:"generation"`
+	K                 int       `json:"k"`
+	Rows              int       `json:"rows"`
+	Features          []string  `json:"features"`
+	ExplainedVariance []float64 `json:"explainedVariance"`
+	AnomalyDistance   float64   `json:"anomalyDistance"`
+	Clusters          []struct {
+		ID            int                `json:"id"`
+		Size          int                `json:"size"`
+		Share         float64            `json:"share"`
+		Anomalous     bool               `json:"anomalous"`
+		Center        map[string]float64 `json:"center"`
+		TopDeviations []struct {
+			Feature string  `json:"feature"`
+			Z       float64 `json:"z"`
+		} `json:"topDeviations"`
+	} `json:"clusters"`
+}
+
+// fullRow builds a feature map covering every name, with deterministic
+// values perturbed by variant.
+func fullRow(names []string, variant int) map[string]float64 {
+	m := make(map[string]float64, len(names))
+	for j, name := range names {
+		m[name] = float64((variant*5+j*3)%13) / 4
+	}
+	return m
+}
+
+// TestDiscoverLifecycle walks the discovery pack end to end: empty
+// manager answers 503, a refit fits the warehouse's unlabeled population
+// and hot-swaps generation 1, the cluster report serves, and per-job
+// assignment scores against the new fit.
+func TestDiscoverLifecycle(t *testing.T) {
+	srv, reg := discoverServer(t)
+
+	// Nothing fitted yet: report and assignment both refuse with 503.
+	if resp, body := get(t, srv.URL+"/api/discover"); resp.StatusCode != 503 {
+		t.Fatalf("GET /api/discover before refit: status %d (%s)", resp.StatusCode, body)
+	}
+	code, body := postJSON(t, srv.URL+"/api/discover/assign",
+		map[string]any{"features": map[string]float64{"x": 1}})
+	if code != 503 {
+		t.Fatalf("assign before refit: status %d (%s)", code, body)
+	}
+	if got := reg.Counter("discover_assign_outcomes_total", "outcome", "no_model").Value(); got != 1 {
+		t.Errorf("no_model outcomes = %d, want 1", got)
+	}
+
+	// Refit over the store's Uncategorized/NA jobs.
+	code, body = postJSON(t, srv.URL+"/api/discover",
+		map[string]any{"k": 4, "restarts": 3, "seed": 9})
+	if code != 200 {
+		t.Fatalf("refit: status %d (%s)", code, body)
+	}
+	var refit struct {
+		Generation uint64 `json:"generation"`
+		K          int    `json:"k"`
+		Rows       int    `json:"rows"`
+	}
+	if err := json.Unmarshal(body, &refit); err != nil {
+		t.Fatal(err)
+	}
+	if refit.Generation != 1 || refit.K != 4 || refit.Rows == 0 {
+		t.Fatalf("refit reply %+v: want generation 1, k 4, rows > 0", refit)
+	}
+	if got := reg.Counter("discover_swap_total", "outcome", "ok").Value(); got != 1 {
+		t.Errorf("discover_swap_total{ok} = %d, want 1", got)
+	}
+	if got := reg.Gauge("discover_generation").Value(); got != 1 {
+		t.Errorf("discover_generation = %v, want 1", got)
+	}
+
+	// The cluster report: sizes account for every row, shares sum to 1,
+	// the explained-variance curve is monotone, centers are keyed by
+	// feature name in original units.
+	var rep discoverGetReply
+	if code := getJSON(t, srv.URL+"/api/discover", &rep); code != 200 {
+		t.Fatalf("GET /api/discover: status %d", code)
+	}
+	if rep.Generation != 1 || rep.K != 4 || len(rep.Clusters) != 4 {
+		t.Fatalf("report generation %d k %d clusters %d", rep.Generation, rep.K, len(rep.Clusters))
+	}
+	total, share := 0, 0.0
+	for _, c := range rep.Clusters {
+		total += c.Size
+		share += c.Share
+		if c.Size > 0 && len(c.TopDeviations) == 0 {
+			t.Errorf("cluster %d has no top deviations", c.ID)
+		}
+		for _, f := range rep.Features {
+			if _, ok := c.Center[f]; !ok && c.Size > 0 {
+				t.Errorf("cluster %d center missing feature %s", c.ID, f)
+			}
+		}
+	}
+	if total != rep.Rows {
+		t.Errorf("cluster sizes sum to %d, rows %d", total, rep.Rows)
+	}
+	if math.Abs(share-1) > 1e-9 {
+		t.Errorf("shares sum to %v, want 1", share)
+	}
+	for i := 1; i < len(rep.ExplainedVariance); i++ {
+		if rep.ExplainedVariance[i] < rep.ExplainedVariance[i-1] {
+			t.Errorf("explained variance not monotone at %d: %v", i, rep.ExplainedVariance)
+		}
+	}
+
+	// Assignment lands in one of the k clusters and repeats byte-for-byte.
+	code, first := postJSON(t, srv.URL+"/api/discover/assign",
+		map[string]any{"features": fullRow(rep.Features, 1)})
+	if code != 200 {
+		t.Fatalf("assign: status %d (%s)", code, first)
+	}
+	var a struct {
+		Cluster    int     `json:"cluster"`
+		Distance   float64 `json:"distance"`
+		Generation uint64  `json:"generation"`
+	}
+	if err := json.Unmarshal(first, &a); err != nil {
+		t.Fatal(err)
+	}
+	if a.Cluster < 0 || a.Cluster >= 4 || a.Generation != 1 || a.Distance < 0 {
+		t.Fatalf("assign reply %+v out of contract", a)
+	}
+	if _, again := postJSON(t, srv.URL+"/api/discover/assign",
+		map[string]any{"features": fullRow(rep.Features, 1)}); !bytes.Equal(first, again) {
+		t.Errorf("repeated assignment diverges:\n%s\n%s", first, again)
+	}
+	assigned := reg.Counter("discover_assign_outcomes_total", "outcome", "assigned").Value()
+	anomalous := reg.Counter("discover_assign_outcomes_total", "outcome", "anomalous").Value()
+	if assigned+anomalous != 2 {
+		t.Errorf("assigned %d + anomalous %d outcomes, want 2 total", assigned, anomalous)
+	}
+
+	// A second refit hot-swaps generation 2 under the same schema.
+	if code, body := postJSON(t, srv.URL+"/api/discover",
+		map[string]any{"k": 6, "seed": 10}); code != 200 {
+		t.Fatalf("second refit: status %d (%s)", code, body)
+	}
+	var rep2 discoverGetReply
+	getJSON(t, srv.URL+"/api/discover", &rep2)
+	if rep2.Generation != 2 || rep2.K != 6 {
+		t.Errorf("after second refit: generation %d k %d, want 2/6", rep2.Generation, rep2.K)
+	}
+}
+
+// TestDiscoverAssignErrors pins the 4xx contract and its outcome
+// counters: malformed bodies, empty and unknown features, oversized
+// payloads, and invalid refit parameters all answer 4xx -- never a panic,
+// never a 500.
+func TestDiscoverAssignErrors(t *testing.T) {
+	srv, reg := discoverServer(t)
+	if code, body := postJSON(t, srv.URL+"/api/discover", map[string]any{"k": 3}); code != 200 {
+		t.Fatalf("refit: status %d (%s)", code, body)
+	}
+
+	post := func(raw string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/api/discover/assign", "application/json", strings.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp.StatusCode, buf.Bytes()
+	}
+
+	if code, body := post(`{not json`); code != 400 {
+		t.Errorf("malformed body: status %d (%s)", code, body)
+	}
+	if code, body := post(`{}`); code != 400 {
+		t.Errorf("empty features: status %d (%s)", code, body)
+	}
+	if code, body := post(`{"features":{"no_such_feature":1}}`); code != 400 {
+		t.Errorf("unknown feature: status %d (%s)", code, body)
+	}
+	if got := reg.Counter("discover_assign_outcomes_total", "outcome", "bad_request").Value(); got != 3 {
+		t.Errorf("bad_request outcomes = %d, want 3", got)
+	}
+	huge := `{"features":{"` + strings.Repeat("a", maxClassifyBody+64) + `":1}}`
+	if code, body := post(huge); code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: status %d (%s)", code, body)
+	}
+	if got := reg.Counter("discover_assign_outcomes_total", "outcome", "oversized").Value(); got != 1 {
+		t.Errorf("oversized outcomes = %d, want 1", got)
+	}
+
+	// Refit parameter validation: negative knobs are a client error and
+	// must not consume a breaker failure.
+	if code, body := postJSON(t, srv.URL+"/api/discover", map[string]any{"k": -1}); code != 400 {
+		t.Errorf("negative k refit: status %d (%s)", code, body)
+	}
+	if got := reg.Gauge("model_breaker_state").Value(); got != 0 {
+		t.Errorf("breaker state %v after parameter 400, want closed", got)
+	}
+}
+
+// TestDiscoverRefitWorkerParity is the serving-layer restart-parity
+// gate: the same refit request against servers fitting with 1 and 4
+// workers produces byte-identical /api/discover reports and byte-
+// identical assignments.
+func TestDiscoverRefitWorkerParity(t *testing.T) {
+	var reports, assigns [][]byte
+	for _, workers := range []int{1, 4} {
+		srv, _ := discoverServer(t, WithBatchWorkers(workers))
+		if code, body := postJSON(t, srv.URL+"/api/discover",
+			map[string]any{"k": 5, "restarts": 4, "seed": 17}); code != 200 {
+			t.Fatalf("refit (workers=%d): status %d (%s)", workers, code, body)
+		}
+		resp, report := get(t, srv.URL+"/api/discover")
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET /api/discover (workers=%d): status %d", workers, resp.StatusCode)
+		}
+		var rep discoverGetReply
+		if err := json.Unmarshal([]byte(report), &rep); err != nil {
+			t.Fatal(err)
+		}
+		_, assign := postJSON(t, srv.URL+"/api/discover/assign",
+			map[string]any{"features": fullRow(rep.Features, 2)})
+		reports = append(reports, []byte(report))
+		assigns = append(assigns, assign)
+	}
+	if !bytes.Equal(reports[0], reports[1]) {
+		t.Error("discovery reports diverge between worker counts 1 and 4")
+	}
+	if !bytes.Equal(assigns[0], assigns[1]) {
+		t.Errorf("assignments diverge between worker counts:\n%s\n%s", assigns[0], assigns[1])
+	}
+}
+
+// TestRuntimeClassEndpoint exercises the submit-time runtime/outcome
+// prediction: schema discovery, the probability vector, global and
+// per-class thresholds, and the 4xx validation contract with its
+// counters.
+func TestRuntimeClassEndpoint(t *testing.T) {
+	srv, reg := discoverServer(t)
+
+	var schema struct {
+		Features   []string `json:"features"`
+		Classes    []string `json:"classes"`
+		Generation uint64   `json:"generation"`
+	}
+	if code := getJSON(t, srv.URL+"/api/runtime-class/features", &schema); code != 200 {
+		t.Fatalf("runtime schema: status %d", code)
+	}
+	if len(schema.Features) == 0 || len(schema.Classes) < 2 || schema.Generation != 1 {
+		t.Fatalf("schema %+v: want features, >= 2 classes, generation 1", schema)
+	}
+
+	type reply struct {
+		Class         string             `json:"class"`
+		Probability   float64            `json:"probability"`
+		Classified    bool               `json:"classified"`
+		Probabilities map[string]float64 `json:"probabilities"`
+		Generation    uint64             `json:"generation"`
+		Defaulted     []string           `json:"defaulted"`
+	}
+	predict := func(req map[string]any) (int, reply, []byte) {
+		t.Helper()
+		code, body := postJSON(t, srv.URL+"/api/runtime-class", req)
+		var r reply
+		if code == 200 {
+			if err := json.Unmarshal(body, &r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return code, r, body
+	}
+
+	features := fullRow(schema.Features, 3)
+	code, r, body := predict(map[string]any{"features": features})
+	if code != 200 {
+		t.Fatalf("predict: status %d (%s)", code, body)
+	}
+	if !r.Classified { // threshold 0: any probability clears it
+		t.Error("threshold-0 prediction not classified")
+	}
+	sum := 0.0
+	for _, c := range schema.Classes {
+		p, ok := r.Probabilities[c]
+		if !ok {
+			t.Errorf("probabilities missing class %q", c)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("probabilities sum to %v, want 1", sum)
+	}
+	if r.Probabilities[r.Class] != r.Probability {
+		t.Errorf("probability %v disagrees with probabilities[%s] = %v",
+			r.Probability, r.Class, r.Probabilities[r.Class])
+	}
+
+	// A per-class threshold overrides the global one for that class only:
+	// demanding more confidence than the model has flips classified off.
+	over := math.Min(1, r.Probability+1e-9)
+	code, r2, _ := predict(map[string]any{
+		"features":   features,
+		"thresholds": map[string]float64{r.Class: over},
+	})
+	if code != 200 {
+		t.Fatalf("per-class threshold predict: status %d", code)
+	}
+	if want := r.Probability >= over; r2.Classified != want {
+		t.Errorf("classified = %v with threshold %v over probability %v", r2.Classified, over, r.Probability)
+	}
+	classified := reg.Counter("runtime_class_outcomes_total", "outcome", "classified").Value()
+	below := reg.Counter("runtime_class_outcomes_total", "outcome", "below_threshold").Value()
+	if classified+below != 2 {
+		t.Errorf("classified %d + below_threshold %d, want 2 predictions counted", classified, below)
+	}
+
+	// Validation contract: each bad request answers 400 and counts.
+	for i, req := range []map[string]any{
+		{"features": features, "threshold": 1.5},
+		{"features": features, "thresholds": map[string]float64{"no-such-class": 0.5}},
+		{"features": features, "thresholds": map[string]float64{schema.Classes[0]: -0.1}},
+		{},
+		{"features": map[string]float64{"bogus": 1}},
+	} {
+		if code, _, body := predict(req); code != 400 {
+			t.Errorf("bad request %d: status %d (%s)", i, code, body)
+		}
+	}
+	if got := reg.Counter("runtime_class_outcomes_total", "outcome", "bad_request").Value(); got != 5 {
+		t.Errorf("bad_request outcomes = %d, want 5", got)
+	}
+
+	// Missing features default to zero and are reported back.
+	partial := map[string]float64{schema.Features[0]: 1}
+	code, r3, _ := predict(map[string]any{"features": partial})
+	if code != 200 {
+		t.Fatalf("partial predict: status %d", code)
+	}
+	if len(r3.Defaulted) != len(schema.Features)-1 {
+		t.Errorf("defaulted %d features, want %d", len(r3.Defaulted), len(schema.Features)-1)
+	}
+}
+
+// TestChaosDiscoverGovernance proves the new serving endpoints ride the
+// same governance as classify: injected row latency past the request
+// deadline answers 504 (handler stage), a burst over capacity sheds 429
+// with Retry-After, and the flight recorder files wide events under the
+// new routes.
+func TestChaosDiscoverGovernance(t *testing.T) {
+	rec := flight.NewRecorder(flight.DefaultConfig())
+	faults := resilience.NewFaults(12)
+	for _, site := range []string{FaultDiscoverAssign, FaultRuntimeRow} {
+		if err := faults.Set(site, resilience.FaultSpec{
+			Kind: resilience.FaultLatency, Rate: 1, Latency: 300 * time.Millisecond,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv, reg := discoverServer(t,
+		WithFaults(faults),
+		WithFlightRecorder(rec),
+		WithResilience(ResilienceConfig{
+			RequestTimeout: 100 * time.Millisecond,
+			MaxConcurrent:  1,
+			MaxQueue:       0,
+			RetryAfter:     2 * time.Second,
+		}),
+	)
+	// The refit is control-plane (breaker-guarded, ungoverned) so it is
+	// untouched by the admission limiter or the row-latency faults.
+	if code, body := postJSON(t, srv.URL+"/api/discover", map[string]any{"k": 3}); code != 200 {
+		t.Fatalf("refit under governance: status %d (%s)", code, body)
+	}
+	var rep discoverGetReply
+	if code := getJSON(t, srv.URL+"/api/discover", &rep); code != 200 {
+		t.Fatalf("GET /api/discover: status %d", code)
+	}
+	assignBody := map[string]any{"features": fullRow(rep.Features, 4)}
+	var schema struct {
+		Features []string `json:"features"`
+	}
+	if code := getJSON(t, srv.URL+"/api/runtime-class/features", &schema); code != 200 {
+		t.Fatalf("runtime schema: status %d", code)
+	}
+	runtimeBody := map[string]any{"features": fullRow(schema.Features, 5)}
+
+	// 504: the 300ms row fault blows the 100ms deadline on both routes.
+	if code, body := postJSON(t, srv.URL+"/api/discover/assign", assignBody); code != http.StatusGatewayTimeout {
+		t.Fatalf("assign under latency fault: status %d, want 504 (%s)", code, body)
+	}
+	if code, body := postJSON(t, srv.URL+"/api/runtime-class", runtimeBody); code != http.StatusGatewayTimeout {
+		t.Fatalf("runtime-class under latency fault: status %d, want 504 (%s)", code, body)
+	}
+	if got := reg.Counter("http_timeouts_total", "stage", "handler").Value(); got != 2 {
+		t.Errorf("http_timeouts_total{handler} = %d, want 2", got)
+	}
+	if got := reg.Counter("discover_assign_outcomes_total", "outcome", "timeout").Value(); got != 1 {
+		t.Errorf("discover timeout outcomes = %d, want 1", got)
+	}
+	if got := reg.Counter("runtime_class_outcomes_total", "outcome", "timeout").Value(); got != 1 {
+		t.Errorf("runtime timeout outcomes = %d, want 1", got)
+	}
+
+	// 429: occupy the single slot, then a second arrival finds no queue.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		postJSON(t, srv.URL+"/api/discover/assign", assignBody)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	body, _ := json.Marshal(runtimeBody)
+	resp, err := http.Post(srv.URL+"/api/runtime-class", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	wg.Wait()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("arrival at capacity 1/queue 0: status %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Errorf("429 Retry-After = %q, want 2", got)
+	}
+	if got := reg.Counter("http_shed_total", "reason", "queue_full").Value(); got == 0 {
+		t.Error("http_shed_total{queue_full} = 0 after a shed 429")
+	}
+
+	// Every disposition above filed a wide event under its route.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		byRoute := rec.Stats().ByRoute
+		n := 0
+		for _, route := range []string{"/api/discover", "/api/discover/assign", "/api/runtime-class"} {
+			for _, c := range byRoute[route] {
+				n += int(c)
+			}
+		}
+		if n >= 6 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("flight recorder observed %d events on the new routes, want >= 6 (%v)", n, byRoute)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	events, _ := debugEvents(t, srv.URL, "route=/api/discover/assign&limit=-1")
+	if len(events) == 0 {
+		t.Error("no wide events filed under /api/discover/assign")
+	}
+}
+
+// TestChaosDiscoverRefitBreaker drives the shared control-plane breaker
+// with discovery refits: injected refit failures trip it, further refits
+// AND model reloads then fail fast with 503 + Retry-After, and the
+// serving discovery fit is never disturbed.
+func TestChaosDiscoverRefitBreaker(t *testing.T) {
+	faults := resilience.NewFaults(13)
+	if err := faults.Set(FaultDiscoverFit, resilience.FaultSpec{
+		Kind: resilience.FaultError, Rate: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv, reg := discoverServer(t,
+		WithFaults(faults),
+		WithReloadBreaker(resilience.BreakerConfig{FailureThreshold: 3, OpenFor: time.Minute}),
+	)
+
+	// Each injected refit failure answers 400 and feeds the breaker.
+	for i := 0; i < 3; i++ {
+		if code, body := postJSON(t, srv.URL+"/api/discover", map[string]any{"k": 3}); code != 400 {
+			t.Fatalf("faulted refit %d: status %d (%s)", i, code, body)
+		}
+	}
+	if got := reg.Gauge("model_breaker_state").Value(); got != 2 {
+		t.Fatalf("breaker state %v after threshold failures, want 2 (open)", got)
+	}
+
+	// Open: refits fail fast with 503 + Retry-After...
+	resp, err := http.Post(srv.URL+"/api/discover", "application/json", strings.NewReader(`{"k":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("refit while open: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 from open breaker is missing Retry-After")
+	}
+	// ...and so do model reloads: refit and reload share one breaker.
+	resp, err = http.Post(srv.URL+"/admin/model/reload", "application/json", strings.NewReader(`{"path":"/nonexistent"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("reload while refit-tripped breaker open: status %d, want 503", resp.StatusCode)
+	}
+	if got := reg.Counter("model_breaker_rejections_total").Value(); got != 2 {
+		t.Errorf("breaker rejections = %d, want 2", got)
+	}
+	// The discovery manager never saw a swap attempt.
+	if got := reg.Gauge("discover_generation").Value(); got != 0 {
+		t.Errorf("discover_generation = %v after failed refits, want 0", got)
+	}
+}

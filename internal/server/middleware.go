@@ -64,6 +64,8 @@ var knownPaths = map[string]bool{
 	"/api/overview": true, "/api/groupby": true, "/api/drilldown": true,
 	"/api/utilization": true, "/api/features": true, "/api/classify": true,
 	"/api/classify/batch": true, "/admin/model/reload": true,
+	"/api/discover": true, "/api/discover/assign": true,
+	"/api/runtime-class": true, "/api/runtime-class/features": true,
 	"/metrics": true, "/healthz": true, "/readyz": true,
 	"/debug/requests": true, "/debug/slo": true, "/debug/bundle": true,
 }
@@ -218,6 +220,10 @@ func (s *Server) mountDebug() {
 		s.metrics.Help("model_breaker_state", "Model-reload circuit breaker position: 0 closed, 1 half-open, 2 open.")
 		s.metrics.Help("model_breaker_rejections_total", "Model reload attempts rejected because the breaker was open.")
 		s.metrics.Help("classify_row_panics_total", "Row inference panics isolated by the worker pool.")
+		s.metrics.Help("discover_assign_outcomes_total", "Discovery assignment outcomes (assigned, anomalous, bad_request, oversized, no_model, timeout, error).")
+		s.metrics.Help("discover_assign_seconds", "Per-row discovery assignment latency in seconds.")
+		s.metrics.Help("runtime_class_outcomes_total", "Runtime-class prediction outcomes (classified, below_threshold, bad_request, oversized, no_model, timeout, error).")
+		s.metrics.Help("runtime_class_row_seconds", "Per-row runtime-class inference latency in seconds.")
 		s.metrics.Help("go_goroutines", "Live goroutines (runtime/metrics, sampled per scrape).")
 		s.metrics.Help("go_heap_bytes", "Bytes of live heap objects (runtime/metrics, sampled per scrape).")
 		s.metrics.Help("go_gc_pause_seconds", "GC pause distribution quantiles (runtime/metrics).")

@@ -24,6 +24,17 @@ const (
 	// alike: latency faults slow inference (driving deadlines), error
 	// faults fail the row, panic faults prove panic isolation.
 	FaultClassifyRow = "classify.row"
+	// FaultDiscoverAssign fires once per discovery assignment, after
+	// request validation and before scoring — same fault semantics as
+	// classify.row for the /api/discover/assign path.
+	FaultDiscoverAssign = "discover.assign"
+	// FaultRuntimeRow fires once per runtime-class prediction, after
+	// request validation and before inference.
+	FaultRuntimeRow = "runtime.row"
+	// FaultDiscoverFit fires inside the guarded discovery refit before
+	// the warehouse is read: error faults fail the refit (driving the
+	// shared control-plane breaker), latency faults wedge it.
+	FaultDiscoverFit = "discover.fit"
 )
 
 // ResilienceConfig tunes the serving path's overload behaviour. The
@@ -45,8 +56,9 @@ type ResilienceConfig struct {
 }
 
 // WithResilience enables per-request deadlines and admission control on
-// the classification endpoints (the expensive serving paths; warehouse
-// reads are microsecond map lookups and stay ungoverned).
+// the model-serving endpoints (classification, discovery assignment,
+// runtime-class -- the expensive paths; warehouse reads are microsecond
+// map lookups and stay ungoverned).
 func WithResilience(cfg ResilienceConfig) Option {
 	return func(s *Server) { s.resilience = cfg }
 }
@@ -94,10 +106,14 @@ func (s *Server) initResilience() {
 }
 
 // governed reports whether the admission queue and request deadline
-// apply to this request: the classification endpoints only.
+// apply to this request: the model-serving endpoints (classification,
+// discovery assignment, runtime-class prediction). Control-plane
+// mutations (model reload, discovery refit) are guarded by the breaker
+// instead, and warehouse reads stay ungoverned.
 func governed(r *http.Request) bool {
 	p := r.URL.Path
-	return p == "/api/classify" || p == "/api/classify/batch"
+	return p == "/api/classify" || p == "/api/classify/batch" ||
+		p == "/api/discover/assign" || p == "/api/runtime-class"
 }
 
 // retryAfterSeconds renders a Retry-After header value, always >= 1.

@@ -31,6 +31,8 @@ import (
 type Server struct {
 	store        *warehouse.Store
 	models       *core.ModelManager
+	discovery    *core.DiscoveryManager
+	runtime      *core.ModelManager
 	machineNodes int
 	mux          *http.ServeMux
 	handler      http.Handler
@@ -72,6 +74,12 @@ func New(store *warehouse.Store, model *core.JobClassifier, machineNodes int, op
 			}
 		}
 	}
+	if s.discovery == nil {
+		s.discovery = core.NewDiscoveryManager(s.metrics)
+	}
+	if s.runtime == nil {
+		s.runtime = core.NewNamedModelManager(s.metrics, "runtime_class")
+	}
 	s.mux.HandleFunc("GET /api/overview", s.handleOverview)
 	s.mux.HandleFunc("GET /api/groupby", s.handleGroupBy)
 	s.mux.HandleFunc("GET /api/drilldown", s.handleDrillDown)
@@ -79,6 +87,11 @@ func New(store *warehouse.Store, model *core.JobClassifier, machineNodes int, op
 	s.mux.HandleFunc("GET /api/features", s.handleFeatures)
 	s.mux.HandleFunc("POST /api/classify", s.handleClassify)
 	s.mux.HandleFunc("POST /api/classify/batch", s.handleClassifyBatch)
+	s.mux.HandleFunc("GET /api/discover", s.handleDiscoverGet)
+	s.mux.HandleFunc("POST /api/discover", s.handleDiscoverRefit)
+	s.mux.HandleFunc("POST /api/discover/assign", s.handleDiscoverAssign)
+	s.mux.HandleFunc("GET /api/runtime-class/features", s.handleRuntimeFeatures)
+	s.mux.HandleFunc("POST /api/runtime-class", s.handleRuntimeClass)
 	s.mux.HandleFunc("POST /admin/model/reload", s.handleModelReload)
 	s.mountDebug()
 	s.handler = s.wrap(s.mux)
