@@ -13,7 +13,8 @@ FUZZTIME ?= 10s
 # Only test binaries that link internal/testkit define the -update flag,
 # so the regeneration sweep is scoped to these packages.
 TESTKIT_PKGS = ./internal/testkit ./internal/ml/bayes ./internal/ml/forest \
-	./internal/ml/svm ./internal/ml/eval ./internal/core ./internal/experiments
+	./internal/ml/svm ./internal/ml/eval ./internal/core ./internal/experiments \
+	./internal/lifecycle
 
 # package:FuzzTarget pairs for the CI fuzz smoke.
 FUZZ_TARGETS = \
@@ -25,7 +26,8 @@ FUZZ_TARGETS = \
 	./internal/core:FuzzLoadJobClassifier \
 	./internal/loadgen:FuzzLoadConfig \
 	./internal/ml/compile:FuzzCompileParity \
-	./internal/ingest:FuzzIngestFrame
+	./internal/ingest:FuzzIngestFrame \
+	./internal/lifecycle:FuzzLifecycleConfig
 
 # Knobs for `make bench` (forwarded to go test): repeat each benchmark
 # BENCH_COUNT times for BENCH_TIME each, e.g.
@@ -57,7 +59,7 @@ SOAK_INGEST_OUT ?= soak-ingest-report.json
 .PHONY: all build test vet fmt-check race bench bench-smoke bench-gate alloc-gate \
 	flight-overhead-gate staticcheck paper trace serve-debug clean \
 	testkit testkit-update test-shuffle cover fuzz-smoke serve-batch-smoke chaos soak \
-	soak-ingest
+	soak-ingest lifecycle-sim
 
 all: build test
 
@@ -84,7 +86,7 @@ race:
 	$(GO) test -race ./internal/parallel ./internal/ml/... ./internal/core \
 		./internal/experiments ./internal/obs ./internal/obs/flight \
 		./internal/server ./internal/resilience ./internal/loadgen \
-		./internal/ingest ./internal/warehouse
+		./internal/ingest ./internal/warehouse ./internal/lifecycle
 
 # The full correctness harness: golden corpus, metamorphic invariants,
 # edge-case/equivalence suites, and fuzz seed-corpus replay. -count=1
@@ -186,15 +188,33 @@ serve-batch-smoke:
 # The in-process chaos suite under the race detector: fault-injected
 # reloads under live traffic (no torn models), breaker open/recover,
 # deadline all-or-nothing, panic isolation, shed parity at batch
-# workers 1 vs 4, and exact shed/timeout counter reconciliation.
+# workers 1 vs 4, exact shed/timeout counter reconciliation, and the
+# lifecycle control-plane faults (failed retrains/promotions never
+# disturb the serving champion; shadow faults never reach clients).
 chaos:
-	$(GO) test -race -count=1 -run 'TestChaos|TestShedTimeout' -v ./internal/server
+	$(GO) test -race -count=1 -run 'TestChaos|TestShedTimeout' -v \
+		./internal/server ./internal/lifecycle
+
+# The deterministic lifecycle simulation harness under the race
+# detector: seeded traffic with a known injected shift through a real
+# champion + loop; asserts drift fires within a bounded window, shadow
+# scoring never perturbs served answers (byte parity vs a loop-disabled
+# reference), promotion happens iff the McNemar gate passes, ledgers
+# reconcile exactly, and the trace is bit-identical at workers 1 vs N.
+# The trace artifact lands at LIFECYCLE_SIM_OUT (CI uploads it).
+LIFECYCLE_SIM_OUT ?= lifecycle-sim-trace.txt
+lifecycle-sim:
+	LIFECYCLE_SIM_OUT=$(abspath $(LIFECYCLE_SIM_OUT)) \
+		$(GO) test -race -count=1 -run 'TestLifecycleSim' -v ./internal/lifecycle
 
 # The out-of-process soak: builds supremm-serve WITH -race, boots it
 # with fault injection armed, drives it with the seeded open-loop
 # generator (cmd/supremm-load's engine) for SOAK_DUR while SIGHUP
 # reloads hammer the breaker, then reconciles client-observed counts
-# against /metrics exactly. The JSON report lands at SOAK_OUT.
+# against /metrics exactly — including the lifecycle loop's shadow
+# ledger against the flight recorder's independently-summed tallies
+# (a SIGUSR1 retrain installs the shadow challenger before the load
+# starts). The JSON report lands at SOAK_OUT.
 soak:
 	SOAK_DUR=$(SOAK_DUR) SOAK_RPS=$(SOAK_RPS) SOAK_OUT=$(SOAK_OUT) \
 		$(GO) test -count=1 -tags soak -run TestSoakServeUnderFaults -v -timeout 10m .
@@ -215,4 +235,5 @@ soak-ingest:
 # build product — keep it.
 clean:
 	find . -maxdepth 1 -name 'BENCH_*.json' ! -name BENCH_baseline.json -delete
-	rm -f trace.json coverage.out soak-report.json soak-ingest-report.json
+	rm -f trace.json coverage.out soak-report.json soak-ingest-report.json \
+		lifecycle-sim-trace.txt

@@ -13,6 +13,7 @@
 //	              [-request-timeout 30s] [-max-concurrent N] [-max-queue N]
 //	              [-breaker-threshold N] [-breaker-open-for 30s]
 //	              [-faults SPEC] [-fault-seed N]
+//	              [-lifecycle] [-lifecycle-spec window=256,algo=stack,...]
 //	              [-flight] [-flight-capacity N] [-flight-sample N] [-flight-topk N]
 //	              [-slo-availability 0.999] [-slo-latency-target 0.99] [-slo-latency 500ms]
 //	              [-slo-burn-threshold 10] [-bundle-dir DIR] [-bundle-profile heap|cpu|off]
@@ -35,6 +36,10 @@
 //	GET  /api/runtime-class/features
 //	POST /api/runtime-class   {"features": {...}, "threshold": 0.8, "thresholds": {"short": 0.9}}
 //	POST /admin/model/reload  {"path": "saved.bin"} (path optional once configured)
+//	GET  /api/lifecycle       closed-loop state: drift stats, shadow ledger, transitions
+//	POST /admin/lifecycle/retrain   force a challenger retrain (shadow-scored, never serving)
+//	POST /admin/lifecycle/promote   run the significance-gated promotion decision now
+//	POST /admin/lifecycle/rollback  swap the pre-promotion champion back in
 //	GET  /metrics             Prometheus text exposition
 //	GET  /healthz             liveness (always 200 while serving)
 //	GET  /readyz              readiness (503 until a model is published, or while the reload breaker is open)
@@ -68,6 +73,16 @@
 // discover.fit, discover.assign, runtime.row; see internal/resilience)
 // for chaos and soak runs -- never in default builds.
 //
+// Lifecycle: -lifecycle arms the closed loop over the serving model
+// (see internal/lifecycle): per-feature and posterior PSI drift
+// monitors over live classify traffic, shadow retraining of a
+// challenger on drift (or on demand via POST /admin/lifecycle/retrain
+// or SIGUSR1), and champion-challenger promotion gated on a McNemar
+// paired test -- all through the same schema-validated swap and
+// circuit breaker as model reloads. -lifecycle-spec tunes the loop
+// (key=value,... -- window, bins, min, every, drift, pdrift,
+// shadowmin, alpha, margin, cooldown, train, algo, seed, auto).
+//
 // The listen address may end in :0 to pick a free port; the chosen
 // address is printed in the "serving api" log line (addr=...), which
 // test harnesses parse.
@@ -88,10 +103,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"slices"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/lifecycle"
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
 	"repro/internal/parallel"
@@ -115,8 +132,10 @@ func main() {
 	maxQueue := flag.Int("max-queue", 64, "classification requests allowed to wait beyond -max-concurrent before shedding with 429")
 	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive model reload failures that open the reload circuit breaker")
 	breakerOpenFor := flag.Duration("breaker-open-for", 30*time.Second, "how long the reload breaker stays open before a half-open probe")
-	faultSpec := flag.String("faults", "", "arm fault injection: site=kind:rate[:latency],... (sites: reload, classify.row, discover.fit, discover.assign, runtime.row; kinds: error, latency, panic)")
+	faultSpec := flag.String("faults", "", "arm fault injection: site=kind:rate[:latency],... (sites: reload, classify.row, discover.fit, discover.assign, runtime.row, lifecycle.retrain, lifecycle.promote, lifecycle.shadow; kinds: error, latency, panic)")
 	faultSeed := flag.Uint64("fault-seed", 1, "seed for the deterministic fault-injection dice")
+	lifecycleOn := flag.Bool("lifecycle", false, "arm the closed-loop model lifecycle: drift monitors, shadow retraining, gated champion-challenger promotion")
+	lifecycleSpec := flag.String("lifecycle-spec", "", "lifecycle loop tuning: key=value,... (window, bins, min, every, drift, pdrift, shadowmin, alpha, margin, cooldown, train, algo, seed, auto; empty = defaults)")
 	flightOn := flag.Bool("flight", true, "arm the serving-path flight recorder (/debug/requests, /debug/slo)")
 	flightCapacity := flag.Int("flight-capacity", 2048, "flight-recorder ring capacity in events (half reserved for errors)")
 	flightSample := flag.Int("flight-sample", 16, "keep 1 in N healthy requests outside the latency top-K (1 = all, 0 = none)")
@@ -246,6 +265,47 @@ func main() {
 	if faults != nil {
 		opts = append(opts, server.WithFaults(faults))
 	}
+	if *lifecycleOn {
+		lcCfg, err := lifecycle.ParseSpec(*lifecycleSpec)
+		if err != nil {
+			fatal(err)
+		}
+		if lcCfg.Seed == 0 {
+			lcCfg.Seed = *seed
+		}
+		// The labeled corpus the loop retrains challengers on and
+		// freezes its drift baseline from: the warehouse's records under
+		// the same featurization the champion serves.
+		ds, err := core.BuildDataset(res.Records, core.LabelByCategory, core.DefaultFeatures())
+		if err != nil {
+			fatal(err)
+		}
+		champ := models.View().Model
+		if !slices.Equal(champ.Features, ds.FeatureNames) {
+			fatal(fmt.Errorf("lifecycle: loaded model's features %v do not match the warehouse featurization %v",
+				champ.Features, ds.FeatureNames))
+		}
+		base, err := lifecycle.BaselineFor(ds, champ, lcCfg.Bins)
+		if err != nil {
+			fatal(err)
+		}
+		labels := make([]string, ds.Len())
+		for i := range labels {
+			labels[i] = ds.Label(i)
+		}
+		trainer := func() (lifecycle.TrainResult, error) {
+			// Sliding window: the most recent TrainWindow labeled rows.
+			n, w := ds.Len(), lcCfg.TrainWindow
+			if w > n {
+				w = n
+			}
+			return lifecycle.TrainChallenger(ds.FeatureNames, ds.X[n-w:], labels[n-w:], lcCfg)
+		}
+		opts = append(opts, server.WithLifecycle(lcCfg, lifecycle.Options{
+			Trainer: trainer, Baseline: base,
+		}))
+		log.Info("lifecycle loop armed", "spec", lcCfg.Spec())
+	}
 	if *flightOn {
 		fcfg := flight.Config{
 			Capacity:    *flightCapacity,
@@ -289,6 +349,31 @@ func main() {
 			log.Info("SIGHUP model reload complete", "generation", gen, "path", models.Path())
 		}
 	}()
+
+	// The lifecycle loop's actions run off the serving goroutines: a
+	// drain goroutine answers the loop's pokes (drift fired, shadow
+	// window filled) with Step, and SIGUSR1 forces a challenger retrain
+	// the way SIGHUP forces a model reload.
+	if loop := api.Lifecycle(); loop != nil {
+		if ch := api.LifecycleNotify(); ch != nil {
+			go func() {
+				for range ch {
+					loop.Step()
+				}
+			}()
+		}
+		usr1 := make(chan os.Signal, 1)
+		signal.Notify(usr1, syscall.SIGUSR1)
+		go func() {
+			for range usr1 {
+				if err := loop.Retrain(); err != nil {
+					log.Warn("SIGUSR1 lifecycle retrain failed", "err", err)
+					continue
+				}
+				log.Info("SIGUSR1 lifecycle retrain complete: challenger shadowing")
+			}
+		}()
+	}
 
 	// Bind before announcing, so the logged addr is the real one even
 	// when -addr ends in :0 (test harnesses parse this line).

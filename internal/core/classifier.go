@@ -7,6 +7,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/ml/bayes"
 	"repro/internal/ml/compile"
+	"repro/internal/ml/ensemble"
 	"repro/internal/ml/eval"
 	"repro/internal/ml/forest"
 	"repro/internal/ml/svm"
@@ -17,11 +18,14 @@ import (
 // Algorithm selects a classifier family.
 type Algorithm string
 
-// The three classifier families the paper evaluates.
+// The three classifier families the paper evaluates, plus the stacked
+// ensemble (NB + RF + SVM under a softmax meta-learner) the lifecycle
+// loop trains as a challenger.
 const (
 	AlgoSVM    Algorithm = "svm"
 	AlgoForest Algorithm = "rf"
 	AlgoBayes  Algorithm = "nb"
+	AlgoStack  Algorithm = "stack"
 )
 
 // ClassifierConfig configures JobClassifier training.
@@ -29,6 +33,7 @@ type ClassifierConfig struct {
 	Algo   Algorithm
 	SVM    svm.Config
 	Forest forest.Config
+	Stack  ensemble.Config
 
 	// Span, when set, receives a "train.<algo>" child span covering the
 	// fit (with model-internal sub-spans); nil is a no-op.
@@ -104,6 +109,13 @@ func TrainJobClassifier(train *dataset.Dataset, cfg ClassifierConfig) (*JobClass
 		c.rf = m
 	case AlgoBayes:
 		m, err := bayes.Train(work)
+		if err != nil {
+			return nil, err
+		}
+		c.model = m
+	case AlgoStack:
+		cfg.Stack.Span = sp
+		m, err := ensemble.Train(work, cfg.Stack)
 		if err != nil {
 			return nil, err
 		}

@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"repro/internal/ml/bayes"
+	"repro/internal/ml/ensemble"
 	"repro/internal/ml/forest"
 	"repro/internal/ml/svm"
 	"repro/internal/stats"
@@ -34,6 +35,8 @@ func (c *JobClassifier) Save(w io.Writer) error {
 	case *forest.Classifier:
 		modelBytes, err = m.MarshalBinary()
 	case *bayes.Model:
+		modelBytes, err = m.MarshalBinary()
+	case *ensemble.Model:
 		modelBytes, err = m.MarshalBinary()
 	default:
 		return fmt.Errorf("core: cannot serialize model type %T", c.model)
@@ -77,6 +80,12 @@ func LoadJobClassifier(r io.Reader) (*JobClassifier, error) {
 		c.rf = m
 	case AlgoBayes:
 		m := &bayes.Model{}
+		if err := m.UnmarshalBinary(snap.Model); err != nil {
+			return nil, err
+		}
+		c.model = m
+	case AlgoStack:
+		m := &ensemble.Model{}
 		if err := m.UnmarshalBinary(snap.Model); err != nil {
 			return nil, err
 		}

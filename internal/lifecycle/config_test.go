@@ -1,0 +1,161 @@
+package lifecycle
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSpecEmptyIsDefault(t *testing.T) {
+	cfg, err := ParseSpec("")
+	if err != nil {
+		t.Fatalf("empty spec: %v", err)
+	}
+	if cfg != DefaultConfig() {
+		t.Fatalf("empty spec is not the default config:\n got:  %+v\n want: %+v", cfg, DefaultConfig())
+	}
+}
+
+func TestParseSpecOverrides(t *testing.T) {
+	cfg, err := ParseSpec("window=512,bins=8,every=64,drift=0.4,pdrift=0.3,shadowmin=100,alpha=0.01,margin=0.02,cooldown=0,train=2048,algo=rf,seed=9,auto=false")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{
+		Window: 512, Bins: 8, MinRows: 512, Every: 64,
+		DriftThreshold: 0.4, PosteriorThreshold: 0.3,
+		ShadowMin: 100, Alpha: 0.01, Margin: 0.02, Cooldown: 0,
+		TrainWindow: 2048, Algo: "rf", Seed: 9, Auto: false,
+	}
+	if cfg != want {
+		t.Fatalf("parsed config:\n got:  %+v\n want: %+v", cfg, want)
+	}
+}
+
+// The min default tracks the configured window ("evaluate once full"),
+// not the default window; an explicit min wins.
+func TestParseSpecMinTracksWindow(t *testing.T) {
+	cfg, err := ParseSpec("window=512")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.MinRows != 512 {
+		t.Fatalf("min should default to the configured window: got %d", cfg.MinRows)
+	}
+	cfg, err = ParseSpec("window=512,min=64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.MinRows != 64 {
+		t.Fatalf("explicit min should win: got %d", cfg.MinRows)
+	}
+}
+
+func TestParseSpecSeparators(t *testing.T) {
+	a, err := ParseSpec("window=64,algo=nb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseSpec("window=64 algo=nb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := ParseSpec("window=64\talgo=nb\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b || b != c {
+		t.Fatalf("separator forms diverged: %+v vs %+v vs %+v", a, b, c)
+	}
+}
+
+func TestParseSpecRejects(t *testing.T) {
+	cases := []struct {
+		spec string
+		frag string // expected error fragment
+	}{
+		{"window", "not key=value"},
+		{"window=", "not key=value"},
+		{"=64", "not key=value"},
+		{"window=64,window=128", "given twice"},
+		{"windw=64", "unknown spec key"},
+		{"window=abc", "bad window"},
+		{"drift=NaN", "outside (0, 100]"},
+		{"alpha=1", "outside (0, 1)"},
+		{"alpha=0", "outside (0, 1)"},
+		{"margin=2", "outside [0, 1]"},
+		{"window=4", "outside [8, 1048576]"},
+		{"bins=1", "outside [2, 1024]"},
+		{"min=4", "outside [bins=10"},
+		{"every=0", "outside [1"},
+		{"shadowmin=0", "outside [1, 1048576]"},
+		{"cooldown=-1", "outside [0, 1048576]"},
+		{"train=4", "outside [8, 16777216]"},
+		{"algo=knn", "not one of nb, rf, svm, stack"},
+		{"seed=-1", "bad seed"},
+		{"auto=maybe", "not a bool"},
+	}
+	for _, tc := range cases {
+		_, err := ParseSpec(tc.spec)
+		if err == nil {
+			t.Errorf("spec %q: accepted, want error containing %q", tc.spec, tc.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("spec %q: error %q does not contain %q", tc.spec, err, tc.frag)
+		}
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		"window=512,bins=8,min=64,every=64,drift=0.4,algo=svm,seed=3,auto=false",
+		"shadowmin=1000,alpha=0.001,margin=0.05",
+	} {
+		cfg, err := ParseSpec(spec)
+		if err != nil {
+			t.Fatalf("spec %q: %v", spec, err)
+		}
+		canon := cfg.Spec()
+		back, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical %q does not re-parse: %v", canon, err)
+		}
+		if back != cfg {
+			t.Fatalf("round trip diverged for %q:\n cfg:  %+v\n back: %+v", spec, cfg, back)
+		}
+		if back.Spec() != canon {
+			t.Fatalf("canonical render unstable: %q vs %q", canon, back.Spec())
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	mut := []struct {
+		name string
+		f    func(*Config)
+	}{
+		{"window too small", func(c *Config) { c.Window = 4 }},
+		{"bins too big", func(c *Config) { c.Bins = 2048 }},
+		{"min above window", func(c *Config) { c.MinRows = c.Window + 1 }},
+		{"every above window", func(c *Config) { c.Every = c.Window + 1 }},
+		{"drift zero", func(c *Config) { c.DriftThreshold = 0 }},
+		{"pdrift negative", func(c *Config) { c.PosteriorThreshold = -1 }},
+		{"alpha one", func(c *Config) { c.Alpha = 1 }},
+		{"margin negative", func(c *Config) { c.Margin = -0.1 }},
+		{"bad algo", func(c *Config) { c.Algo = "perceptron" }},
+	}
+	for _, tc := range mut {
+		cfg := DefaultConfig()
+		tc.f(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, cfg)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config must validate: %v", err)
+	}
+	if err := SimLifecycleConfig().Validate(); err != nil {
+		t.Fatalf("sim config must validate: %v", err)
+	}
+}

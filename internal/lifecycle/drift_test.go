@@ -1,0 +1,174 @@
+package lifecycle
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/rng"
+	"repro/internal/testkit"
+)
+
+// driftWorld builds a small labeled reference set plus identity
+// predictions (the pretend champion predicts the truth), the raw
+// material for a Baseline.
+func driftWorld(t *testing.T, seed uint64) (*dataset.Dataset, []string, []string) {
+	t.Helper()
+	d, err := simBootSet(seed, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := make([]string, simClasses)
+	for k := range classes {
+		classes[k] = fmt.Sprintf("class%02d", k)
+	}
+	preds := make([]string, d.Len())
+	for i := range preds {
+		preds[i] = d.Label(i)
+	}
+	return d, preds, classes
+}
+
+// driftRows draws n fresh window rows from the same world, every
+// feature offset by shift.
+func driftRows(seed uint64, n int, shift float64) [][]float64 {
+	root := rng.New(seed)
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = simRow(root.Split(uint64(i)), i%simClasses, shift)
+	}
+	return rows
+}
+
+// Metamorphic: a window holding exactly the baseline's own row multiset
+// yields PSI == 0 exactly, on every feature and on the posterior —
+// both sides smooth with the identical counts-plus-one rule, so equal
+// counts give bitwise-equal proportions and every PSI term vanishes.
+func TestDriftExactZeroOnIdenticalMultiset(t *testing.T) {
+	d, preds, classes := driftWorld(t, 3)
+	b, err := NewBaseline(d, preds, classes, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed the baseline's own rows back, in a scrambled order.
+	perm := testkit.RandPerm(7, d.Len())
+	rows := make([][]float64, d.Len())
+	counts := make([]int, len(classes))
+	for i, j := range perm {
+		rows[i] = d.X[j]
+		ci, ok := b.ClassIndex(preds[j])
+		if !ok {
+			t.Fatalf("baseline prediction %q not in vocabulary", preds[j])
+		}
+		counts[ci]++
+	}
+	for f, v := range b.FeaturePSI(rows) {
+		if v != 0 {
+			t.Errorf("feature %d PSI = %v on the identical multiset, want exactly 0", f, v)
+		}
+	}
+	if v := b.PosteriorPSI(counts, len(rows)); v != 0 {
+		t.Errorf("posterior PSI = %v on the identical class mix, want exactly 0", v)
+	}
+}
+
+// Metamorphic: PSI is a pure function of bin counts, so permuting the
+// window rows changes nothing, bit for bit.
+func TestDriftPermutationInvariance(t *testing.T) {
+	d, preds, classes := driftWorld(t, 4)
+	b, err := NewBaseline(d, preds, classes, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := driftRows(11, 97, 0.8)
+	want := testkit.HashFloats(b.FeaturePSI(rows))
+	for _, permSeed := range []uint64{1, 2, 3} {
+		perm := testkit.RandPerm(permSeed, len(rows))
+		shuffled := make([][]float64, len(rows))
+		for i, j := range perm {
+			shuffled[i] = rows[j]
+		}
+		if got := testkit.HashFloats(b.FeaturePSI(shuffled)); got != want {
+			t.Fatalf("perm seed %d: PSI changed under row permutation: %s vs %s", permSeed, got, want)
+		}
+	}
+}
+
+// Metamorphic: larger mean shifts move more mass across the frozen
+// quantile bins, so the max feature PSI must increase monotonically
+// with the injected shift — up to saturation (once every row is past
+// the last edge, PSI plateaus), so the ladder stays inside the
+// sensitive range.
+func TestDriftMonotoneUnderShift(t *testing.T) {
+	d, preds, classes := driftWorld(t, 5)
+	b, err := NewBaseline(d, preds, classes, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxPSI := func(shift float64) float64 {
+		var m float64
+		for _, v := range b.FeaturePSI(driftRows(13, 200, shift)) {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	shifts := []float64{0, 0.2, 0.4, 0.8, 1.6}
+	prev := -1.0
+	for _, s := range shifts {
+		got := maxPSI(s)
+		if got <= prev {
+			t.Fatalf("max PSI not monotone: shift %g gives %v after %v", s, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestDriftBinOfEdges(t *testing.T) {
+	edges := []float64{1, 2, 3}
+	cases := []struct {
+		x    float64
+		want int
+	}{{0.5, 0}, {1, 1}, {1.5, 1}, {2, 2}, {2.9, 2}, {3, 3}, {99, 3}}
+	for _, tc := range cases {
+		if got := binOf(edges, tc.x); got != tc.want {
+			t.Errorf("binOf(%v) = %d, want %d", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestNewBaselineRejects(t *testing.T) {
+	d, preds, classes := driftWorld(t, 6)
+	if _, err := NewBaseline(d, preds[:1], classes, 10); err == nil {
+		t.Error("accepted a prediction slice shorter than the dataset")
+	}
+	if _, err := NewBaseline(d, preds, classes, 1); err == nil {
+		t.Error("accepted bins < 2")
+	}
+	if _, err := NewBaseline(d, preds, nil, 10); err == nil {
+		t.Error("accepted an empty class vocabulary")
+	}
+	bad := append([]string(nil), preds...)
+	bad[0] = "classXX"
+	if _, err := NewBaseline(d, bad, classes, 10); err == nil {
+		t.Error("accepted a prediction outside the class vocabulary")
+	}
+}
+
+func TestPosteriorPSIDetectsMixShift(t *testing.T) {
+	d, preds, classes := driftWorld(t, 8)
+	b, err := NewBaseline(d, preds, classes, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A window predicted entirely as one class is maximal concept drift.
+	skew := make([]int, len(classes))
+	skew[0] = 200
+	if v := b.PosteriorPSI(skew, 200); v <= 0.5 {
+		t.Fatalf("posterior PSI %v too small for a fully-skewed class mix", v)
+	}
+	if v := b.PosteriorPSI(make([]int, len(classes)), 0); v != 0 {
+		t.Fatalf("posterior PSI over an empty window should be 0, got %v", v)
+	}
+}

@@ -1,0 +1,48 @@
+package lifecycle
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLifecycleConfig drives the -lifecycle spec parser with arbitrary
+// input. Properties: the parser never panics; any accepted config
+// passes Validate; and the canonical render re-parses to the identical
+// config with a stable render (parse -> Spec -> parse is a fixed
+// point). Same shape as the repo's other codec fuzzers: rejection is
+// always acceptable, acceptance must be self-consistent.
+func FuzzLifecycleConfig(f *testing.F) {
+	f.Add("")
+	f.Add("window=256,bins=10,drift=0.2,shadowmin=200,alpha=0.05,algo=stack,auto=true")
+	f.Add("window=512 min=64\tevery=32\ntrain=2048")
+	f.Add("drift=1e-3,pdrift=100,margin=1,cooldown=0,seed=18446744073709551615")
+	f.Add("window=64,window=128")
+	f.Add("algo=knn")
+	f.Add("alpha=NaN")
+	f.Add("auto=0")
+	f.Add("min=9,bins=9,window=9")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, spec string) {
+		cfg, err := ParseSpec(spec)
+		if err != nil {
+			return // rejection is always acceptable; panics are not
+		}
+		if verr := cfg.Validate(); verr != nil {
+			t.Fatalf("ParseSpec(%q) accepted a config failing Validate: %v", spec, verr)
+		}
+		canon := cfg.Spec()
+		back, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical spec %q (from %q) does not re-parse: %v", canon, spec, err)
+		}
+		if back != cfg {
+			t.Fatalf("round trip diverged for %q:\n cfg:  %+v\n back: %+v", spec, cfg, back)
+		}
+		if back.Spec() != canon {
+			t.Fatalf("canonical render unstable for %q: %q vs %q", spec, canon, back.Spec())
+		}
+		if strings.TrimSpace(canon) == "" {
+			t.Fatalf("accepted config rendered an empty spec from %q", spec)
+		}
+	})
+}

@@ -1,0 +1,440 @@
+package lifecycle
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ml/forest"
+	"repro/internal/obs/flight"
+	"repro/internal/rng"
+)
+
+// testWorld is the shared unit-test fixture: a real champion trained on
+// the simulation's unshifted world, installed in a real manager, with
+// the drift baseline frozen from its own training predictions.
+type testWorld struct {
+	mgr   *core.ModelManager
+	champ *core.JobClassifier
+	base  *Baseline
+	names []string
+}
+
+func newTestWorld(t *testing.T) *testWorld {
+	t.Helper()
+	train, err := simBootSet(7, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	champ, err := core.TrainJobClassifier(train, core.ClassifierConfig{
+		Algo: core.AlgoForest, Forest: forest.Config{Trees: 30, Seed: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := core.NewModelManager(nil)
+	if _, err := mgr.Swap(champ); err != nil {
+		t.Fatal(err)
+	}
+	base, err := BaselineFor(train, champ, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testWorld{mgr: mgr, champ: champ, base: base, names: train.FeatureNames}
+}
+
+// smallCfg is a loop config sized for unit tests: tiny window, fast
+// evaluation cadence, no initial cooldown.
+func smallCfg() Config {
+	cfg := DefaultConfig()
+	cfg.Window = 64
+	cfg.MinRows = 64
+	cfg.Every = 16
+	cfg.DriftThreshold = 0.5
+	cfg.PosteriorThreshold = 0.5
+	cfg.ShadowMin = 32
+	cfg.Cooldown = 64
+	cfg.TrainWindow = 320
+	cfg.Algo = "rf"
+	return cfg
+}
+
+// shiftedTrainResult builds a genuinely better challenger: trained on
+// the rotated+offset world the champion has never seen.
+func (w *testWorld) shiftedTrainResult(t *testing.T) TrainResult {
+	t.Helper()
+	rows, labels := shiftedTraffic(99, 400)
+	res, err := TrainChallenger(w.names, rows, labels, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// shiftedTraffic draws n rows of the post-shift world (class k at class
+// k+1's old center, +1.5 everywhere) with their true labels.
+func shiftedTraffic(seed uint64, n int) ([][]float64, []string) {
+	rows, labels := make([][]float64, n), make([]string, n)
+	root := rng.New(seed)
+	for i := range rows {
+		k := i % simClasses
+		rows[i] = simRow(root.Split(uint64(i)), (k+1)%simClasses, 1.5)
+		labels[i] = fmt.Sprintf("class%02d", k)
+	}
+	return rows, labels
+}
+
+// stableTraffic draws n rows of the unshifted boot world.
+func stableTraffic(seed uint64, n int) [][]float64 {
+	rows := make([][]float64, n)
+	root := rng.New(seed)
+	for i := range rows {
+		rows[i] = simRow(root.Split(uint64(i)), i%simClasses, 0)
+	}
+	return rows
+}
+
+// observeAll feeds rows through the loop with the champion's own
+// predictions, the way the serving path does.
+func (w *testWorld) observeAll(ctx context.Context, l *Loop, rows [][]float64) {
+	classes := w.champ.Classes()
+	for _, row := range rows {
+		l.Observe(ctx, row, classes[w.champ.Predict(row)])
+	}
+}
+
+func checkLedger(t *testing.T, lg Ledger) {
+	t.Helper()
+	if lg.Eligible != lg.Scored+lg.Errors {
+		t.Fatalf("ledger leaks rows: eligible=%d != scored=%d + errors=%d", lg.Eligible, lg.Scored, lg.Errors)
+	}
+	if lg.Scored != lg.Agree+lg.Disagree {
+		t.Fatalf("ledger leaks verdicts: scored=%d != agree=%d + disagree=%d", lg.Scored, lg.Agree, lg.Disagree)
+	}
+}
+
+func TestNewValidatesOptions(t *testing.T) {
+	w := newTestWorld(t)
+	bad := smallCfg()
+	bad.Window = 1
+	if _, err := New(bad, Options{Manager: w.mgr, Baseline: w.base}); err == nil {
+		t.Error("accepted an invalid config")
+	}
+	if _, err := New(smallCfg(), Options{Baseline: w.base}); err == nil {
+		t.Error("accepted a nil manager")
+	}
+	if _, err := New(smallCfg(), Options{Manager: w.mgr}); err == nil {
+		t.Error("accepted a nil baseline")
+	}
+}
+
+func TestNilLoopIsInert(t *testing.T) {
+	var l *Loop
+	l.Observe(context.Background(), []float64{1}, "x") // must not panic
+	if st := l.Status(); st.State != "" {
+		t.Fatalf("nil loop status: %+v", st)
+	}
+	if l.State() != "" || l.LedgerSnapshot() != (Ledger{}) {
+		t.Fatal("nil loop is not inert")
+	}
+}
+
+func TestDriftFiresOnShiftedTraffic(t *testing.T) {
+	w := newTestWorld(t)
+	pokes := 0
+	l, err := New(smallCfg(), Options{Manager: w.mgr, Baseline: w.base, Notify: func() { pokes++ }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := shiftedTraffic(21, 96)
+	w.observeAll(context.Background(), l, rows)
+	st := l.Status()
+	if st.State != StateDrifting {
+		t.Fatalf("state = %s after shifted traffic, want drifting (maxPSI %v)", st.State, st.MaxFeaturePSI)
+	}
+	if st.DriftEvents == 0 || st.MaxFeaturePSI < 0.5 {
+		t.Fatalf("drift not recorded: %+v", st)
+	}
+	if pokes == 0 {
+		t.Fatal("drift did not poke the notifier")
+	}
+	if len(st.Transitions) != 1 || st.Transitions[0].To != StateDrifting {
+		t.Fatalf("transitions: %+v", st.Transitions)
+	}
+}
+
+func TestNoDriftOnStableTraffic(t *testing.T) {
+	w := newTestWorld(t)
+	l, err := New(smallCfg(), Options{Manager: w.mgr, Baseline: w.base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.observeAll(context.Background(), l, stableTraffic(22, 256))
+	st := l.Status()
+	if st.State != StateStable || st.DriftEvents != 0 {
+		t.Fatalf("stable traffic alarmed: state=%s events=%d maxPSI=%v", st.State, st.DriftEvents, st.MaxFeaturePSI)
+	}
+}
+
+func TestRetrainInstallsChallengerAndShadowScores(t *testing.T) {
+	w := newTestWorld(t)
+	res := w.shiftedTrainResult(t)
+	l, err := New(smallCfg(), Options{
+		Manager: w.mgr, Baseline: w.base,
+		Trainer: func() (TrainResult, error) { return res, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Retrain(); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Status()
+	if st.State != StateShadowing || !st.ChallengerReady || st.Retrains != 1 {
+		t.Fatalf("after retrain: %+v", st)
+	}
+
+	// Shadow-score through a wide event; the flight tallies must match
+	// the ledger exactly.
+	fa := flight.NewActive("req-1", "POST", "/api/classify", time.Now())
+	ctx := flight.With(context.Background(), fa)
+	rows, _ := shiftedTraffic(23, smallCfg().ShadowMin)
+	w.observeAll(ctx, l, rows)
+	fa.Finalize(200, time.Millisecond)
+
+	st = l.Status()
+	if st.State != StatePromoting {
+		t.Fatalf("shadow window full but state = %s", st.State)
+	}
+	checkLedger(t, st.Ledger)
+	if st.Ledger.Eligible != uint64(len(rows)) || st.Ledger.Errors != 0 {
+		t.Fatalf("ledger: %+v for %d rows", st.Ledger, len(rows))
+	}
+	if fa.ShadowRows != int64(st.Ledger.Scored) || fa.ShadowAgree != int64(st.Ledger.Agree) {
+		t.Fatalf("flight event (rows=%d agree=%d) does not reconcile with ledger %+v",
+			fa.ShadowRows, fa.ShadowAgree, st.Ledger)
+	}
+}
+
+func TestRetrainErrorKeepsState(t *testing.T) {
+	w := newTestWorld(t)
+	boom := errors.New("warehouse unavailable")
+	l, err := New(smallCfg(), Options{
+		Manager: w.mgr, Baseline: w.base,
+		Trainer: func() (TrainResult, error) { return TrainResult{}, boom },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Retrain(); !errors.Is(err, boom) {
+		t.Fatalf("retrain error = %v, want %v", err, boom)
+	}
+	st := l.Status()
+	if st.State != StateStable || st.ChallengerReady || st.Retrains != 0 {
+		t.Fatalf("failed retrain mutated the loop: %+v", st)
+	}
+
+	// A trainer without a loop-wired Trainer must refuse outright.
+	l2, err := New(smallCfg(), Options{Manager: w.mgr, Baseline: w.base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Retrain(); err == nil {
+		t.Fatal("retrain without a trainer succeeded")
+	}
+}
+
+func TestDecidePromotesThenRollback(t *testing.T) {
+	w := newTestWorld(t)
+	res := w.shiftedTrainResult(t)
+	l, err := New(smallCfg(), Options{
+		Manager: w.mgr, Baseline: w.base,
+		Trainer: func() (TrainResult, error) { return res, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen0 := w.mgr.Generation()
+	if err := l.Retrain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Decide(); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Status()
+	if st.Promotions != 1 || st.State != StateStable || !st.RollbackReady {
+		t.Fatalf("after promotion: %+v", st)
+	}
+	if w.mgr.Generation() != gen0+1 {
+		t.Fatalf("generation %d after promotion, want %d", w.mgr.Generation(), gen0+1)
+	}
+	d := st.LastDecision
+	if d == nil || !d.Promoted || d.C <= d.B || d.P > smallCfg().Alpha {
+		t.Fatalf("promotion decision does not satisfy the gate: %+v", d)
+	}
+	if len(d.Sweep) == 0 {
+		t.Fatal("promotion decision is missing the threshold sweep")
+	}
+	if st.CooldownLeft != smallCfg().Cooldown {
+		t.Fatalf("cooldown %d after promotion, want %d", st.CooldownLeft, smallCfg().Cooldown)
+	}
+
+	// Rollback restores the prior champion; exactly one generation of
+	// history is kept.
+	if err := l.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	st = l.Status()
+	if st.Rollbacks != 1 || st.RollbackReady {
+		t.Fatalf("after rollback: %+v", st)
+	}
+	if w.mgr.Generation() != gen0+2 {
+		t.Fatalf("generation %d after rollback, want %d", w.mgr.Generation(), gen0+2)
+	}
+	if w.mgr.View().Model != w.champ {
+		t.Fatal("rollback did not restore the original champion")
+	}
+	if err := l.Rollback(); err == nil {
+		t.Fatal("second rollback without an intervening promotion succeeded")
+	}
+}
+
+func TestDecideDemotesOnTie(t *testing.T) {
+	w := newTestWorld(t)
+	// The "challenger" is the champion itself: zero disagreements, so
+	// the gate must refuse and demote.
+	_, labels := shiftedTraffic(31, 100)
+	rows := stableTraffic(31, 100)
+	res, err := TrainChallenger(w.names, rows, labels, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Model = w.champ
+	l, err := New(smallCfg(), Options{
+		Manager: w.mgr, Baseline: w.base,
+		Trainer: func() (TrainResult, error) { return res, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen0 := w.mgr.Generation()
+	if err := l.Retrain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Decide(); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Status()
+	if st.Demotions != 1 || st.Promotions != 0 || st.State != StateStable || st.ChallengerReady {
+		t.Fatalf("after tied gate: %+v", st)
+	}
+	if w.mgr.Generation() != gen0 {
+		t.Fatal("a demotion must not touch the champion")
+	}
+	if d := st.LastDecision; d == nil || d.Promoted || d.B != 0 || d.C != 0 {
+		t.Fatalf("tie decision: %+v", d)
+	}
+}
+
+func TestPromotionGuardErrorKeepsChallengerShadowing(t *testing.T) {
+	w := newTestWorld(t)
+	res := w.shiftedTrainResult(t)
+	guardErr := error(nil)
+	l, err := New(smallCfg(), Options{
+		Manager: w.mgr, Baseline: w.base,
+		Trainer: func() (TrainResult, error) { return res, nil },
+		Guard: func(op func() error) error {
+			if guardErr != nil {
+				return guardErr
+			}
+			return op()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen0 := w.mgr.Generation()
+	if err := l.Retrain(); err != nil {
+		t.Fatal(err)
+	}
+	guardErr = errors.New("breaker open")
+	if err := l.Decide(); err == nil {
+		t.Fatal("promotion through a failing guard succeeded")
+	}
+	st := l.Status()
+	if st.State != StateShadowing || !st.ChallengerReady || st.Promotions != 0 {
+		t.Fatalf("after guarded promotion failure: %+v", st)
+	}
+	if w.mgr.Generation() != gen0 {
+		t.Fatal("a failed promotion must not advance the champion generation")
+	}
+	// The control plane recovers: the same challenger promotes.
+	guardErr = nil
+	if err := l.Decide(); err != nil {
+		t.Fatal(err)
+	}
+	if w.mgr.Generation() != gen0+1 || l.Status().Promotions != 1 {
+		t.Fatal("recovered promotion did not land")
+	}
+}
+
+func TestStepHonorsAutoFlag(t *testing.T) {
+	w := newTestWorld(t)
+	res := w.shiftedTrainResult(t)
+	manual := smallCfg()
+	manual.Auto = false
+	l, err := New(manual, Options{
+		Manager: w.mgr, Baseline: w.base,
+		Trainer: func() (TrainResult, error) { return res, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := shiftedTraffic(41, 96)
+	w.observeAll(context.Background(), l, rows)
+	if st := l.State(); st != StateDrifting {
+		t.Fatalf("state %s, want drifting", st)
+	}
+	l.Step()
+	if st := l.Status(); st.Retrains != 0 || st.State != StateDrifting {
+		t.Fatalf("manual loop acted on Step: %+v", st)
+	}
+
+	auto, err := New(smallCfg(), Options{
+		Manager: w.mgr, Baseline: w.base,
+		Trainer: func() (TrainResult, error) { return res, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.observeAll(context.Background(), auto, rows)
+	auto.Step()
+	if st := auto.Status(); st.Retrains != 1 || st.State != StateShadowing {
+		t.Fatalf("auto loop did not retrain on Step: %+v", st)
+	}
+}
+
+func TestWindowRingWrapsAndCounts(t *testing.T) {
+	win := newWindow(4)
+	for i := 0; i < 6; i++ {
+		cls := i % 2
+		if i == 5 {
+			cls = -1 // outside the vocabulary: kept, not counted
+		}
+		win.add([]float64{float64(i)}, cls)
+	}
+	rows, counts := win.snapshot(2)
+	if len(rows) != 4 || rows[0][0] != 2 || rows[3][0] != 5 {
+		t.Fatalf("ring contents: %v", rows)
+	}
+	if counts[0] != 2 || counts[1] != 1 {
+		t.Fatalf("class counts: %v", counts)
+	}
+	win.reset()
+	if rows, _ := win.snapshot(2); len(rows) != 0 {
+		t.Fatalf("reset ring still holds %d rows", len(rows))
+	}
+}

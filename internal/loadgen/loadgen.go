@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/lifecycle"
 	"repro/internal/obs/flight"
 	"repro/internal/rng"
 )
@@ -321,6 +322,14 @@ type RecorderCheck struct {
 	Evicted    uint64 `json:"evicted"`
 	// ByStatus is the recorder's driven-route event count per status.
 	ByStatus map[string]uint64 `json:"byStatus"`
+	// ShadowRows / ShadowAgree echo the recorder's shadow-scoring
+	// tallies; Lifecycle carries the loop's own ledger when the target
+	// has the closed loop armed (nil otherwise). The two books are kept
+	// independently — the loop counts as it scores, the recorder sums
+	// per-request wide events — so their exact agreement is asserted.
+	ShadowRows  uint64            `json:"shadowRows,omitempty"`
+	ShadowAgree uint64            `json:"shadowAgree,omitempty"`
+	Lifecycle   *lifecycle.Ledger `json:"lifecycle,omitempty"`
 	// Mismatches lists every reconciliation failure; empty means the
 	// ledger agreed exactly with the client-observed counts.
 	Mismatches []string `json:"mismatches"`
@@ -476,8 +485,53 @@ func ReconcileRecorder(ctx context.Context, base string, rep *Report) (*Recorder
 		}
 	}
 
+	// Shadow-scoring reconciliation: when the target has the lifecycle
+	// loop armed, its ledger must balance and agree exactly with the
+	// flight recorder's independently-summed shadow tallies. A 503
+	// means the loop is off; that is not a mismatch.
+	chk.ShadowRows, chk.ShadowAgree = st.ShadowRows, st.ShadowAgree
+	if lg, ok, err := lifecycleLedger(ctx, client, base); err != nil {
+		flag("lifecycle ledger unavailable: %v", err)
+	} else if ok {
+		chk.Lifecycle = &lg
+		if lg.Eligible != lg.Scored+lg.Errors || lg.Scored != lg.Agree+lg.Disagree {
+			flag("lifecycle ledger unbalanced: %+v", lg)
+		}
+		if st.ShadowRows != lg.Scored || st.ShadowAgree != lg.Agree {
+			flag("shadow books disagree: recorder rows=%d agree=%d, lifecycle ledger scored=%d agree=%d",
+				st.ShadowRows, st.ShadowAgree, lg.Scored, lg.Agree)
+		}
+	} else if st.ShadowRows != 0 {
+		flag("recorder saw %d shadow-scored rows but the target reports no lifecycle loop", st.ShadowRows)
+	}
+
 	rep.Recorder = chk
 	return chk, nil
+}
+
+// lifecycleLedger fetches the target's lifecycle ledger; ok=false means
+// the loop is not armed (the endpoint answered 503).
+func lifecycleLedger(ctx context.Context, client *http.Client, base string) (lifecycle.Ledger, bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/api/lifecycle", nil)
+	if err != nil {
+		return lifecycle.Ledger{}, false, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return lifecycle.Ledger{}, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		return lifecycle.Ledger{}, false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return lifecycle.Ledger{}, false, fmt.Errorf("loadgen: GET /api/lifecycle: status %d", resp.StatusCode)
+	}
+	var st lifecycle.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return lifecycle.Ledger{}, false, fmt.Errorf("loadgen: decoding /api/lifecycle: %w", err)
+	}
+	return st.Ledger, true, nil
 }
 
 // summarize computes the latency stats from raw millisecond samples.

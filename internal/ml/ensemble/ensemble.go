@@ -1,0 +1,378 @@
+// Package ensemble implements a stacked "SuperLearner"-style classifier
+// over the paper's three model families: naive Bayes, a random forest
+// and a one-vs-one SVM as base learners, with a softmax meta-learner
+// trained on out-of-fold base posteriors. Stacking is the natural
+// challenger family for the closed-loop lifecycle: it can only match or
+// beat its strongest base on the training objective, so a drift-trained
+// stack is a credible promotion candidate without hand-tuning which
+// single family copes best with the shifted distribution.
+//
+// Determinism: base learners train sequentially in canonical name order
+// (nb, rf, svm -- the Bases config is sorted before use), fold
+// assignment is a pure function of (Seed, rows), and the meta fit is
+// fixed-iteration full-batch gradient descent from zero weights. The
+// same config on the same dataset produces a bit-identical model at any
+// worker count, and permuting the configured base order cannot change a
+// single output bit.
+package ensemble
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/ml/bayes"
+	"repro/internal/ml/eval"
+	"repro/internal/ml/forest"
+	"repro/internal/ml/svm"
+	"repro/internal/obs"
+)
+
+// Base-learner names accepted in Config.Bases.
+const (
+	BaseBayes  = "nb"
+	BaseForest = "rf"
+	BaseSVM    = "svm"
+)
+
+// Config holds stacked-ensemble training options.
+type Config struct {
+	// Bases names the base learners to stack (any subset of nb, rf,
+	// svm; default all three). Order is irrelevant: the trainer sorts
+	// the set canonically, so permuted configs are bit-identical.
+	Bases []string
+
+	// Folds is the cross-validation fold count used to obtain unbiased
+	// (out-of-fold) base posteriors for the meta fit (default 3).
+	Folds int
+
+	// Seed drives fold assignment and is forwarded to the base
+	// learners' own seeds.
+	Seed uint64
+
+	// SVM and Forest tune those base learners; the zero values take
+	// svm.PaperConfig and a 60-tree forest. Bayes has no knobs.
+	SVM    svm.Config
+	Forest forest.Config
+
+	// MetaIters/MetaRate/MetaL2 tune the softmax meta-learner's
+	// full-batch gradient descent (defaults 300, 0.5, 1e-3).
+	MetaIters int
+	MetaRate  float64
+	MetaL2    float64
+
+	// Span, when set, receives a "stack" child span covering the fit.
+	Span *obs.Span
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Bases) == 0 {
+		c.Bases = []string{BaseBayes, BaseForest, BaseSVM}
+	}
+	if c.Folds <= 0 {
+		c.Folds = 3
+	}
+	if c.SVM.Kernel == nil {
+		sc := svm.PaperConfig()
+		sc.Seed = c.Seed
+		c.SVM = sc
+	}
+	if !c.SVM.Probability {
+		// The meta features are posteriors; an uncalibrated SVM has none.
+		c.SVM.Probability = true
+	}
+	if c.Forest.Trees <= 0 {
+		c.Forest = forest.Config{Trees: 60, Seed: c.Seed}
+	}
+	if c.MetaIters <= 0 {
+		c.MetaIters = 300
+	}
+	if c.MetaRate <= 0 {
+		c.MetaRate = 0.5
+	}
+	if c.MetaL2 <= 0 {
+		c.MetaL2 = 1e-3
+	}
+	return c
+}
+
+// canonicalBases validates and sorts the base set; duplicates and
+// unknown names are rejected.
+func canonicalBases(names []string) ([]string, error) {
+	seen := map[string]bool{}
+	out := make([]string, 0, len(names))
+	for _, n := range names {
+		switch n {
+		case BaseBayes, BaseForest, BaseSVM:
+		default:
+			return nil, fmt.Errorf("ensemble: unknown base learner %q", n)
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("ensemble: base learner %q listed twice", n)
+		}
+		seen[n] = true
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Model is a trained stacked ensemble: the base learners (in canonical
+// name order) plus the softmax meta-learner over their concatenated
+// posteriors. It satisfies eval.ProbClassifier.
+type Model struct {
+	classes  []string
+	features int
+	baseName []string
+	bases    []eval.ProbClassifier
+	// meta holds the softmax weights: classes x (len(bases)*classes + 1),
+	// the final column being the bias.
+	meta [][]float64
+}
+
+// Train fits the stacked ensemble on d.
+func Train(d *dataset.Dataset, cfg Config) (*Model, error) {
+	cfg = cfg.withDefaults()
+	sp := cfg.Span.Child("stack")
+	defer sp.End()
+	bases, err := canonicalBases(cfg.Bases)
+	if err != nil {
+		return nil, err
+	}
+	if d.Len() < cfg.Folds {
+		return nil, fmt.Errorf("ensemble: %d rows cannot fill %d folds", d.Len(), cfg.Folds)
+	}
+	if d.NumClasses() < 2 {
+		return nil, fmt.Errorf("ensemble: need at least 2 classes, have %d", d.NumClasses())
+	}
+	sp.SetAttr("rows", d.Len())
+	sp.SetAttr("bases", len(bases))
+
+	// Out-of-fold posteriors: for each fold, train every base on the
+	// complement and score the held-out rows, so the meta-learner never
+	// sees a posterior a base produced for its own training row.
+	nc := d.NumClasses()
+	width := len(bases) * nc
+	z := make([][]float64, d.Len())
+	for i := range z {
+		z[i] = make([]float64, width)
+	}
+	folds := foldAssign(d, cfg.Folds, cfg.Seed)
+	for f := 0; f < cfg.Folds; f++ {
+		var trainIdx, testIdx []int
+		for i, fi := range folds {
+			if fi == f {
+				testIdx = append(testIdx, i)
+			} else {
+				trainIdx = append(trainIdx, i)
+			}
+		}
+		if len(testIdx) == 0 {
+			continue
+		}
+		part := d.Subset(trainIdx)
+		if part.NumClasses() != nc {
+			return nil, fmt.Errorf("ensemble: fold %d lost a class; use more rows or fewer folds", f)
+		}
+		for b, name := range bases {
+			m, err := trainBase(name, part, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("ensemble: fold %d base %s: %w", f, name, err)
+			}
+			for _, i := range testIdx {
+				_, probs := m.PredictProb(d.X[i])
+				copy(z[i][b*nc:(b+1)*nc], probs)
+			}
+		}
+	}
+
+	meta, err := fitSoftmax(z, d.Y, nc, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Final bases retrain on the full dataset (the standard stacking
+	// recipe: CV posteriors shape the meta weights, full-data bases
+	// serve).
+	full := make([]eval.ProbClassifier, len(bases))
+	for b, name := range bases {
+		m, err := trainBase(name, d, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ensemble: base %s: %w", name, err)
+		}
+		full[b] = m
+	}
+	return &Model{
+		classes:  append([]string(nil), d.ClassNames...),
+		features: d.NumFeatures(),
+		baseName: bases,
+		bases:    full,
+		meta:     meta,
+	}, nil
+}
+
+// trainBase fits one named base learner.
+func trainBase(name string, d *dataset.Dataset, cfg Config) (eval.ProbClassifier, error) {
+	switch name {
+	case BaseBayes:
+		return bayes.Train(d)
+	case BaseForest:
+		fc := cfg.Forest
+		fc.Seed = cfg.Seed
+		return forest.TrainClassifier(d, fc)
+	case BaseSVM:
+		sc := cfg.SVM
+		sc.Seed = cfg.Seed
+		return svm.Train(d, sc)
+	}
+	return nil, fmt.Errorf("ensemble: unknown base learner %q", name)
+}
+
+// foldAssign deterministically assigns rows to folds, stratified by
+// class (same rotation scheme as eval's CV folds).
+func foldAssign(d *dataset.Dataset, k int, seed uint64) []int {
+	folds := make([]int, d.Len())
+	byClass := make([][]int, d.NumClasses())
+	for i, y := range d.Y {
+		byClass[y] = append(byClass[y], i)
+	}
+	offset := int(seed % uint64(k))
+	for _, idx := range byClass {
+		for j, i := range idx {
+			folds[i] = (j + offset) % k
+		}
+	}
+	return folds
+}
+
+// fitSoftmax trains the multinomial-logistic meta-learner by
+// fixed-iteration full-batch gradient descent from zero weights:
+// deterministic, order-independent within an iteration (rows accumulate
+// in index order), and convex so the fixed budget lands in a stable
+// neighbourhood.
+func fitSoftmax(z [][]float64, y []int, nc int, cfg Config) ([][]float64, error) {
+	if len(z) == 0 {
+		return nil, fmt.Errorf("ensemble: no meta-training rows")
+	}
+	width := len(z[0])
+	w := make([][]float64, nc)
+	grad := make([][]float64, nc)
+	for c := range w {
+		w[c] = make([]float64, width+1)
+		grad[c] = make([]float64, width+1)
+	}
+	probs := make([]float64, nc)
+	n := float64(len(z))
+	for it := 0; it < cfg.MetaIters; it++ {
+		for c := range grad {
+			for j := range grad[c] {
+				grad[c][j] = 0
+			}
+		}
+		for i, row := range z {
+			softmaxInto(w, row, probs)
+			for c := 0; c < nc; c++ {
+				delta := probs[c]
+				if c == y[i] {
+					delta -= 1
+				}
+				g := grad[c]
+				for j, v := range row {
+					g[j] += delta * v
+				}
+				g[width] += delta
+			}
+		}
+		for c := 0; c < nc; c++ {
+			for j := 0; j <= width; j++ {
+				l2 := cfg.MetaL2 * w[c][j]
+				if j == width {
+					l2 = 0 // bias is unregularized
+				}
+				w[c][j] -= cfg.MetaRate * (grad[c][j]/n + l2)
+			}
+		}
+	}
+	return w, nil
+}
+
+// softmaxInto evaluates the meta-learner on one posterior row.
+func softmaxInto(w [][]float64, row []float64, out []float64) {
+	width := len(row)
+	maxScore := math.Inf(-1)
+	for c := range w {
+		s := w[c][width] // bias
+		for j, v := range row {
+			s += w[c][j] * v
+		}
+		out[c] = s
+		if s > maxScore {
+			maxScore = s
+		}
+	}
+	var sum float64
+	for c := range out {
+		out[c] = math.Exp(out[c] - maxScore)
+		sum += out[c]
+	}
+	for c := range out {
+		out[c] /= sum
+	}
+}
+
+// Classes returns the class vocabulary.
+func (m *Model) Classes() []string { return m.classes }
+
+// Bases returns the canonical base-learner names.
+func (m *Model) Bases() []string { return append([]string(nil), m.baseName...) }
+
+// NumFeatures returns the trained feature width.
+func (m *Model) NumFeatures() int { return m.features }
+
+// metaRow concatenates the base posteriors for x in canonical order.
+func (m *Model) metaRow(x []float64) []float64 {
+	nc := len(m.classes)
+	row := make([]float64, len(m.bases)*nc)
+	for b, base := range m.bases {
+		_, probs := base.PredictProb(x)
+		copy(row[b*nc:(b+1)*nc], probs)
+	}
+	return row
+}
+
+// PredictProb returns the winning class index and the meta-learner's
+// posterior vector (satisfies eval.ProbClassifier). The returned slice
+// is caller-owned.
+func (m *Model) PredictProb(x []float64) (int, []float64) {
+	row := m.metaRow(x)
+	probs := make([]float64, len(m.classes))
+	softmaxInto(m.meta, row, probs)
+	best := 0
+	for c := 1; c < len(probs); c++ {
+		if probs[c] > probs[best] {
+			best = c
+		}
+	}
+	return best, probs
+}
+
+// Predict returns the plain predicted class index.
+func (m *Model) Predict(x []float64) int {
+	cls, _ := m.PredictProb(x)
+	return cls
+}
+
+// Accuracy is the fraction of d's rows the ensemble labels correctly.
+func (m *Model) Accuracy(d *dataset.Dataset) float64 {
+	if d.Len() == 0 {
+		return 0
+	}
+	correct := 0
+	for i, row := range d.X {
+		if m.Predict(row) == d.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(d.Len())
+}

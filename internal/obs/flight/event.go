@@ -59,6 +59,13 @@ type Event struct {
 	Compiled        bool   `json:"compiled,omitempty"`
 	Algo            string `json:"algo,omitempty"`
 
+	// ShadowRows counts this request's rows the lifecycle loop
+	// shadow-scored on the challenger; ShadowAgree how many of those
+	// agreed with the served champion answer. Reconciled exactly
+	// against the lifecycle ledger by the soak harness.
+	ShadowRows  int64 `json:"shadowRows,omitempty"`
+	ShadowAgree int64 `json:"shadowAgree,omitempty"`
+
 	TimeoutStage string `json:"timeoutStage,omitempty"` // queue | handler
 	Panicked     bool   `json:"panicked,omitempty"`
 	Err          string `json:"err,omitempty"`
@@ -86,8 +93,10 @@ type Active struct {
 	// batch fans out over (see parallel.Timer).
 	RowTimer parallel.Timer
 
-	faults  atomic.Int64
-	queueNS atomic.Int64
+	faults      atomic.Int64
+	queueNS     atomic.Int64
+	shadowRows  atomic.Int64
+	shadowAgree atomic.Int64
 }
 
 // NewActive starts the wide event for one request.
@@ -143,6 +152,19 @@ func (a *Active) MarkFault() {
 	}
 }
 
+// AddShadow counts one shadow-scored row on the event (agree says
+// whether the challenger matched the served answer). Safe for
+// concurrent use: batch rows shadow-score from the pool fan-out.
+func (a *Active) AddShadow(agree bool) {
+	if a == nil {
+		return
+	}
+	a.shadowRows.Add(1)
+	if agree {
+		a.shadowAgree.Add(1)
+	}
+}
+
 // MarkPanic flags the event as a recovered handler panic.
 func (a *Active) MarkPanic() {
 	if a != nil {
@@ -164,6 +186,8 @@ func (a *Active) Finalize(status int, total time.Duration) {
 	a.RowNS = int64(a.RowTimer.Total())
 	a.Rows = a.RowTimer.Count()
 	a.FaultHits = a.faults.Load()
+	a.ShadowRows = a.shadowRows.Load()
+	a.ShadowAgree = a.shadowAgree.Load()
 	a.Outcome = deriveOutcome(status, a.Panicked)
 }
 

@@ -101,6 +101,12 @@ type Stats struct {
 	SampledOut uint64 `json:"sampledOut"` // healthy events the sampler dropped
 	Evicted    uint64 `json:"evicted"`    // kept events later overwritten
 	Live       int    `json:"live"`       // kept events currently in the ring
+	// ShadowRows / ShadowAgree sum the lifecycle loop's per-request
+	// shadow tallies across every observed event, independent of
+	// sampling -- the recorder-side legs of the shadow reconciliation
+	// (ShadowRows == lifecycle ledger Scored).
+	ShadowRows  uint64 `json:"shadowRows"`
+	ShadowAgree uint64 `json:"shadowAgree"`
 	// ByRoute counts observed events per bounded route label and status
 	// code (string-keyed for JSON), independent of sampling -- the
 	// denominator the soak reconciliation joins client counts against.
@@ -116,17 +122,19 @@ type Recorder struct {
 	cfg   Config
 	clock func() time.Time
 
-	mu         sync.Mutex
-	seq        uint64
-	errs       ring
-	oks        ring
-	topK       []int64 // min-heap of kept slow durations (ns)
-	okSeen     uint64
-	observed   uint64
-	kept       uint64
-	sampledOut uint64
-	evicted    uint64
-	byRoute    map[string]map[int]uint64
+	mu          sync.Mutex
+	seq         uint64
+	errs        ring
+	oks         ring
+	topK        []int64 // min-heap of kept slow durations (ns)
+	okSeen      uint64
+	observed    uint64
+	kept        uint64
+	sampledOut  uint64
+	evicted     uint64
+	shadowRows  uint64
+	shadowAgree uint64
+	byRoute     map[string]map[int]uint64
 
 	slo     *slo
 	bundler *bundler
@@ -222,6 +230,8 @@ func (r *Recorder) Record(a *Active) {
 	r.seq++
 	ev.Seq = r.seq
 	r.observed++
+	r.shadowRows += uint64(ev.ShadowRows)
+	r.shadowAgree += uint64(ev.ShadowAgree)
 	byStatus := r.byRoute[ev.Path]
 	if byStatus == nil {
 		byStatus = map[int]uint64{}
@@ -265,12 +275,14 @@ func (r *Recorder) Stats() Stats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	st := Stats{
-		Observed:   r.observed,
-		Kept:       r.kept,
-		SampledOut: r.sampledOut,
-		Evicted:    r.evicted,
-		Live:       r.errs.n + r.oks.n,
-		ByRoute:    make(map[string]map[string]uint64, len(r.byRoute)),
+		Observed:    r.observed,
+		Kept:        r.kept,
+		SampledOut:  r.sampledOut,
+		Evicted:     r.evicted,
+		Live:        r.errs.n + r.oks.n,
+		ShadowRows:  r.shadowRows,
+		ShadowAgree: r.shadowAgree,
+		ByRoute:     make(map[string]map[string]uint64, len(r.byRoute)),
 	}
 	for route, byStatus := range r.byRoute {
 		m := make(map[string]uint64, len(byStatus))
@@ -374,6 +386,8 @@ func (r *Recorder) Export(reg *obs.Registry) {
 	reg.Gauge("flight_events", "disposition", "sampled_out").Set(float64(st.SampledOut))
 	reg.Gauge("flight_events", "disposition", "evicted").Set(float64(st.Evicted))
 	reg.Gauge("flight_live_events").Set(float64(st.Live))
+	reg.Gauge("flight_shadow_rows", "disposition", "scored").Set(float64(st.ShadowRows))
+	reg.Gauge("flight_shadow_rows", "disposition", "agree").Set(float64(st.ShadowAgree))
 	r.slo.export(reg)
 	r.bundler.export(reg)
 }

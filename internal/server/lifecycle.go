@@ -1,0 +1,181 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+
+	"repro/internal/lifecycle"
+	"repro/internal/resilience"
+)
+
+// lifecycleSetup carries the WithLifecycle arguments until New has
+// built the pieces the loop plugs into (manager, metrics, breaker,
+// fault registry).
+type lifecycleSetup struct {
+	cfg  lifecycle.Config
+	opts lifecycle.Options
+}
+
+// WithLifecycle arms the closed-loop model lifecycle: drift monitoring
+// over live classify traffic, shadow retraining, and significance-gated
+// champion–challenger promotion. Options left nil are wired to the
+// server's own pieces: Manager to the serving model manager, Registry
+// to /metrics, Faults to the server's registry, and Guard to the shared
+// control-plane breaker (the one model reloads trip). The caller
+// normally supplies Baseline and Trainer; a loop without a trainer
+// only monitors drift.
+func WithLifecycle(cfg lifecycle.Config, opts lifecycle.Options) Option {
+	return func(s *Server) { s.lifecyclePending = &lifecycleSetup{cfg: cfg, opts: opts} }
+}
+
+// initLifecycle finishes the loop's wiring once the server's manager,
+// metrics, breaker and faults exist. Called from New, after
+// initResilience and manager construction.
+func (s *Server) initLifecycle() {
+	p := s.lifecyclePending
+	if p == nil {
+		return
+	}
+	o := p.opts
+	if o.Manager == nil {
+		o.Manager = s.models
+	}
+	if o.Registry == nil {
+		o.Registry = s.metrics
+	}
+	if o.Log == nil {
+		o.Log = s.log
+	}
+	if o.Faults == nil {
+		o.Faults = s.faults
+	}
+	if o.Guard == nil {
+		o.Guard = s.controlGuard
+	}
+	if o.Notify == nil {
+		// A buffered poke channel: the host process (cmd/supremm-serve)
+		// drains it and calls Step, keeping loop actions off the
+		// serving goroutines. Coalescing to one pending poke is fine:
+		// Step re-reads the state.
+		s.lifecycleCh = make(chan struct{}, 1)
+		ch := s.lifecycleCh
+		o.Notify = func() {
+			select {
+			case ch <- struct{}{}:
+			default:
+			}
+		}
+	}
+	loop, err := lifecycle.New(p.cfg, o)
+	if err != nil {
+		s.log.Error("lifecycle loop rejected", "err", err)
+		return
+	}
+	s.lifecycle = loop
+}
+
+// controlGuard is the shared control-plane gate: lifecycle retrains and
+// promotions pass through the same breaker as model reloads, so
+// repeated failures from any control-plane source fail fast together.
+func (s *Server) controlGuard(op func() error) error {
+	if err := s.breaker.Allow(); err != nil {
+		s.metrics.Counter("model_breaker_rejections_total").Inc()
+		return err
+	}
+	err := op()
+	s.breaker.Record(err)
+	return err
+}
+
+// Lifecycle exposes the loop (nil when WithLifecycle was not used); the
+// host process uses it for signal-driven retrains and Step-draining.
+func (s *Server) Lifecycle() *lifecycle.Loop { return s.lifecycle }
+
+// LifecycleNotify is the loop's poke channel: a receive means the loop
+// wants a Step (drift fired, or the shadow window filled). Nil when the
+// lifecycle is disabled or the caller supplied its own Notify.
+func (s *Server) LifecycleNotify() <-chan struct{} { return s.lifecycleCh }
+
+// requireLifecycle answers 503 when the loop is not armed.
+func (s *Server) requireLifecycle(w http.ResponseWriter) *lifecycle.Loop {
+	if s.lifecycle == nil {
+		s.writeError(w, http.StatusServiceUnavailable, "lifecycle loop not enabled")
+		return nil
+	}
+	return s.lifecycle
+}
+
+// handleLifecycleStatus serves GET /api/lifecycle: the loop's full
+// state snapshot (state machine, drift statistics, shadow ledger,
+// transitions, last promotion decision).
+func (s *Server) handleLifecycleStatus(w http.ResponseWriter, r *http.Request) {
+	l := s.requireLifecycle(w)
+	if l == nil {
+		return
+	}
+	s.writeJSON(w, http.StatusOK, l.Status())
+}
+
+// lifecycleOpError maps a control-plane operation failure onto an HTTP
+// status: breaker-open fails fast with Retry-After, precondition
+// failures are conflicts, anything else is a 500.
+func (s *Server) lifecycleOpError(w http.ResponseWriter, op string, err error) {
+	s.log.Warn("lifecycle "+op+" failed", "err", err)
+	switch {
+	case errors.Is(err, resilience.ErrBreakerOpen):
+		w.Header().Set("Retry-After", retryAfterSeconds(s.breaker.RetryAfter()))
+		s.writeError(w, http.StatusServiceUnavailable,
+			"control-plane breaker open after repeated failures: %v", err)
+	case errors.Is(err, lifecycle.ErrNoTrainer),
+		errors.Is(err, lifecycle.ErrNoChallenger),
+		errors.Is(err, lifecycle.ErrNoHistory):
+		s.writeError(w, http.StatusConflict, "lifecycle %s: %v", op, err)
+	default:
+		s.writeError(w, http.StatusInternalServerError, "lifecycle %s failed: %v", op, err)
+	}
+}
+
+// handleLifecycleRetrain serves POST /admin/lifecycle/retrain: force a
+// challenger retrain (drift need not have fired). On success the loop
+// is shadowing the fresh challenger.
+func (s *Server) handleLifecycleRetrain(w http.ResponseWriter, r *http.Request) {
+	l := s.requireLifecycle(w)
+	if l == nil {
+		return
+	}
+	if err := l.Retrain(); err != nil {
+		s.lifecycleOpError(w, "retrain", err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, l.Status())
+}
+
+// handleLifecyclePromote serves POST /admin/lifecycle/promote: run the
+// promotion gate now. A gate rejection is a successful request — the
+// decision (with its reason) comes back in the status; only
+// control-plane failures are errors.
+func (s *Server) handleLifecyclePromote(w http.ResponseWriter, r *http.Request) {
+	l := s.requireLifecycle(w)
+	if l == nil {
+		return
+	}
+	if err := l.Decide(); err != nil {
+		s.lifecycleOpError(w, "promote", err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, l.Status())
+}
+
+// handleLifecycleRollback serves POST /admin/lifecycle/rollback: swap
+// the pre-promotion champion back in (one generation of history).
+func (s *Server) handleLifecycleRollback(w http.ResponseWriter, r *http.Request) {
+	l := s.requireLifecycle(w)
+	if l == nil {
+		return
+	}
+	if err := l.Rollback(); err != nil {
+		s.lifecycleOpError(w, "rollback", err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, l.Status())
+}

@@ -66,6 +66,8 @@ var knownPaths = map[string]bool{
 	"/api/classify/batch": true, "/admin/model/reload": true,
 	"/api/discover": true, "/api/discover/assign": true,
 	"/api/runtime-class": true, "/api/runtime-class/features": true,
+	"/api/lifecycle": true, "/admin/lifecycle/retrain": true,
+	"/admin/lifecycle/promote": true, "/admin/lifecycle/rollback": true,
 	"/metrics": true, "/healthz": true, "/readyz": true,
 	"/debug/requests": true, "/debug/slo": true, "/debug/bundle": true,
 }
@@ -230,6 +232,7 @@ func (s *Server) mountDebug() {
 		s.metrics.Help("go_sched_latency_seconds", "Goroutine scheduling latency quantiles (runtime/metrics).")
 		if s.flight != nil {
 			s.metrics.Help("flight_events", "Flight-recorder event ledger by disposition (observed = kept + sampled_out; kept = live + evicted).")
+			s.metrics.Help("flight_shadow_rows", "Shadow-scored rows recorded on wide events, by disposition (scored, agree); reconciles exactly with lifecycle_shadow_rows_total.")
 			s.metrics.Help("flight_live_events", "Wide events currently held in the flight-recorder ring.")
 			s.metrics.Help("flight_bundles", "Diagnostic bundle captures by outcome.")
 			s.metrics.Help("slo_burn_rate", "Error-budget burn rate per objective and window (1.0 = budget spent exactly at the sustainable pace).")

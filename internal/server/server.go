@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/lifecycle"
 	"repro/internal/obs"
 	"repro/internal/obs/flight"
 	"repro/internal/resilience"
@@ -49,6 +50,10 @@ type Server struct {
 	breakerCfg resilience.BreakerConfig
 	breaker    *resilience.Breaker
 	faults     *resilience.Faults
+
+	lifecyclePending *lifecycleSetup
+	lifecycle        *lifecycle.Loop
+	lifecycleCh      chan struct{}
 }
 
 // New builds a server. model may be nil (the classify endpoints then
@@ -93,6 +98,11 @@ func New(store *warehouse.Store, model *core.JobClassifier, machineNodes int, op
 	s.mux.HandleFunc("GET /api/runtime-class/features", s.handleRuntimeFeatures)
 	s.mux.HandleFunc("POST /api/runtime-class", s.handleRuntimeClass)
 	s.mux.HandleFunc("POST /admin/model/reload", s.handleModelReload)
+	s.initLifecycle()
+	s.mux.HandleFunc("GET /api/lifecycle", s.handleLifecycleStatus)
+	s.mux.HandleFunc("POST /admin/lifecycle/retrain", s.handleLifecycleRetrain)
+	s.mux.HandleFunc("POST /admin/lifecycle/promote", s.handleLifecyclePromote)
+	s.mux.HandleFunc("POST /admin/lifecycle/rollback", s.handleLifecycleRollback)
 	s.mountDebug()
 	s.handler = s.wrap(s.mux)
 	return s
@@ -316,6 +326,10 @@ func (s *Server) classifyRow(ctx context.Context, v *core.ModelView, row []float
 	} else {
 		s.classifyOutcome("below_threshold")
 	}
+	// The lifecycle loop observes every successfully inferred row: the
+	// served answer above is already final, so drift accounting and
+	// shadow scoring cannot perturb it (nil-safe no-op when disabled).
+	s.lifecycle.Observe(ctx, row, label)
 	return classifyResult{Label: label, Probability: prob, Classified: ok, Defaulted: defaulted}, nil
 }
 

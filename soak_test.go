@@ -54,12 +54,23 @@ func TestSoakServeUnderFaults(t *testing.T) {
 		"-breaker-threshold", "3", "-breaker-open-for", "2s",
 		"-faults", "classify.row=latency:1.0:10ms,reload=error:0.3",
 		"-fault-seed", "42",
+		// Lifecycle loop armed in manual mode: a SIGUSR1 below installs
+		// a shadow challenger, so every classify row the soak drives is
+		// also shadow-scored and the two shadow books must reconcile.
+		"-lifecycle", "-lifecycle-spec", "algo=rf,auto=false,shadowmin=100000",
 		// Flight recorder armed with a ring big enough that nothing is
 		// evicted during the run, so the reconciliation below can demand
 		// every error event be retrievable, not just counted.
 		"-flight-capacity", "20000",
 	)
 	defer stopServe(t, srv)
+
+	// Install a shadow challenger before the load starts: SIGUSR1 is
+	// the operator's forced-retrain path (the trainer refits on the
+	// warehouse window), and the loop must report the challenger ready
+	// before shadow scoring can begin.
+	srv.Process.Signal(syscall.SIGUSR1)
+	waitChallenger(t, base)
 
 	// SIGHUP storm in the background: reload error faults fail ~30% of
 	// them, walking the breaker through open/half-open/closed while the
@@ -188,5 +199,41 @@ func TestSoakServeUnderFaults(t *testing.T) {
 		if chk.Evicted != 0 {
 			t.Errorf("recorder evicted %d events; the soak ring (-flight-capacity 20000) should hold the whole run", chk.Evicted)
 		}
+		// Shadow reconciliation must have been exercised, not skipped:
+		// the challenger was shadowing for the whole run, so rows were
+		// scored, and the loop's ledger agreed with the recorder's
+		// tallies (any disagreement is already in Mismatches above).
+		if chk.Lifecycle == nil {
+			t.Error("reconciliation found no lifecycle loop despite -lifecycle")
+		} else if chk.Lifecycle.Scored == 0 {
+			t.Error("no rows were shadow-scored during the soak; the shadow reconciliation was vacuous")
+		} else {
+			t.Logf("soak shadow: eligible=%d scored=%d agree=%d disagree=%d errors=%d",
+				chk.Lifecycle.Eligible, chk.Lifecycle.Scored, chk.Lifecycle.Agree,
+				chk.Lifecycle.Disagree, chk.Lifecycle.Errors)
+		}
 	}
+}
+
+// waitChallenger polls /api/lifecycle until the loop reports a shadow
+// challenger installed (the SIGUSR1 retrain runs asynchronously).
+func waitChallenger(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/api/lifecycle")
+		if err != nil {
+			t.Fatalf("GET /api/lifecycle: %v", err)
+		}
+		var st struct {
+			ChallengerReady bool `json:"challengerReady"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err == nil && st.ChallengerReady {
+			return
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatal("lifecycle challenger never became ready after SIGUSR1")
 }
