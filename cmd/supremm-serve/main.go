@@ -289,17 +289,30 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		labels := make([]string, ds.Len())
-		for i := range labels {
-			labels[i] = ds.Label(i)
-		}
 		trainer := func() (lifecycle.TrainResult, error) {
+			// Re-featurize the warehouse at retrain time, so the sliding
+			// window covers whatever the record corpus holds when drift
+			// fires, not a snapshot frozen at boot. Today supremm-serve
+			// never ingests labeled rows after boot (live classify traffic
+			// carries no ground truth), so until a warehouse reload or
+			// ingest path lands, retrains refit the boot corpus: the loop's
+			// serve-mode value is drift visibility plus the shadow and
+			// promotion machinery, while the simulation harness exercises
+			// the fully adaptive arc against a moving corpus.
+			wds, err := core.BuildDataset(res.Records, core.LabelByCategory, core.DefaultFeatures())
+			if err != nil {
+				return lifecycle.TrainResult{}, err
+			}
+			labels := make([]string, wds.Len())
+			for i := range labels {
+				labels[i] = wds.Label(i)
+			}
 			// Sliding window: the most recent TrainWindow labeled rows.
-			n, w := ds.Len(), lcCfg.TrainWindow
+			n, w := wds.Len(), lcCfg.TrainWindow
 			if w > n {
 				w = n
 			}
-			return lifecycle.TrainChallenger(ds.FeatureNames, ds.X[n-w:], labels[n-w:], lcCfg)
+			return lifecycle.TrainChallenger(wds.FeatureNames, wds.X[n-w:], labels[n-w:], lcCfg)
 		}
 		opts = append(opts, server.WithLifecycle(lcCfg, lifecycle.Options{
 			Trainer: trainer, Baseline: base,

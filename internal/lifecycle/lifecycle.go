@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 	"sync"
 
 	"repro/internal/core"
@@ -229,9 +230,11 @@ func (w *window) snapshot(numClasses int) ([][]float64, []int) {
 }
 
 // Loop is the closed-loop lifecycle controller. Observe is the per-row
-// hot hook (cheap: ring append + optional shadow inference); the state
-// actions (retrain, decide, promote, rollback) run through Step or the
-// admin methods, guarded by the shared control-plane breaker.
+// hot hook: a short locked ring append, with any shadow inference run
+// off the lock so concurrent requests never serialize behind a model
+// evaluation. The state actions (retrain, decide, promote, rollback)
+// run through Step or the admin methods, serialized by opMu and
+// guarded by the shared control-plane breaker.
 type Loop struct {
 	cfg     Config
 	mgr     *core.ModelManager
@@ -240,6 +243,16 @@ type Loop struct {
 	faults  *resilience.Faults
 	log     *obs.Logger
 	notify  func()
+
+	// opMu serializes the control-plane operations (Retrain, Decide,
+	// Rollback) end to end. Each one reads loop state, runs a guarded
+	// multi-step mutation off the row path, then writes state back;
+	// interleaving two of them (an admin endpoint racing the auto Step
+	// goroutine) could double-promote one challenger or silently discard
+	// a freshly trained one. mu stays the short-hold lock shared with
+	// Observe; opMu is always acquired first and never touched by the
+	// per-row path.
+	opMu sync.Mutex
 
 	mu          sync.Mutex
 	base        *Baseline
@@ -253,12 +266,18 @@ type Loop struct {
 	driftFeat   string
 	postPSI     float64
 
-	challenger   *core.JobClassifier
-	evalSet      *dataset.Dataset
-	pendingBase  *Baseline // installed as the drift reference on promotion
-	shadowScored uint64    // scored rows since the current challenger installed
-	prev         *core.JobClassifier
-	prevReady    bool
+	challenger *core.JobClassifier
+	// challengerEpoch bumps whenever challenger is installed or cleared,
+	// so a shadow verdict computed off-lock can detect that its
+	// challenger was promoted or demoted mid-flight and drop itself
+	// instead of landing in the wrong ledger.
+	challengerEpoch uint64
+	evalSet         *dataset.Dataset
+	pendingBase     *Baseline // installed as the drift reference on promotion
+	shadowScored    uint64    // scored rows since the current challenger installed
+	prev            *core.JobClassifier
+	prevBase        *Baseline // the outgoing baseline, restored on rollback
+	prevReady       bool
 
 	ledger      Ledger
 	retrains    uint64
@@ -391,7 +410,6 @@ func (l *Loop) Observe(ctx context.Context, row []float64, predLabel string) {
 	}
 	fe := flight.From(ctx)
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	l.rowsSeen++
 	cls, ok := l.base.ClassIndex(predLabel)
 	if !ok {
@@ -401,43 +419,69 @@ func (l *Loop) Observe(ctx context.Context, row []float64, predLabel string) {
 	if l.cooldown > 0 {
 		l.cooldown--
 	}
-
+	var chall *core.JobClassifier
+	var epoch uint64
 	if l.challenger != nil && (l.state == StateShadowing || l.state == StatePromoting) {
-		l.shadowScoreLocked(fe, row, predLabel)
-		if l.state == StateShadowing && l.shadowScored >= uint64(l.cfg.ShadowMin) {
-			l.transitionLocked(StatePromoting, fmt.Sprintf("shadow window full (%d scored)", l.shadowScored))
-			l.poke()
-		}
+		chall, epoch = l.challenger, l.challengerEpoch
 	}
-
 	l.sinceEval++
 	if l.state == StateStable && l.cooldown == 0 && l.win.n >= l.cfg.MinRows && l.sinceEval >= l.cfg.Every {
 		l.sinceEval = 0
 		l.evaluateDriftLocked()
 	}
+	l.mu.Unlock()
+	if chall == nil {
+		return
+	}
+
+	// Challenger inference runs off the mutex: the stacked ensemble is
+	// far slower than the compiled champion path, and holding the loop
+	// lock through it would serialize every concurrent serving request
+	// behind one model evaluation. Model prediction is read-only, so
+	// concurrent rows may score simultaneously.
+	agree, err := l.shadowPredict(fe, chall, row, predLabel)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.challengerEpoch != epoch {
+		// The challenger was promoted or demoted while this row was in
+		// flight; its verdict belongs to a retired ledger. Drop the row
+		// entirely (no Eligible either) so the conservation identity
+		// Eligible == Scored + Errors still holds exactly.
+		return
+	}
+	l.recordShadowLocked(fe, agree, err)
+	if l.state == StateShadowing && l.shadowScored >= uint64(l.cfg.ShadowMin) {
+		l.transitionLocked(StatePromoting, fmt.Sprintf("shadow window full (%d scored)", l.shadowScored))
+		l.poke()
+	}
 }
 
-// shadowScoreLocked scores one row on the challenger, with the
+// shadowPredict scores one row on the challenger, with the
 // lifecycle.shadow fault site armed and panics contained: the serving
 // answer is already decided, so nothing that happens here may escape.
-func (l *Loop) shadowScoreLocked(fe *flight.Active, row []float64, champLabel string) {
+// Runs off the loop mutex; it touches only immutable loop fields.
+func (l *Loop) shadowPredict(fe *flight.Active, chall *core.JobClassifier, row []float64, champLabel string) (agree bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("lifecycle: shadow panic: %v", r)
+		}
+	}()
+	if fired, ferr := l.faults.InjectReport(FaultShadow); fired {
+		fe.MarkFault()
+		if ferr != nil {
+			return false, ferr
+		}
+	}
+	cls := chall.Predict(row)
+	return chall.Classes()[cls] == champLabel, nil
+}
+
+// recordShadowLocked lands one completed shadow verdict in the ledger.
+// Caller holds l.mu and has already checked the challenger epoch.
+func (l *Loop) recordShadowLocked(fe *flight.Active, agree bool, err error) {
 	l.ledger.Eligible++
 	l.mEligible.Inc()
-	agree, err := func() (agree bool, err error) {
-		defer func() {
-			if r := recover(); r != nil {
-				err = fmt.Errorf("lifecycle: shadow panic: %v", r)
-			}
-		}()
-		if fired, ferr := l.faults.InjectReport(FaultShadow); fired {
-			fe.MarkFault()
-			if ferr != nil {
-				return false, ferr
-			}
-		}
-		cls := l.challenger.Predict(row)
-		return l.challenger.Classes()[cls] == champLabel, nil
-	}()
 	if err != nil {
 		l.ledger.Errors++
 		l.mErrors.Inc()
@@ -513,6 +557,8 @@ func (l *Loop) Retrain() error {
 	if l.trainer == nil {
 		return ErrNoTrainer
 	}
+	l.opMu.Lock()
+	defer l.opMu.Unlock()
 	var res TrainResult
 	err := l.guard(func() error {
 		return runOp(func() error {
@@ -535,9 +581,18 @@ func (l *Loop) Retrain() error {
 		l.mRetrainErr.Inc()
 		return errors.New("lifecycle: trainer returned no model or empty evaluation window")
 	}
+	// The promotion gate compares predictions as string labels, but the
+	// challenger's threshold sweep still scores Eval by class index, so
+	// the challenger must share the evaluation window's vocabulary.
+	if !slices.Equal(res.Model.Classes(), res.Eval.ClassNames) {
+		l.mRetrainErr.Inc()
+		return fmt.Errorf("lifecycle: challenger classes %v do not match the evaluation window's %v",
+			res.Model.Classes(), res.Eval.ClassNames)
+	}
 	l.retrains++
 	l.mRetrainOK.Inc()
 	l.challenger = res.Model
+	l.challengerEpoch++
 	l.evalSet = res.Eval
 	l.pendingBase = res.Baseline
 	l.shadowScored = 0
@@ -551,6 +606,8 @@ func (l *Loop) Retrain() error {
 // the configured margin. A failed gate demotes (discards) the
 // challenger. Requires an installed challenger.
 func (l *Loop) Decide() error {
+	l.opMu.Lock()
+	defer l.opMu.Unlock()
 	l.mu.Lock()
 	challenger, evalSet := l.challenger, l.evalSet
 	champView := l.mgr.View()
@@ -571,6 +628,7 @@ func (l *Loop) Decide() error {
 		l.demotions++
 		l.mDemotions.Inc()
 		l.challenger, l.evalSet, l.pendingBase = nil, nil, nil
+		l.challengerEpoch++
 		l.cooldown = l.cfg.Cooldown
 		l.transitionLocked(StateStable, "gate failed: "+dec.Reason)
 		return nil
@@ -581,14 +639,8 @@ func (l *Loop) Decide() error {
 			if err := l.faults.Inject(FaultPromote); err != nil {
 				return err
 			}
-			prev := champView.Model
-			if _, err := l.mgr.Swap(challenger); err != nil {
-				return err
-			}
-			l.mu.Lock()
-			l.prev, l.prevReady = prev, true
-			l.mu.Unlock()
-			return nil
+			_, err := l.mgr.Swap(challenger)
+			return err
 		})
 	})
 	l.mu.Lock()
@@ -605,6 +657,10 @@ func (l *Loop) Decide() error {
 	}
 	l.promotions++
 	l.mPromoteOK.Inc()
+	// Exactly one generation of rollback history: the outgoing champion
+	// together with the drift baseline it was being judged against, so a
+	// rollback restores the whole monitoring regime, not just the model.
+	l.prev, l.prevBase, l.prevReady = champView.Model, l.base, true
 	if l.pendingBase != nil {
 		l.base = l.pendingBase
 		l.pendingBase = nil
@@ -612,6 +668,7 @@ func (l *Loop) Decide() error {
 	l.win.reset()
 	l.sinceEval = 0
 	l.challenger, l.evalSet = nil, nil
+	l.challengerEpoch++
 	l.cooldown = l.cfg.Cooldown
 	l.transitionLocked(StateStable, "promoted: "+dec.Reason)
 	return nil
@@ -621,10 +678,18 @@ func (l *Loop) Decide() error {
 // golden pins its outputs bit-for-bit).
 func decide(champ, chall *core.JobClassifier, ev *dataset.Dataset, cfg Config) Decision {
 	dec := Decision{EvalRows: ev.Len()}
+	// Predictions are compared to the truth as string labels, never as
+	// class indices: the champion was trained on its own vocabulary,
+	// which need not index (or even cover) the same classes as the
+	// evaluation window's ClassNames, built from whatever labels the
+	// recent sliding window happened to contain. A class the champion
+	// has never seen simply counts as a champion miss.
+	champClasses, challClasses := champ.Classes(), chall.Classes()
 	var champRight, challRight int
 	for i, row := range ev.X {
-		cr := champ.Predict(row) == ev.Y[i]
-		hr := chall.Predict(row) == ev.Y[i]
+		truth := ev.Label(i)
+		cr := champClasses[champ.Predict(row)] == truth
+		hr := challClasses[chall.Predict(row)] == truth
 		if cr {
 			champRight++
 		}
@@ -673,8 +738,10 @@ func decide(champ, chall *core.JobClassifier, ev *dataset.Dataset, cfg Config) D
 // Exactly one generation of history is kept: a second rollback without
 // an intervening promotion fails.
 func (l *Loop) Rollback() error {
+	l.opMu.Lock()
+	defer l.opMu.Unlock()
 	l.mu.Lock()
-	prev, ready := l.prev, l.prevReady
+	prev, prevBase, ready := l.prev, l.prevBase, l.prevReady
 	l.mu.Unlock()
 	if !ready {
 		return ErrNoHistory
@@ -693,8 +760,15 @@ func (l *Loop) Rollback() error {
 	}
 	l.rollbacks++
 	l.mRollbackOK.Inc()
-	l.prev, l.prevReady = nil, false
+	// Drift must be judged against the reinstated champion's own
+	// reference, not the baseline the promotion installed for the model
+	// just removed.
+	if prevBase != nil {
+		l.base = prevBase
+	}
+	l.prev, l.prevBase, l.prevReady = nil, nil, false
 	l.challenger, l.evalSet, l.pendingBase = nil, nil, nil
+	l.challengerEpoch++
 	l.win.reset()
 	l.sinceEval = 0
 	l.cooldown = l.cfg.Cooldown

@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dataset"
 	"repro/internal/ml/forest"
 	"repro/internal/obs/flight"
 	"repro/internal/rng"
@@ -415,6 +417,165 @@ func TestStepHonorsAutoFlag(t *testing.T) {
 	if st := auto.Status(); st.Retrains != 1 || st.State != StateShadowing {
 		t.Fatalf("auto loop did not retrain on Step: %+v", st)
 	}
+}
+
+// TestDecideScoresAcrossVocabularies pins the promotion gate's label
+// (not index) comparison: an evaluation window drawn from only two of
+// the champion's four classes builds ClassNames that index differently
+// from the champion's own vocabulary — the expected situation under
+// drift, where the recent sliding window need not contain every class.
+// The champion classifies this unshifted traffic near-perfectly, and
+// the gate must see that rather than mis-scoring it through misaligned
+// indices (which would wrongly promote the challenger).
+func TestDecideScoresAcrossVocabularies(t *testing.T) {
+	w := newTestWorld(t)
+	n := 200
+	rows, labels := make([][]float64, n), make([]string, n)
+	root := rng.New(51)
+	for i := range rows {
+		k := 1 + i%2 // classes 1 and 2 only: eval vocab is a shifted subset
+		rows[i] = simRow(root.Split(uint64(i)), k, 0)
+		labels[i] = fmt.Sprintf("class%02d", k)
+	}
+	res, err := TrainChallenger(w.names, rows, labels, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Eval.ClassNames) != 2 {
+		t.Fatalf("eval vocabulary %v, want the two window classes", res.Eval.ClassNames)
+	}
+	dec := decide(w.champ, res.Model, res.Eval, smallCfg())
+	if dec.ChampAcc < 0.9 {
+		t.Fatalf("champion accuracy %v on its own unshifted classes: the gate is comparing class indices across vocabularies", dec.ChampAcc)
+	}
+	if dec.Promoted {
+		t.Fatalf("a challenger no better than the champion was promoted: %+v", dec)
+	}
+}
+
+// TestRetrainRejectsMismatchedEvalVocabulary pins the Retrain-time
+// invariant the threshold sweep relies on: the challenger must share
+// the evaluation window's class vocabulary.
+func TestRetrainRejectsMismatchedEvalVocabulary(t *testing.T) {
+	w := newTestWorld(t)
+	res := w.shiftedTrainResult(t)
+	// Swap in an evaluation window whose vocabulary the challenger was
+	// not trained on (two classes instead of four).
+	rows, labels := make([][]float64, 40), make([]string, 40)
+	root := rng.New(52)
+	for i := range rows {
+		k := i % 2
+		rows[i] = simRow(root.Split(uint64(i)), k, 0)
+		labels[i] = fmt.Sprintf("class%02d", k)
+	}
+	narrow, err := dataset.New(w.names, rows, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Eval = narrow
+	l, err := New(smallCfg(), Options{
+		Manager: w.mgr, Baseline: w.base,
+		Trainer: func() (TrainResult, error) { return res, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Retrain(); err == nil {
+		t.Fatal("retrain accepted a challenger whose classes do not match the evaluation window")
+	}
+	if st := l.Status(); st.ChallengerReady || st.State != StateStable {
+		t.Fatalf("rejected retrain mutated the loop: %+v", st)
+	}
+}
+
+// TestRollbackRestoresDriftBaseline pins that a rollback reinstates the
+// pre-promotion champion's drift baseline along with the model: leaving
+// the promoted challenger's baseline in place would measure the
+// restored champion against the removed model's reference.
+func TestRollbackRestoresDriftBaseline(t *testing.T) {
+	w := newTestWorld(t)
+	res := w.shiftedTrainResult(t)
+	if res.Baseline == nil {
+		t.Fatal("fixture challenger carries no baseline")
+	}
+	l, err := New(smallCfg(), Options{
+		Manager: w.mgr, Baseline: w.base,
+		Trainer: func() (TrainResult, error) { return res, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Retrain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Decide(); err != nil {
+		t.Fatal(err)
+	}
+	if l.base != res.Baseline {
+		t.Fatal("promotion did not install the challenger's baseline")
+	}
+	if err := l.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if l.base != w.base {
+		t.Fatal("rollback kept the promoted challenger's drift baseline")
+	}
+}
+
+// TestConcurrentDecideCannotDoublePromote pins the control-plane
+// serialization: an admin promotion racing the auto Step goroutine
+// (here, two concurrent Decide calls under live shadow traffic) must
+// promote the challenger exactly once, and the shadow ledger must still
+// conserve every row.
+func TestConcurrentDecideCannotDoublePromote(t *testing.T) {
+	w := newTestWorld(t)
+	res := w.shiftedTrainResult(t)
+	l, err := New(smallCfg(), Options{
+		Manager: w.mgr, Baseline: w.base,
+		Trainer: func() (TrainResult, error) { return res, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen0 := w.mgr.Generation()
+	if err := l.Retrain(); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := shiftedTraffic(61, 128)
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		w.observeAll(context.Background(), l, rows)
+	}()
+	errs := make([]error, 2)
+	for i := range errs {
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = l.Decide()
+		}(i)
+	}
+	wg.Wait()
+	okCount := 0
+	for _, err := range errs {
+		switch {
+		case err == nil:
+			okCount++
+		case !errors.Is(err, ErrNoChallenger):
+			t.Fatalf("concurrent decide failed unexpectedly: %v", err)
+		}
+	}
+	if okCount != 1 {
+		t.Fatalf("%d of 2 concurrent decides promoted, want exactly 1", okCount)
+	}
+	st := l.Status()
+	if st.Promotions != 1 || st.Demotions != 0 {
+		t.Fatalf("after racing decides: %+v", st)
+	}
+	if g := w.mgr.Generation(); g != gen0+1 {
+		t.Fatalf("generation %d after racing decides, want %d", g, gen0+1)
+	}
+	checkLedger(t, st.Ledger)
 }
 
 func TestWindowRingWrapsAndCounts(t *testing.T) {
